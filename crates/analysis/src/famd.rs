@@ -1,0 +1,185 @@
+//! Factor Analysis of Mixed Data (FAMD).
+//!
+//! FAMD generalizes PCA to tables mixing quantitative and qualitative
+//! variables (the paper uses the FactoMineR implementation): quantitative
+//! columns are standardized as in PCA; each qualitative variable is one-hot
+//! encoded, each indicator column scaled by `1/√p` (where `p` is the
+//! category's proportion) as in multiple correspondence analysis, and
+//! centered. A plain PCA of the combined matrix then extracts the principal
+//! dimensions. The first few dimensions act as a denoised feature space for
+//! the hierarchical clustering of Figure 9.
+
+use std::collections::BTreeMap;
+
+use crate::matrix::Matrix;
+use crate::pca::{self, Pca};
+use crate::stats;
+
+/// A fitted FAMD model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Famd {
+    pca: Pca,
+    encoded_cols: usize,
+}
+
+impl Famd {
+    /// Fit FAMD to `quant` (rows = observations, columns = quantitative
+    /// variables) and `qual` (one entry per qualitative variable; each entry
+    /// holds one category label per observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qualitative column's length differs from the number of
+    /// observations.
+    #[must_use]
+    pub fn fit(quant: &Matrix, qual: &[Vec<String>]) -> Self {
+        let n = quant.rows();
+        for col in qual {
+            assert_eq!(col.len(), n, "qualitative column length mismatch");
+        }
+
+        // Count encoded columns: quantitative + one per category.
+        let mut encoded: Vec<Vec<f64>> = Vec::new();
+
+        // Quantitative: z-scores.
+        for c in 0..quant.cols() {
+            encoded.push(stats::zscore(&quant.col(c)));
+        }
+
+        // Qualitative: scaled, centered indicators.
+        for col in qual {
+            let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+            for v in col {
+                *counts.entry(v.as_str()).or_insert(0) += 1;
+            }
+            for (category, count) in counts {
+                let p = count as f64 / n as f64;
+                if p <= 0.0 || p >= 1.0 {
+                    // Constant indicator carries no information.
+                    continue;
+                }
+                let scale = 1.0 / p.sqrt();
+                let mean = p * scale;
+                encoded.push(
+                    col.iter()
+                        .map(|v| {
+                            let ind = if v == category { 1.0 } else { 0.0 };
+                            ind * scale - mean
+                        })
+                        .collect(),
+                );
+            }
+        }
+
+        let cols = encoded.len();
+        let mut z = Matrix::zeros(n, cols);
+        for (c, colv) in encoded.iter().enumerate() {
+            for (r, &v) in colv.iter().enumerate() {
+                z[(r, c)] = v;
+            }
+        }
+
+        Famd {
+            pca: pca::fit_centered(&z),
+            encoded_cols: cols,
+        }
+    }
+
+    /// The underlying PCA of the encoded table.
+    #[must_use]
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// Number of encoded columns (quantitative + scaled indicators).
+    #[must_use]
+    pub fn encoded_cols(&self) -> usize {
+        self.encoded_cols
+    }
+
+    /// Observation coordinates on the first `k` principal dimensions — the
+    /// denoised feature vectors handed to hierarchical clustering.
+    #[must_use]
+    pub fn coordinates(&self, k: usize) -> Matrix {
+        self.pca.truncated_scores(k)
+    }
+
+    /// Number of dimensions needed to retain `ratio` of the variance.
+    #[must_use]
+    pub fn dims_for_ratio(&self, ratio: f64) -> usize {
+        self.pca.components_for_ratio(ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn quantitative_only_reduces_to_pca() {
+        let quant = Matrix::from_rows(
+            4,
+            2,
+            vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0, 4.0, 8.0],
+        );
+        let famd = Famd::fit(&quant, &[]);
+        assert_eq!(famd.encoded_cols(), 2);
+        assert!(famd.pca().explained_ratio(1) > 0.999);
+    }
+
+    #[test]
+    fn qualitative_variable_separates_groups() {
+        // Two groups with identical quantitative values but different
+        // labels: the qualitative variable must drive the first dimension.
+        let quant = Matrix::from_rows(6, 1, vec![1.0; 6]);
+        let qual = vec![labels(&["a", "a", "a", "b", "b", "b"])];
+        let famd = Famd::fit(&quant, &qual);
+        let coords = famd.coordinates(1);
+        // Same-label observations coincide; different labels are separated.
+        assert!((coords[(0, 0)] - coords[(1, 0)]).abs() < 1e-9);
+        assert!((coords[(3, 0)] - coords[(4, 0)]).abs() < 1e-9);
+        assert!((coords[(0, 0)] - coords[(3, 0)]).abs() > 0.5);
+    }
+
+    #[test]
+    fn constant_category_is_dropped() {
+        let quant = Matrix::from_rows(3, 1, vec![1.0, 2.0, 3.0]);
+        let qual = vec![labels(&["x", "x", "x"])];
+        let famd = Famd::fit(&quant, &qual);
+        // Only the quantitative column survives encoding.
+        assert_eq!(famd.encoded_cols(), 1);
+    }
+
+    #[test]
+    fn mixed_data_dimensions() {
+        let quant = Matrix::from_rows(
+            5,
+            2,
+            vec![1.0, 9.0, 2.0, 7.0, 3.0, 5.0, 4.0, 3.0, 5.0, 1.0],
+        );
+        let qual = vec![
+            labels(&["m", "m", "c", "c", "c"]),
+            labels(&["bw", "lat", "bw", "lat", "bw"]),
+        ];
+        let famd = Famd::fit(&quant, &qual);
+        // 2 quant + 2 + 2 indicator columns.
+        assert_eq!(famd.encoded_cols(), 6);
+        let k = famd.dims_for_ratio(0.9);
+        assert!(k >= 1 && k <= 6);
+        let coords = famd.coordinates(k);
+        assert_eq!(coords.rows(), 5);
+        assert_eq!(coords.cols(), k);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_qual_length_panics() {
+        let quant = Matrix::from_rows(3, 1, vec![1.0, 2.0, 3.0]);
+        let qual = vec![labels(&["a", "b"])];
+        let _ = Famd::fit(&quant, &qual);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests over the analysis crate: Pearson invariances, Jacobi
+//! eigendecomposition correctness on random symmetric matrices, clustering
+//! invariants, and roofline monotonicity.
+
+use cactus_analysis::hclust::{self, Linkage};
+use cactus_analysis::matrix::{eigen_symmetric, Matrix};
+use cactus_analysis::roofline::Roofline;
+use cactus_analysis::stats;
+use cactus_gpu::Device;
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pearson is symmetric, bounded, and invariant under positive affine
+    /// transforms.
+    #[test]
+    fn pearson_invariances(
+        xs in prop::collection::vec(-100.0f64..100.0, 5..40),
+        scale in 0.1f64..50.0,
+        offset in -100.0f64..100.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().rev().copied().collect();
+        let pcc = stats::pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&pcc));
+        prop_assert!((pcc - stats::pearson(&ys, &xs)).abs() < 1e-12);
+
+        let xs_t: Vec<f64> = xs.iter().map(|x| x * scale + offset).collect();
+        let pcc_t = stats::pearson(&xs_t, &ys);
+        prop_assert!((pcc - pcc_t).abs() < 1e-6, "{pcc} vs {pcc_t}");
+
+        // Negative scaling flips the sign.
+        let xs_n: Vec<f64> = xs.iter().map(|x| -x * scale).collect();
+        prop_assert!((stats::pearson(&xs_n, &ys) + pcc).abs() < 1e-6);
+    }
+
+    /// Jacobi reconstructs random symmetric matrices: A ≈ V Λ Vᵀ with
+    /// orthonormal V and trace preservation.
+    #[test]
+    fn eigen_reconstructs_random_symmetric(
+        vals in prop::collection::vec(-5.0f64..5.0, 36),
+    ) {
+        let n = 6;
+        let raw = Matrix::from_rows(n, n, vals);
+        // Symmetrize.
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = 0.5 * (raw[(i, j)] + raw[(j, i)]);
+            }
+        }
+        let e = eigen_symmetric(&a);
+
+        // Trace = sum of eigenvalues.
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let eig_sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - eig_sum).abs() < 1e-8, "{trace} vs {eig_sum}");
+
+        // Reconstruction.
+        let mut lambda = Matrix::zeros(n, n);
+        for i in 0..n {
+            lambda[(i, i)] = e.values[i];
+        }
+        let recon = e.vectors.matmul(&lambda).matmul(&e.vectors.transpose());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-7);
+            }
+        }
+
+        // Orthonormality.
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((vtv[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Cutting a dendrogram at k produces exactly min(k, n) non-empty
+    /// clusters, for every linkage.
+    #[test]
+    fn dendrogram_cut_cardinality(
+        coords in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..20),
+        k in 1usize..8,
+    ) {
+        let n = coords.len();
+        let data = Matrix::from_rows(
+            n,
+            2,
+            coords.iter().flat_map(|&(x, y)| [x, y]).collect(),
+        );
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let dend = hclust::cluster(&data, linkage);
+            let labels = dend.cut(k);
+            prop_assert_eq!(labels.len(), n);
+            let distinct: std::collections::BTreeSet<usize> =
+                labels.iter().copied().collect();
+            // Coincident points can still be separated by the cut, so the
+            // cardinality is exactly min(k, n).
+            prop_assert_eq!(distinct.len(), k.min(n), "{:?}", linkage);
+        }
+    }
+
+    /// The roofline is monotone in intensity and capped at peak.
+    #[test]
+    fn roofline_monotone(ii_a in 0.0f64..1e4, ii_b in 0.0f64..1e4) {
+        let r = Roofline::for_device(&Device::rtx3080());
+        let (lo, hi) = if ii_a < ii_b { (ii_a, ii_b) } else { (ii_b, ii_a) };
+        prop_assert!(r.roof(lo) <= r.roof(hi) + 1e-9);
+        prop_assert!(r.roof(hi) <= r.peak_gips() + 1e-9);
+    }
+
+    /// z-scored data has zero mean and unit variance (or is all-zero for
+    /// constant input).
+    #[test]
+    fn zscore_properties(xs in prop::collection::vec(-1e3f64..1e3, 3..50)) {
+        let z = stats::zscore(&xs);
+        prop_assert_eq!(z.len(), xs.len());
+        prop_assert!(stats::mean(&z).abs() < 1e-9);
+        let sd = stats::std_dev(&z);
+        prop_assert!(sd.abs() < 1e-9 || (sd - 1.0).abs() < 1e-9);
+    }
+}

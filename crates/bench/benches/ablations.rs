@@ -1,0 +1,117 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//! analytic vs. trace-driven cache resolution, wave-based vs. naive timing,
+//! adaptive vs. fixed BFS load balancing, and FAMD-denoised vs. raw-feature
+//! clustering. The companion `--bin ablation` target reports the *accuracy*
+//! side of these trade-offs; these benches report the cost side.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cactus_analysis::famd::Famd;
+use cactus_analysis::hclust::{self, Linkage};
+use cactus_analysis::matrix::Matrix;
+use cactus_gpu::access::AccessPattern;
+use cactus_gpu::cache::{analytic, trace, SetAssocCache};
+use cactus_gpu::device::CacheGeometry;
+use cactus_gpu::{Device, Gpu};
+use cactus_graph::bfs::{self, BfsConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Analytic hit rate vs. replaying the equivalent trace: the speed gap that
+/// makes billion-instruction workloads feasible.
+fn ablation_cache_model(c: &mut Criterion) {
+    let pattern = AccessPattern::RandomUniform {
+        working_set_bytes: 1 << 22,
+    };
+    let n = 50_000usize;
+    let mut group = c.benchmark_group("ablation_cache_model");
+    group.bench_function("analytic", |b| {
+        b.iter(|| analytic::hit_rate(black_box(&pattern), 4096.0, 32, n as f64));
+    });
+    let addrs = trace::generate(&pattern, 32, n, 11);
+    group.bench_function("trace_driven", |b| {
+        b.iter_batched(
+            || {
+                SetAssocCache::new(CacheGeometry {
+                    size_bytes: 4096 * 32,
+                    line_bytes: 32,
+                    sector_bytes: 32,
+                    associativity: 8,
+                })
+            },
+            |mut cache| {
+                for &a in &addrs {
+                    cache.access(a);
+                }
+                cache.hit_rate()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// Adaptive Gunrock-style kernel selection vs. forcing the per-thread
+/// advance for every frontier (no load balancing).
+fn ablation_bfs_variants(c: &mut Criterion) {
+    let g = cactus_graph::generators::rmat(12, 16, 9);
+    let mut group = c.benchmark_group("ablation_bfs_lb");
+    group.bench_function("adaptive", |b| {
+        b.iter_batched(
+            || Gpu::new(Device::rtx3080()),
+            |mut gpu| bfs::gunrock_bfs(&mut gpu, &g, 0).levels,
+            BatchSize::SmallInput,
+        );
+    });
+    let thread_only = BfsConfig {
+        warp_lb_edges: u64::MAX,
+        block_lb_edges: u64::MAX,
+        bottom_up_fraction: 2.0,
+        ..BfsConfig::default()
+    };
+    group.bench_function("thread_only", |b| {
+        b.iter_batched(
+            || Gpu::new(Device::rtx3080()),
+            |mut gpu| bfs::gunrock_bfs_with_config(&mut gpu, &g, 0, &thread_only).levels,
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// FAMD-denoised clustering vs. clustering the raw feature matrix.
+fn ablation_clustering(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let n = 80;
+    let quant = Matrix::from_rows(
+        n,
+        13,
+        (0..n * 13).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    let qual: Vec<Vec<String>> = vec![(0..n)
+        .map(|i| if i % 2 == 0 { "memory" } else { "compute" }.to_owned())
+        .collect()];
+    let mut group = c.benchmark_group("ablation_clustering");
+    group.bench_function("famd_then_ward", |b| {
+        b.iter(|| {
+            let famd = Famd::fit(black_box(&quant), black_box(&qual));
+            let coords = famd.coordinates(famd.dims_for_ratio(0.85).max(2));
+            hclust::cluster(&coords, Linkage::Ward).cut(6)
+        });
+    });
+    group.bench_function("raw_ward", |b| {
+        b.iter(|| hclust::cluster(black_box(&quant), Linkage::Ward).cut(6));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets =
+    ablation_cache_model,
+    ablation_bfs_variants,
+    ablation_clustering
+);
+criterion_main!(benches);

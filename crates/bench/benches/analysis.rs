@@ -1,0 +1,92 @@
+//! Criterion benchmarks for the characterization pipeline: Pearson
+//! correlation, the Jacobi eigensolver, FAMD, hierarchical clustering, and
+//! roofline rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cactus_analysis::famd::Famd;
+use cactus_analysis::hclust::{self, Linkage};
+use cactus_analysis::matrix::{eigen_symmetric, Matrix};
+use cactus_analysis::roofline::{Roofline, RooflinePoint};
+use cactus_analysis::stats;
+use cactus_gpu::Device;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_rows(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+}
+
+fn bench_pearson(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let xs: Vec<f64> = (0..1000).map(|_| rng.gen()).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + rng.gen::<f64>()).collect();
+    c.bench_function("analysis/pearson_1000", |b| {
+        b.iter(|| stats::pearson(black_box(&xs), black_box(&ys)));
+    });
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let base = random_matrix(20, 20, 2);
+    let sym = {
+        let t = base.transpose();
+        base.matmul(&t)
+    };
+    c.bench_function("analysis/jacobi_eigen_20x20", |b| {
+        b.iter(|| eigen_symmetric(black_box(&sym)));
+    });
+}
+
+fn bench_famd(c: &mut Criterion) {
+    let quant = random_matrix(100, 13, 3);
+    let qual: Vec<Vec<String>> = vec![
+        (0..100)
+            .map(|i| if i % 3 == 0 { "memory" } else { "compute" }.to_owned())
+            .collect(),
+        (0..100)
+            .map(|i| if i % 2 == 0 { "bandwidth" } else { "latency" }.to_owned())
+            .collect(),
+    ];
+    c.bench_function("analysis/famd_100x13", |b| {
+        b.iter(|| Famd::fit(black_box(&quant), black_box(&qual)));
+    });
+}
+
+fn bench_hclust(c: &mut Criterion) {
+    let points = random_matrix(100, 6, 4);
+    c.bench_function("analysis/ward_100_points", |b| {
+        b.iter(|| hclust::cluster(black_box(&points), Linkage::Ward));
+    });
+}
+
+fn bench_roofline_chart(c: &mut Criterion) {
+    let r = Roofline::for_device(&Device::rtx3080());
+    let mut rng = StdRng::seed_from_u64(5);
+    let points: Vec<RooflinePoint> = (0..200)
+        .map(|i| RooflinePoint {
+            label: format!("k{i}"),
+            intensity: rng.gen_range(0.01..1000.0),
+            gips: rng.gen_range(0.01..500.0),
+            time_share: rng.gen(),
+        })
+        .collect();
+    c.bench_function("analysis/roofline_chart_200", |b| {
+        b.iter(|| r.render_chart(black_box(&points)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pearson,
+    bench_eigen,
+    bench_famd,
+    bench_hclust,
+    bench_roofline_chart
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks for the GPU model itself: kernel-launch
+//! resolution throughput, the trace-driven cache simulator, the analytic
+//! cache model, and the occupancy calculator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cactus_gpu::access::{AccessPattern, AccessStream};
+use cactus_gpu::cache::{analytic, trace, SetAssocCache};
+use cactus_gpu::device::CacheGeometry;
+use cactus_gpu::instmix::InstructionMix;
+use cactus_gpu::kernel::KernelDesc;
+use cactus_gpu::launch::LaunchConfig;
+use cactus_gpu::{Device, Gpu};
+
+fn bench_launch(c: &mut Criterion) {
+    let lc = LaunchConfig::linear(1 << 20, 256);
+    let warps = lc.total_warps();
+    let kernel = KernelDesc::builder("bench_kernel")
+        .launch(lc)
+        .mix(InstructionMix::new().with_fp32(warps * 100).with_load(warps * 10))
+        .stream(AccessStream::read(1 << 20, 4, AccessPattern::Streaming))
+        .stream(AccessStream::write(1 << 20, 4, AccessPattern::Streaming))
+        .build();
+    c.bench_function("gpu/launch_resolution", |b| {
+        b.iter_batched(
+            || Gpu::new(Device::rtx3080()),
+            |mut gpu| {
+                gpu.launch(black_box(&kernel));
+                gpu
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let geometry = CacheGeometry {
+        size_bytes: 128 * 1024,
+        line_bytes: 32,
+        sector_bytes: 32,
+        associativity: 8,
+    };
+    let addrs = trace::generate(
+        &AccessPattern::RandomUniform {
+            working_set_bytes: 1 << 20,
+        },
+        32,
+        100_000,
+        7,
+    );
+    c.bench_function("cache/trace_driven_100k", |b| {
+        b.iter_batched(
+            || SetAssocCache::new(geometry),
+            |mut cache| {
+                for &a in &addrs {
+                    cache.access(a);
+                }
+                cache.hit_rate()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("cache/analytic_model", |b| {
+        b.iter(|| {
+            analytic::hit_rate(
+                black_box(&AccessPattern::HotCold {
+                    hot_fraction: 0.8,
+                    hot_bytes: 1 << 16,
+                    cold_bytes: 1 << 24,
+                }),
+                4096.0,
+                32,
+                1e7,
+            )
+        });
+    });
+}
+
+fn bench_occupancy(c: &mut Criterion) {
+    let device = Device::rtx3080();
+    let lc = LaunchConfig::linear(1 << 22, 256)
+        .with_registers(96)
+        .with_shared_mem(24 * 1024);
+    c.bench_function("launch/occupancy", |b| {
+        b.iter(|| black_box(&lc).occupancy(black_box(&device)));
+    });
+}
+
+criterion_group!(benches, bench_launch, bench_cache_sim, bench_occupancy);
+criterion_main!(benches);

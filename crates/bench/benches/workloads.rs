@@ -1,0 +1,93 @@
+//! Criterion benchmarks for the workload substrates: one MD step, one BFS
+//! per input class, one training iteration per ML-app family, and one
+//! comparison-suite benchmark.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cactus_gpu::{Device, Gpu};
+use cactus_md::workloads::{self, MdScale};
+use cactus_tensor::apps::dcgan::{Dcgan, MlScale};
+use cactus_tensor::apps::seq2seq::{Seq2Seq, SeqScale};
+
+fn gpu() -> Gpu {
+    Gpu::new(Device::rtx3080())
+}
+
+fn bench_md_step(c: &mut Criterion) {
+    c.bench_function("md/gromacs_step_1k_atoms", |b| {
+        b.iter_batched(
+            || {
+                (
+                    workloads::gromacs_npt(
+                        MdScale {
+                            atoms: 1000,
+                            steps: 1,
+                        },
+                        1,
+                    ),
+                    gpu(),
+                )
+            },
+            |(mut engine, mut gpu)| engine.step(&mut gpu),
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let social = cactus_graph::generators::rmat(13, 16, 3);
+    let road = cactus_graph::generators::road_network(100, 100, 3);
+    c.bench_function("bfs/social_8k_vertices", |b| {
+        b.iter_batched(
+            gpu,
+            |mut gpu| cactus_graph::gunrock_bfs(&mut gpu, &social, 0),
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("bfs/road_10k_vertices", |b| {
+        b.iter_batched(
+            gpu,
+            |mut gpu| cactus_graph::gunrock_bfs(&mut gpu, &road, 0),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_ml_iterations(c: &mut Criterion) {
+    c.bench_function("ml/dcgan_iteration_tiny", |b| {
+        b.iter_batched(
+            || (Dcgan::new(MlScale::tiny(), 2), gpu()),
+            |(mut app, mut gpu)| app.train_iteration(&mut gpu),
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function("ml/seq2seq_iteration_tiny", |b| {
+        b.iter_batched(
+            || (Seq2Seq::new(SeqScale::tiny(), 2), gpu()),
+            |(mut app, mut gpu)| app.train_iteration(&mut gpu),
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_suite_benchmark(c: &mut Criterion) {
+    let sgemm = cactus_suites::by_name("sgemm").expect("sgemm registered");
+    c.bench_function("suites/parboil_sgemm_tiny", |b| {
+        b.iter_batched(
+            gpu,
+            |mut gpu| sgemm.run(&mut gpu, cactus_suites::Scale::Tiny),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets =
+    bench_md_step,
+    bench_bfs,
+    bench_ml_iterations,
+    bench_suite_benchmark
+);
+criterion_main!(benches);

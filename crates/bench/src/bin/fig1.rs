@@ -1,0 +1,24 @@
+//! Figure 1: popularity of GPU-compute benchmark suites in top-4
+//! architecture conferences, 2010–2020 (survey dataset; see DESIGN.md —
+//! a literature survey cannot be re-run, so the series is reproduced as
+//! data).
+
+use cactus_analysis::survey;
+use cactus_bench::header;
+
+fn main() {
+    header("Figure 1: GPU-compute benchmark-suite popularity (ISCA/MICRO/ASPLOS/HPCA)");
+    print!("{}", survey::render_table());
+    header("Ranking");
+    for (i, (name, total)) in survey::ranking().iter().enumerate() {
+        println!("{:>2}. {:<10} {total} papers", i + 1, name);
+    }
+    println!(
+        "\nHeadline claim: Rodinia and Parboil are the most popular suites — {}",
+        if survey::ranking()[0].0 == "Rodinia" && survey::ranking()[1].0 == "Parboil" {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}

@@ -1,0 +1,35 @@
+//! Developer tool: print the per-kernel breakdown of one or more Cactus
+//! workloads (by abbreviation) or `prt:<name>` suite benchmarks at profile
+//! scale. Used to verify and tune the GPU-time distributions.
+
+use cactus_core::SuiteScale;
+use cactus_gpu::{Device, Gpu};
+use cactus_profiler::{report, Profile};
+use cactus_suites::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets = if args.is_empty() {
+        vec!["LMR".to_owned()]
+    } else {
+        args
+    };
+    for t in targets {
+        let profile = if let Some(name) = t.strip_prefix("prt:") {
+            let b = cactus_suites::by_name(name).expect("unknown suite benchmark");
+            let mut gpu = Gpu::new(Device::rtx3080());
+            b.run(&mut gpu, Scale::Profile);
+            Profile::from_records(gpu.records())
+        } else {
+            cactus_core::run(&t, SuiteScale::Profile)
+        };
+        println!("\n=== {t} ===");
+        print!("{}", report::render_kernel_table(&profile));
+        println!(
+            "kernels: {}  70% set: {}  total {:.4} ms",
+            profile.kernel_count(),
+            profile.kernels_for_fraction(0.7),
+            profile.total_time_s() * 1e3
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Table I: the Cactus benchmark suite — benchmarks, inputs, and basic
+//! execution characteristics.
+
+use cactus_bench::header;
+use cactus_core::{suite, SuiteScale};
+use cactus_profiler::report::{render_summary_table, SummaryRow};
+
+fn main() {
+    header("Table I: Cactus suite execution characteristics (profile scale)");
+    println!(
+        "(Inputs are scaled for CPU-hosted execution; see DESIGN.md §7 for the\n\
+         paper-input → reproduction-input mapping. Shapes — kernel counts and\n\
+         their 70% sets — are the reproduced quantities.)\n"
+    );
+    let rows: Vec<SummaryRow> = cactus_core::run_suite(SuiteScale::Profile)
+        .into_iter()
+        .map(|(w, p)| SummaryRow::from_profile(w.abbr, &p))
+        .collect();
+    print!("{}", render_summary_table(&rows));
+
+    header("Workload descriptions");
+    for w in suite() {
+        println!("{:<4} {:<17} {:<38} {}", w.abbr, w.domain.name(), w.name, w.dataset);
+    }
+}

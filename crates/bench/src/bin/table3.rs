@@ -1,0 +1,16 @@
+//! Table III: benchmarks from Parboil, Rodinia and Tango.
+
+use cactus_bench::header;
+use cactus_suites::Suite;
+
+fn main() {
+    header("Table III: comparison benchmarks");
+    for suite in [Suite::Parboil, Suite::Rodinia, Suite::Tango] {
+        let names: Vec<&str> = cactus_suites::all()
+            .into_iter()
+            .filter(|b| b.suite == suite)
+            .map(|b| b.name)
+            .collect();
+        println!("{:<8} ({:>2}): {}", suite.name(), names.len(), names.join(", "));
+    }
+}

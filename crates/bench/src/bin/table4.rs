@@ -1,0 +1,35 @@
+//! Table IV: the performance characteristics collected per kernel.
+
+use cactus_bench::header;
+use cactus_gpu::metrics::MetricId;
+
+fn main() {
+    header("Table IV: performance characteristics");
+    let describe = |id: MetricId| -> &'static str {
+        match id {
+            MetricId::WarpOccupancy => "Average no. of active warps across all SMs",
+            MetricId::SmEfficiency => "Fraction of time w/ at least one active warp per SM",
+            MetricId::L1HitRate => "Fraction of accesses that hit in L1",
+            MetricId::L2HitRate => "Fraction of accesses that hit in L2",
+            MetricId::DramReadThroughput => "Total DRAM read bytes per second",
+            MetricId::LdstUtilization => "Average load/store functional unit utilization",
+            MetricId::SpUtilization => "Average FP32 pipeline utilization",
+            MetricId::FractionBranches => "Fraction branch instructions",
+            MetricId::FractionLdst => "Fraction memory operations",
+            MetricId::ExecutionStall => "Stall ratio due to execution dependencies",
+            MetricId::PipeStall => "Stall ratio due to busy pipeline",
+            MetricId::SyncStall => "Stall ratio due to synchronization",
+            MetricId::MemoryStall => "Stall ratio due to memory accesses",
+            MetricId::Gips => "Performance: Giga warp instructions per second (primary)",
+            MetricId::InstructionIntensity => "Warp instructions per DRAM transaction (primary)",
+        }
+    };
+    println!("-- Table IV metrics --");
+    for id in MetricId::TABLE_IV {
+        println!("{:<24} {}", id.name(), describe(id));
+    }
+    println!("\n-- Primary metrics (correlation-analysis rows) --");
+    for id in MetricId::PRIMARY {
+        println!("{:<24} {}", id.name(), describe(id));
+    }
+}

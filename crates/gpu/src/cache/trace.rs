@@ -1,0 +1,108 @@
+//! Synthetic address-trace generation, used to validate the analytic cache
+//! model against the trace-driven simulator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::access::AccessPattern;
+
+/// Generate `n` block-aligned byte addresses following `pattern`.
+///
+/// Blocks are `block_bytes` wide; the addresses returned are block base
+/// addresses, suitable for a [`super::SetAssocCache`] configured with
+/// `line_bytes == block_bytes`.
+#[must_use]
+pub fn generate(pattern: &AccessPattern, block_bytes: u32, n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bb = u64::from(block_bytes);
+    let mut out = Vec::with_capacity(n);
+    match *pattern {
+        AccessPattern::Streaming => {
+            for i in 0..n as u64 {
+                out.push(i * bb);
+            }
+        }
+        AccessPattern::RandomUniform { working_set_bytes } => {
+            let blocks = (working_set_bytes / bb).max(1);
+            for _ in 0..n {
+                out.push(rng.gen_range(0..blocks) * bb);
+            }
+        }
+        AccessPattern::Sweep {
+            working_set_bytes, ..
+        } => {
+            let blocks = (working_set_bytes / bb).max(1);
+            for i in 0..n as u64 {
+                out.push((i % blocks) * bb);
+            }
+        }
+        AccessPattern::HotCold {
+            hot_fraction,
+            hot_bytes,
+            cold_bytes,
+        } => {
+            let hot_blocks = (hot_bytes / bb).max(1);
+            let cold_blocks = (cold_bytes / bb).max(1);
+            for _ in 0..n {
+                if rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) {
+                    out.push(rng.gen_range(0..hot_blocks) * bb);
+                } else {
+                    // Cold region sits above the hot region in the address
+                    // space.
+                    out.push((hot_blocks + rng.gen_range(0..cold_blocks)) * bb);
+                }
+            }
+        }
+        AccessPattern::Broadcast { bytes } => {
+            let blocks = (bytes / bb).max(1);
+            for i in 0..n as u64 {
+                out.push((i % blocks) * bb);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_addresses_are_unique_and_ordered() {
+        let t = generate(&AccessPattern::Streaming, 32, 100, 1);
+        assert_eq!(t.len(), 100);
+        for w in t.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn random_stays_in_working_set() {
+        let pat = AccessPattern::RandomUniform {
+            working_set_bytes: 64 * 32,
+        };
+        let t = generate(&pat, 32, 10_000, 2);
+        assert!(t.iter().all(|&a| a < 64 * 32));
+    }
+
+    #[test]
+    fn hot_cold_respects_fraction() {
+        let pat = AccessPattern::HotCold {
+            hot_fraction: 0.8,
+            hot_bytes: 32 * 32,
+            cold_bytes: 1024 * 32,
+        };
+        let t = generate(&pat, 32, 100_000, 3);
+        let hot = t.iter().filter(|&&a| a < 32 * 32).count();
+        let frac = hot as f64 / t.len() as f64;
+        assert!((frac - 0.8).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let pat = AccessPattern::RandomUniform {
+            working_set_bytes: 1 << 16,
+        };
+        assert_eq!(generate(&pat, 32, 1000, 7), generate(&pat, 32, 1000, 7));
+    }
+}

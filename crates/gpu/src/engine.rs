@@ -1,0 +1,193 @@
+//! The simulated GPU device: executes kernel descriptors and records an
+//! execution trace.
+
+use crate::cache::MemoryModel;
+use crate::device::Device;
+use crate::kernel::KernelDesc;
+use crate::metrics::KernelMetrics;
+use crate::timing::{self, Timing};
+
+/// Record of one executed kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchRecord {
+    /// Kernel name (aggregation key for the profiler).
+    pub name: String,
+    /// Metric record (Table IV + roofline coordinates).
+    pub metrics: KernelMetrics,
+    /// Timing internals (bound classification, wave structure).
+    pub timing: Timing,
+}
+
+impl LaunchRecord {
+    /// Kernel duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.metrics.duration_s
+    }
+}
+
+/// A simulated GPU: executes [`KernelDesc`]s in issue order and records the
+/// resulting trace, playing the role the RTX 3080 + Nsight Compute play in
+/// the paper.
+///
+/// # Example
+///
+/// ```
+/// use cactus_gpu::prelude::*;
+///
+/// let mut gpu = Gpu::new(Device::rtx3080());
+/// let k = KernelDesc::builder("copy")
+///     .launch(LaunchConfig::linear(1 << 20, 256))
+///     .stream(AccessStream::read(1 << 20, 4, AccessPattern::Streaming))
+///     .stream(AccessStream::write(1 << 20, 4, AccessPattern::Streaming))
+///     .build();
+/// gpu.launch(&k);
+/// assert_eq!(gpu.records().len(), 1);
+/// assert!(gpu.total_gpu_time_s() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    device: Device,
+    records: Vec<LaunchRecord>,
+}
+
+impl Gpu {
+    /// Create a device with an empty trace.
+    #[must_use]
+    pub fn new(device: Device) -> Self {
+        Self {
+            device,
+            records: Vec::new(),
+        }
+    }
+
+    /// The device descriptor.
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Execute one kernel launch and append it to the trace; returns the
+    /// record.
+    pub fn launch(&mut self, kernel: &KernelDesc) -> &LaunchRecord {
+        let traffic = MemoryModel::resolve(&self.device, kernel.streams());
+        let (timing, metrics) = timing::simulate(
+            &self.device,
+            kernel.launch(),
+            kernel.mix(),
+            kernel.dependency_fraction(),
+            &traffic,
+        );
+        self.records.push(LaunchRecord {
+            name: kernel.name().to_owned(),
+            metrics,
+            timing,
+        });
+        self.records.last().expect("record just pushed")
+    }
+
+    /// The execution trace so far, in launch order.
+    #[must_use]
+    pub fn records(&self) -> &[LaunchRecord] {
+        &self.records
+    }
+
+    /// Total GPU time across all launches, in seconds.
+    #[must_use]
+    pub fn total_gpu_time_s(&self) -> f64 {
+        self.records.iter().map(|r| r.metrics.duration_s).sum()
+    }
+
+    /// Total warp instructions across all launches.
+    #[must_use]
+    pub fn total_warp_instructions(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.metrics.warp_instructions)
+            .sum()
+    }
+
+    /// Drop the trace (e.g. after a warm-up phase, mirroring how the paper
+    /// profiles only a steady-state region).
+    pub fn reset_trace(&mut self) {
+        self.records.clear();
+    }
+
+    /// Take ownership of the trace, leaving the device empty.
+    #[must_use]
+    pub fn take_records(&mut self) -> Vec<LaunchRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessPattern, AccessStream};
+    use crate::instmix::InstructionMix;
+    use crate::launch::LaunchConfig;
+
+    fn copy_kernel(n: u64) -> KernelDesc {
+        KernelDesc::builder("copy")
+            .launch(LaunchConfig::linear(n, 256))
+            .stream(AccessStream::read(n, 4, AccessPattern::Streaming))
+            .stream(AccessStream::write(n, 4, AccessPattern::Streaming))
+            .build()
+    }
+
+    #[test]
+    fn launch_appends_records() {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        gpu.launch(&copy_kernel(1 << 20));
+        gpu.launch(&copy_kernel(1 << 21));
+        assert_eq!(gpu.records().len(), 2);
+        assert!(gpu.records()[1].duration_s() > gpu.records()[0].duration_s());
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        gpu.launch(&copy_kernel(1 << 20));
+        let t1 = gpu.total_gpu_time_s();
+        gpu.launch(&copy_kernel(1 << 20));
+        assert!((gpu.total_gpu_time_s() - 2.0 * t1).abs() < 1e-12);
+        assert!(gpu.total_warp_instructions() > 0);
+    }
+
+    #[test]
+    fn reset_trace_clears() {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        gpu.launch(&copy_kernel(1 << 20));
+        gpu.reset_trace();
+        assert!(gpu.records().is_empty());
+        assert_eq!(gpu.total_gpu_time_s(), 0.0);
+    }
+
+    #[test]
+    fn take_records_transfers_ownership() {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        gpu.launch(&copy_kernel(1 << 20));
+        let records = gpu.take_records();
+        assert_eq!(records.len(), 1);
+        assert!(gpu.records().is_empty());
+    }
+
+    #[test]
+    fn compute_kernel_is_compute_intensive() {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        let lc = LaunchConfig::linear(1 << 22, 256);
+        let warps = lc.total_warps();
+        let k = KernelDesc::builder("gemm_like")
+            .launch(lc)
+            .mix(InstructionMix::new().with_fp32(warps * 4000).with_shared(warps * 500))
+            .stream(AccessStream::read(1 << 22, 4, AccessPattern::Streaming))
+            .build();
+        let elbow = gpu.device().elbow_intensity();
+        let r = gpu.launch(&k);
+        assert!(
+            r.metrics.instruction_intensity > elbow,
+            "II {} vs elbow {elbow}",
+            r.metrics.instruction_intensity
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! # cactus-gpu
+//!
+//! An SM/warp-level GPU *performance model* used as the hardware substrate of
+//! the Cactus benchmark-suite reproduction (IISWC 2021).
+//!
+//! The crate plays the role that a physical Nvidia RTX 3080 plus the Nsight
+//! Compute profiler play in the paper: workloads describe each kernel launch
+//! (grid geometry, warp-instruction mix, memory access streams) and the model
+//! produces a per-launch [`metrics::KernelMetrics`] record containing the same
+//! metric vector the paper collects in its Table IV — warp occupancy, SM
+//! efficiency, L1/L2 hit rates, DRAM read throughput, functional-unit
+//! utilizations, instruction-mix fractions, and a four-way stall breakdown —
+//! along with the two roofline coordinates, performance in GIPS and
+//! instruction intensity in warp instructions per DRAM transaction.
+//!
+//! ## Architecture
+//!
+//! * [`device`] — physical device descriptors (SM count, schedulers, clock,
+//!   cache geometry, DRAM bandwidth). [`device::Device::rtx3080`] matches the
+//!   paper's Table II platform.
+//! * [`launch`] — kernel launch configuration and the occupancy calculator.
+//! * [`instmix`] — warp-instruction mixes by class.
+//! * [`access`] — declarative memory access streams (pattern + coalescing).
+//! * [`cache`] — a trace-driven set-associative cache simulator plus an
+//!   analytic hit-rate model validated against it, composed into an
+//!   L1 → L2 → DRAM hierarchy.
+//! * [`timing`] — a wave-based SM timing model with occupancy-driven latency
+//!   hiding, inspired by the MWP/CWP analytic-GPU-model literature.
+//! * [`metrics`] — the Nsight-style per-kernel metric record.
+//! * [`kernel`] — the kernel descriptor assembled by workloads.
+//! * [`engine`] — the [`engine::Gpu`] device that executes launches and
+//!   records an execution trace.
+//! * [`tracefile`] — serialization of execution traces (the paper's
+//!   future-work "simulator-compatible instruction traces").
+//!
+//! ## Example
+//!
+//! ```
+//! use cactus_gpu::prelude::*;
+//!
+//! let mut gpu = Gpu::new(Device::rtx3080());
+//! let kernel = KernelDesc::builder("saxpy")
+//!     .launch(LaunchConfig::linear(1 << 20, 256))
+//!     .mix(InstructionMix::elementwise(1 << 20, 2))
+//!     .stream(AccessStream::read(1 << 20, 4, AccessPattern::Streaming))
+//!     .stream(AccessStream::write(1 << 20, 4, AccessPattern::Streaming))
+//!     .build();
+//! let record = gpu.launch(&kernel);
+//! assert!(record.metrics.gips > 0.0);
+//! assert!(record.metrics.instruction_intensity > 0.0);
+//! ```
+
+pub mod access;
+pub mod cache;
+pub mod device;
+pub mod engine;
+pub mod instmix;
+pub mod kernel;
+pub mod launch;
+pub mod metrics;
+pub mod timing;
+pub mod tracefile;
+
+/// Convenient re-exports of the types used by nearly every client.
+pub mod prelude {
+    pub use crate::access::{AccessPattern, AccessStream, Direction};
+    pub use crate::device::Device;
+    pub use crate::engine::{Gpu, LaunchRecord};
+    pub use crate::instmix::InstructionMix;
+    pub use crate::kernel::{KernelDesc, KernelDescBuilder};
+    pub use crate::launch::LaunchConfig;
+    pub use crate::metrics::KernelMetrics;
+}
+
+pub use crate::engine::Gpu;
+pub use crate::device::Device;

@@ -1,0 +1,225 @@
+//! Nsight-style per-kernel metrics (the paper's Table IV) plus the two
+//! roofline coordinates.
+
+/// The full metric record produced for one kernel launch.
+///
+/// Field semantics follow the paper's Table IV; `gips` and
+/// `instruction_intensity` are the Section IV roofline coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelMetrics {
+    /// Kernel duration in seconds.
+    pub duration_s: f64,
+    /// Dynamically executed warp instructions.
+    pub warp_instructions: u64,
+    /// DRAM transactions (32 B) generated.
+    pub dram_transactions: f64,
+    /// Performance: Giga warp Instructions Per Second.
+    pub gips: f64,
+    /// Instruction intensity: warp instructions per DRAM transaction.
+    pub instruction_intensity: f64,
+    /// Average number of active warps per SM (0 ..= max warps per SM).
+    pub warp_occupancy: f64,
+    /// Fraction of time with at least one active warp per SM, in `[0, 1]`.
+    pub sm_efficiency: f64,
+    /// L1 hit rate in `[0, 1]`.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate in `[0, 1]`.
+    pub l2_hit_rate: f64,
+    /// DRAM read throughput in GB/s.
+    pub dram_read_throughput_gbps: f64,
+    /// Load/store functional-unit utilization in `[0, 1]`.
+    pub ldst_utilization: f64,
+    /// FP32 pipeline utilization in `[0, 1]`.
+    pub sp_utilization: f64,
+    /// Fraction of branch instructions in `[0, 1]`.
+    pub fraction_branches: f64,
+    /// Fraction of memory (LD/ST) instructions in `[0, 1]`.
+    pub fraction_ldst: f64,
+    /// Stall ratio due to execution dependencies, in `[0, 1]`.
+    pub execution_stall: f64,
+    /// Stall ratio due to busy pipelines, in `[0, 1]`.
+    pub pipe_stall: f64,
+    /// Stall ratio due to synchronization, in `[0, 1]`.
+    pub sync_stall: f64,
+    /// Stall ratio due to memory accesses, in `[0, 1]`.
+    pub memory_stall: f64,
+}
+
+/// Identifier for one metric, used by the correlation and clustering
+/// analyses to iterate over metric vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricId {
+    /// Performance (GIPS) — primary.
+    Gips,
+    /// Instruction intensity — primary.
+    InstructionIntensity,
+    /// Warp occupancy — primary and Table IV.
+    WarpOccupancy,
+    /// SM efficiency — primary and Table IV.
+    SmEfficiency,
+    /// L1 hit rate.
+    L1HitRate,
+    /// L2 hit rate.
+    L2HitRate,
+    /// DRAM read throughput.
+    DramReadThroughput,
+    /// LD/ST unit utilization.
+    LdstUtilization,
+    /// FP32 pipeline utilization.
+    SpUtilization,
+    /// Fraction of branch instructions.
+    FractionBranches,
+    /// Fraction of LD/ST instructions.
+    FractionLdst,
+    /// Execution-dependency stall ratio.
+    ExecutionStall,
+    /// Pipe-busy stall ratio.
+    PipeStall,
+    /// Synchronization stall ratio.
+    SyncStall,
+    /// Memory stall ratio.
+    MemoryStall,
+}
+
+impl MetricId {
+    /// The four primary metrics of the paper's correlation analysis
+    /// (Figure 8 rows).
+    pub const PRIMARY: [MetricId; 4] = [
+        MetricId::Gips,
+        MetricId::InstructionIntensity,
+        MetricId::SmEfficiency,
+        MetricId::WarpOccupancy,
+    ];
+
+    /// The Table IV metrics (Figure 8 columns). The paper lists 12 rows;
+    /// its "L1/L2 hit rate" row covers two distinct metrics, giving 13
+    /// metric values.
+    pub const TABLE_IV: [MetricId; 13] = [
+        MetricId::WarpOccupancy,
+        MetricId::SmEfficiency,
+        MetricId::L1HitRate,
+        MetricId::L2HitRate,
+        MetricId::DramReadThroughput,
+        MetricId::LdstUtilization,
+        MetricId::SpUtilization,
+        MetricId::FractionBranches,
+        MetricId::FractionLdst,
+        MetricId::ExecutionStall,
+        MetricId::PipeStall,
+        MetricId::SyncStall,
+        MetricId::MemoryStall,
+    ];
+
+    /// All metrics, primaries first.
+    pub const ALL: [MetricId; 15] = [
+        MetricId::Gips,
+        MetricId::InstructionIntensity,
+        MetricId::WarpOccupancy,
+        MetricId::SmEfficiency,
+        MetricId::L1HitRate,
+        MetricId::L2HitRate,
+        MetricId::DramReadThroughput,
+        MetricId::LdstUtilization,
+        MetricId::SpUtilization,
+        MetricId::FractionBranches,
+        MetricId::FractionLdst,
+        MetricId::ExecutionStall,
+        MetricId::PipeStall,
+        MetricId::SyncStall,
+        MetricId::MemoryStall,
+    ];
+
+    /// Human-readable metric name (Table IV wording).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricId::Gips => "GIPS",
+            MetricId::InstructionIntensity => "Instruction intensity",
+            MetricId::WarpOccupancy => "Warp occupancy",
+            MetricId::SmEfficiency => "SM efficiency",
+            MetricId::L1HitRate => "L1 hit rate",
+            MetricId::L2HitRate => "L2 hit rate",
+            MetricId::DramReadThroughput => "DRAM read throughput",
+            MetricId::LdstUtilization => "LD/ST utilization",
+            MetricId::SpUtilization => "SP utilization",
+            MetricId::FractionBranches => "Fraction branches",
+            MetricId::FractionLdst => "Fraction LD/ST insts",
+            MetricId::ExecutionStall => "Execution stall",
+            MetricId::PipeStall => "Pipe stall",
+            MetricId::SyncStall => "Sync stall",
+            MetricId::MemoryStall => "Memory stall",
+        }
+    }
+}
+
+impl std::fmt::Display for MetricId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl KernelMetrics {
+    /// Value of one metric.
+    #[must_use]
+    pub fn get(&self, id: MetricId) -> f64 {
+        match id {
+            MetricId::Gips => self.gips,
+            MetricId::InstructionIntensity => self.instruction_intensity,
+            MetricId::WarpOccupancy => self.warp_occupancy,
+            MetricId::SmEfficiency => self.sm_efficiency,
+            MetricId::L1HitRate => self.l1_hit_rate,
+            MetricId::L2HitRate => self.l2_hit_rate,
+            MetricId::DramReadThroughput => self.dram_read_throughput_gbps,
+            MetricId::LdstUtilization => self.ldst_utilization,
+            MetricId::SpUtilization => self.sp_utilization,
+            MetricId::FractionBranches => self.fraction_branches,
+            MetricId::FractionLdst => self.fraction_ldst,
+            MetricId::ExecutionStall => self.execution_stall,
+            MetricId::PipeStall => self.pipe_stall,
+            MetricId::SyncStall => self.sync_stall,
+            MetricId::MemoryStall => self.memory_stall,
+        }
+    }
+
+    /// The full quantitative metric vector in [`MetricId::ALL`] order.
+    #[must_use]
+    pub fn vector(&self) -> Vec<f64> {
+        MetricId::ALL.iter().map(|&id| self.get(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_matches_get() {
+        let m = KernelMetrics {
+            gips: 1.0,
+            instruction_intensity: 2.0,
+            warp_occupancy: 3.0,
+            sm_efficiency: 0.4,
+            ..KernelMetrics::default()
+        };
+        let v = m.vector();
+        assert_eq!(v.len(), MetricId::ALL.len());
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 3.0);
+        assert_eq!(v[3], 0.4);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = MetricId::ALL.iter().map(MetricId::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MetricId::ALL.len());
+    }
+
+    #[test]
+    fn table_iv_has_thirteen_metrics() {
+        assert_eq!(MetricId::TABLE_IV.len(), 13);
+        assert_eq!(MetricId::PRIMARY.len(), 4);
+    }
+}

@@ -1,0 +1,289 @@
+//! Kernel-trace serialization.
+//!
+//! The paper's future-work section plans "Cactus instruction traces that
+//! are compatible with state-of-the-art GPU simulators so that researchers
+//! can simulate Cactus workloads without requiring access to a real GPU
+//! device". This module implements that exchange format for the
+//! reproduction: a line-oriented, self-describing text format carrying one
+//! kernel launch per record with its grid geometry and full metric vector,
+//! plus a parser so traces can be re-analyzed (or replayed through the
+//! profiler) without re-running the workload.
+//!
+//! Format (`#`-prefixed lines are comments):
+//!
+//! ```text
+//! cactus-trace v1
+//! kernel <name> grid=<blocks>x<tpb> dur_s=<f> insts=<u> txns=<f> m=<15 csv floats>
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::engine::LaunchRecord;
+use crate::metrics::{KernelMetrics, MetricId};
+
+/// Magic header of version 1 traces.
+pub const HEADER: &str = "cactus-trace v1";
+
+/// One deserialized trace record (grid geometry + metrics; the timing
+/// internals are not round-tripped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Kernel name.
+    pub name: String,
+    /// Grid blocks.
+    pub grid_blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// The metric vector.
+    pub metrics: KernelMetrics,
+}
+
+/// Error produced when parsing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serialize an execution trace.
+#[must_use]
+pub fn serialize(records: &[LaunchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    let _ = writeln!(out, "# {} kernel launches", records.len());
+    for r in records {
+        let m = &r.metrics;
+        let _ = write!(
+            out,
+            "kernel {} grid={}x{} dur_s={:e} insts={} txns={:e} m=",
+            sanitize(&r.name),
+            r.timing.occupancy.full_waves * r.timing.occupancy.blocks_per_wave
+                + r.timing.occupancy.tail_blocks,
+            threads_per_block_of(r),
+            m.duration_s,
+            m.warp_instructions,
+            m.dram_transactions,
+        );
+        let vector = m.vector();
+        for (i, v) in vector.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v:e}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn threads_per_block_of(r: &LaunchRecord) -> u32 {
+    // Resident warps per block × warp size; reconstructed from occupancy.
+    let blocks = r.timing.occupancy.blocks_per_sm.max(1);
+    (r.timing.occupancy.resident_warps_per_sm / blocks).max(1) * 32
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+/// Parse a serialized trace.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on a missing/unknown header or malformed
+/// record line.
+pub fn parse(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        Some((_, h)) => {
+            return Err(ParseTraceError {
+                line: 1,
+                message: format!("unknown header {h:?}"),
+            })
+        }
+        None => {
+            return Err(ParseTraceError {
+                line: 1,
+                message: "empty trace".to_owned(),
+            })
+        }
+    }
+
+    let mut out = Vec::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ParseTraceError {
+            line: lineno,
+            message,
+        };
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some("kernel") {
+            return Err(err("expected `kernel` record".to_owned()));
+        }
+        let name = fields
+            .next()
+            .ok_or_else(|| err("missing kernel name".to_owned()))?
+            .to_owned();
+
+        let mut grid_blocks = 0u64;
+        let mut tpb = 0u32;
+        let mut metrics = KernelMetrics::default();
+        for field in fields {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| err(format!("malformed field {field:?}")))?;
+            match key {
+                "grid" => {
+                    let (b, t) = value
+                        .split_once('x')
+                        .ok_or_else(|| err(format!("malformed grid {value:?}")))?;
+                    grid_blocks = b.parse().map_err(|e| err(format!("grid blocks: {e}")))?;
+                    tpb = t.parse().map_err(|e| err(format!("grid tpb: {e}")))?;
+                }
+                "dur_s" => {
+                    metrics.duration_s =
+                        value.parse().map_err(|e| err(format!("dur_s: {e}")))?;
+                }
+                "insts" => {
+                    metrics.warp_instructions =
+                        value.parse().map_err(|e| err(format!("insts: {e}")))?;
+                }
+                "txns" => {
+                    metrics.dram_transactions =
+                        value.parse().map_err(|e| err(format!("txns: {e}")))?;
+                }
+                "m" => {
+                    let values: Vec<f64> = value
+                        .split(',')
+                        .map(str::parse)
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| err(format!("metric vector: {e}")))?;
+                    if values.len() != MetricId::ALL.len() {
+                        return Err(err(format!(
+                            "metric vector has {} entries, expected {}",
+                            values.len(),
+                            MetricId::ALL.len()
+                        )));
+                    }
+                    apply_vector(&mut metrics, &values);
+                }
+                other => return Err(err(format!("unknown field {other:?}"))),
+            }
+        }
+        out.push(TraceRecord {
+            name,
+            grid_blocks,
+            threads_per_block: tpb,
+            metrics,
+        });
+    }
+    Ok(out)
+}
+
+fn apply_vector(m: &mut KernelMetrics, v: &[f64]) {
+    // MetricId::ALL order.
+    m.gips = v[0];
+    m.instruction_intensity = v[1];
+    m.warp_occupancy = v[2];
+    m.sm_efficiency = v[3];
+    m.l1_hit_rate = v[4];
+    m.l2_hit_rate = v[5];
+    m.dram_read_throughput_gbps = v[6];
+    m.ldst_utilization = v[7];
+    m.sp_utilization = v[8];
+    m.fraction_branches = v[9];
+    m.fraction_ldst = v[10];
+    m.execution_stall = v[11];
+    m.pipe_stall = v[12];
+    m.sync_stall = v[13];
+    m.memory_stall = v[14];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessPattern, AccessStream};
+    use crate::kernel::KernelDesc;
+    use crate::launch::LaunchConfig;
+    use crate::{Device, Gpu};
+
+    fn sample_trace() -> Vec<LaunchRecord> {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        for (name, n) in [("alpha beta", 1u64 << 20), ("gamma", 1 << 18)] {
+            let k = KernelDesc::builder(name)
+                .launch(LaunchConfig::linear(n, 256))
+                .stream(AccessStream::read(n, 4, AccessPattern::Streaming))
+                .build();
+            gpu.launch(&k);
+        }
+        gpu.take_records()
+    }
+
+    #[test]
+    fn roundtrip_preserves_metrics() {
+        let records = sample_trace();
+        let text = serialize(&records);
+        let parsed = parse(&text).expect("roundtrip");
+        assert_eq!(parsed.len(), records.len());
+        for (p, r) in parsed.iter().zip(&records) {
+            assert_eq!(p.name, sanitize(&r.name));
+            let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+            assert!(rel(p.metrics.duration_s, r.metrics.duration_s) < 1e-9);
+            assert_eq!(p.metrics.warp_instructions, r.metrics.warp_instructions);
+            assert!(rel(p.metrics.gips, r.metrics.gips) < 1e-9);
+            assert!(rel(p.metrics.l2_hit_rate, r.metrics.l2_hit_rate.max(1e-30)) < 1e-6
+                || r.metrics.l2_hit_rate == 0.0);
+        }
+    }
+
+    #[test]
+    fn whitespace_in_names_is_sanitized() {
+        let text = serialize(&sample_trace());
+        assert!(text.contains("kernel alpha_beta "));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = format!("{HEADER}\n# a comment\n\n");
+        assert_eq!(parse(&text).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let e = parse("not-a-trace\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown header"));
+    }
+
+    #[test]
+    fn malformed_record_reports_line() {
+        let text = format!("{HEADER}\nkernel k grid=oops\n");
+        let e = parse(&text).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn wrong_metric_arity_is_rejected() {
+        let text = format!("{HEADER}\nkernel k grid=1x32 m=1.0,2.0\n");
+        let e = parse(&text).unwrap_err();
+        assert!(e.message.contains("expected 15"));
+    }
+}

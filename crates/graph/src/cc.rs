@@ -1,0 +1,226 @@
+//! Connected components via Gunrock-style hook-and-compress
+//! (Shiloach–Vishkin pointer jumping) — a paper-extension workload.
+//!
+//! Each round launches a `cc_hook` kernel over all edges (attach each
+//! vertex to its smallest-labelled neighbour) and a `cc_pointer_jump`
+//! kernel over all vertices until the labelling stabilizes.
+
+use cactus_gpu::access::{AccessPattern, AccessStream, Direction};
+use cactus_gpu::instmix::InstructionMix;
+use cactus_gpu::kernel::KernelDesc;
+use cactus_gpu::launch::LaunchConfig;
+use cactus_gpu::Gpu;
+
+use crate::csr::CsrGraph;
+
+/// Result of a connected-components run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcRun {
+    /// Component label per vertex (the smallest vertex id in the
+    /// component).
+    pub labels: Vec<u32>,
+    /// Hook/compress rounds executed.
+    pub rounds: u32,
+}
+
+impl CcRun {
+    /// Number of distinct components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        let mut l: Vec<u32> = self.labels.clone();
+        l.sort_unstable();
+        l.dedup();
+        l.len()
+    }
+}
+
+/// Compute connected components (treating edges as undirected links),
+/// launching the hook/compress kernel rounds on `gpu`.
+#[must_use]
+pub fn connected_components(gpu: &mut Gpu, g: &CsrGraph) -> CcRun {
+    let n = g.num_vertices() as usize;
+    let n64 = n as u64;
+    let e64 = g.num_edges();
+    let mut labels: Vec<u32> = (0..g.num_vertices()).collect();
+    if n == 0 {
+        return CcRun {
+            labels,
+            rounds: 0,
+        };
+    }
+
+    gpu.launch(
+        &KernelDesc::builder("cc_init_labels")
+            .launch(LaunchConfig::linear(n64, 256))
+            .mix(InstructionMix::elementwise(n64, 0))
+            .stream(AccessStream::write(n64, 4, AccessPattern::Streaming))
+            .build(),
+    );
+
+    let mut rounds = 0u32;
+    loop {
+        // Hook: every vertex adopts the smallest label among itself and
+        // its neighbours.
+        let mut changed = false;
+        let mut next = labels.clone();
+        for v in 0..n {
+            for &u in g.neighbors(v as u32) {
+                let lu = labels[u as usize];
+                if lu < next[v] {
+                    next[v] = lu;
+                    changed = true;
+                }
+            }
+        }
+        let edge_warps = e64.div_ceil(32).max(1);
+        gpu.launch(
+            &KernelDesc::builder("cc_hook")
+                .launch(LaunchConfig::linear(e64.max(128), 256))
+                .mix(
+                    InstructionMix::new()
+                        .with_int(edge_warps * 6)
+                        .with_branch(edge_warps * 2),
+                )
+                .stream(AccessStream::raw(
+                    Direction::Read,
+                    edge_warps,
+                    12.0,
+                    AccessPattern::RandomUniform {
+                        working_set_bytes: 8 * (n64 + 1) + 4 * e64,
+                    },
+                ))
+                .stream(AccessStream::raw(
+                    Direction::Write,
+                    edge_warps / 4 + 1,
+                    16.0,
+                    AccessPattern::RandomUniform {
+                        working_set_bytes: n64 * 4,
+                    },
+                ))
+                .dependency_fraction(0.5)
+                .build(),
+        );
+
+        // Compress: pointer-jump every label to its root.
+        for v in 0..n {
+            let mut l = next[v];
+            while next[l as usize] != l {
+                l = next[l as usize];
+            }
+            if next[v] != l {
+                next[v] = l;
+                changed = true;
+            }
+        }
+        let warps = n64.div_ceil(32).max(1);
+        gpu.launch(
+            &KernelDesc::builder("cc_pointer_jump")
+                .launch(LaunchConfig::linear(n64, 256))
+                .mix(
+                    InstructionMix::new()
+                        .with_int(warps * 8)
+                        .with_branch(warps * 3),
+                )
+                .stream(AccessStream::raw(
+                    Direction::Read,
+                    warps * 3,
+                    20.0,
+                    AccessPattern::RandomUniform {
+                        working_set_bytes: n64 * 4,
+                    },
+                ))
+                .stream(AccessStream::write(n64, 4, AccessPattern::Streaming))
+                .dependency_fraction(0.7)
+                .build(),
+        );
+
+        labels = next;
+        rounds += 1;
+        if !changed || rounds > 64 {
+            break;
+        }
+    }
+
+    gpu.launch(
+        &KernelDesc::builder("cc_count_reduce")
+            .launch(LaunchConfig::linear(n64, 256).with_shared_mem(2048))
+            .mix(
+                InstructionMix::new()
+                    .with_int(n64.div_ceil(32) * 3)
+                    .with_shared(n64.div_ceil(32) * 4)
+                    .with_sync(n64.div_ceil(256).max(1)),
+            )
+            .stream(AccessStream::read(n64, 4, AccessPattern::Streaming))
+            .build(),
+    );
+
+    CcRun { labels, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactus_gpu::Device;
+
+    fn gpu() -> Gpu {
+        Gpu::new(Device::rtx3080())
+    }
+
+    #[test]
+    fn two_islands_two_components() {
+        let g = CsrGraph::from_edges_undirected(6, &[(0, 1), (1, 2), (3, 4)]);
+        let mut gpu = gpu();
+        let run = connected_components(&mut gpu, &g);
+        assert_eq!(run.component_count(), 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(run.labels[0], run.labels[2]);
+        assert_eq!(run.labels[3], run.labels[4]);
+        assert_ne!(run.labels[0], run.labels[3]);
+        assert_eq!(run.labels[5], 5);
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let g = CsrGraph::from_edges_undirected(5, &[(4, 3), (3, 2), (2, 1), (1, 0)]);
+        let mut gpu = gpu();
+        let run = connected_components(&mut gpu, &g);
+        assert!(run.labels.iter().all(|&l| l == 0), "{:?}", run.labels);
+    }
+
+    #[test]
+    fn agrees_with_bfs_reachability_on_random_graph() {
+        let g = crate::generators::rmat(8, 2, 7);
+        let mut gpu = gpu();
+        let run = connected_components(&mut gpu, &g);
+        // BFS from vertex 0 must reach exactly the vertices sharing its
+        // label.
+        let dist = crate::bfs::reference_bfs(&g, 0);
+        for v in 0..g.num_vertices() as usize {
+            let reachable = dist[v] >= 0;
+            let same = run.labels[v] == run.labels[0];
+            assert_eq!(reachable, same, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn launches_hook_and_jump_kernels() {
+        let g = crate::generators::road_network(12, 12, 1);
+        let mut gpu = gpu();
+        let run = connected_components(&mut gpu, &g);
+        assert_eq!(run.component_count(), 1, "grid is connected");
+        let names: std::collections::BTreeSet<&str> =
+            gpu.records().iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains("cc_hook"));
+        assert!(names.contains("cc_pointer_jump"));
+        assert!(names.contains("cc_count_reduce"));
+        assert!(run.rounds >= 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let mut gpu = gpu();
+        let run = connected_components(&mut gpu, &g);
+        assert_eq!(run.component_count(), 0);
+        assert_eq!(run.rounds, 0);
+    }
+}

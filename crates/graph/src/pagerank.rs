@@ -1,0 +1,248 @@
+//! Gunrock-style PageRank — a paper-extension workload (the paper's future
+//! work plans "additional modern-day applications"; PageRank is Gunrock's
+//! other flagship primitive).
+//!
+//! Power iteration with damping on the full vertex frontier: per iteration
+//! a scatter-normalize kernel, a pull-accumulate kernel over all edges, a
+//! rank-update kernel, and a convergence reduction — the classic
+//! memory-bound multi-kernel iterative pattern.
+
+use cactus_gpu::access::{AccessPattern, AccessStream, Direction};
+use cactus_gpu::instmix::InstructionMix;
+use cactus_gpu::kernel::KernelDesc;
+use cactus_gpu::launch::LaunchConfig;
+use cactus_gpu::Gpu;
+
+use crate::csr::CsrGraph;
+
+/// Result of a PageRank run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRankRun {
+    /// Final rank per vertex (sums to ~1).
+    pub ranks: Vec<f64>,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: u32,
+    /// Final L1 rank delta.
+    pub delta: f64,
+}
+
+/// Run PageRank with the given damping until the L1 delta drops below
+/// `tolerance` (or `max_iterations`), launching the Gunrock-style kernel
+/// sequence per iteration.
+///
+/// # Panics
+///
+/// Panics if `damping` is outside `(0, 1)`.
+#[must_use]
+pub fn pagerank(
+    gpu: &mut Gpu,
+    g: &CsrGraph,
+    damping: f64,
+    tolerance: f64,
+    max_iterations: u32,
+) -> PageRankRun {
+    assert!((0.0..1.0).contains(&damping) && damping > 0.0, "damping in (0,1)");
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return PageRankRun {
+            ranks: Vec::new(),
+            iterations: 0,
+            delta: 0.0,
+        };
+    }
+    let n64 = n as u64;
+    let e64 = g.num_edges();
+    let graph_ws = 8 * (n64 + 1) + 4 * e64;
+
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut iterations = 0;
+    let mut delta = f64::INFINITY;
+
+    // rank_init kernel.
+    gpu.launch(
+        &KernelDesc::builder("pr_init_ranks")
+            .launch(LaunchConfig::linear(n64, 256))
+            .mix(InstructionMix::elementwise(n64, 1))
+            .stream(AccessStream::write(n64, 4, AccessPattern::Streaming))
+            .build(),
+    );
+
+    while iterations < max_iterations && delta > tolerance {
+        // 1. Normalize contributions: c[v] = rank[v] / out_degree(v).
+        let contrib: Vec<f64> = (0..n)
+            .map(|v| {
+                let d = g.out_degree(v as u32);
+                if d == 0 {
+                    0.0
+                } else {
+                    ranks[v] / d as f64
+                }
+            })
+            .collect();
+        gpu.launch(
+            &KernelDesc::builder("pr_scatter_contrib")
+                .launch(LaunchConfig::linear(n64, 256))
+                .mix(InstructionMix::elementwise(n64, 2))
+                .stream(AccessStream::read(n64 * 2, 4, AccessPattern::Streaming))
+                .stream(AccessStream::write(n64, 4, AccessPattern::Streaming))
+                .build(),
+        );
+
+        // 2. Pull-accumulate over every edge (the dominant kernel).
+        let mut next = vec![0.0f64; n];
+        for v in 0..n {
+            for &u in g.neighbors(v as u32) {
+                next[u as usize] += contrib[v];
+            }
+        }
+        let edge_warps = e64.div_ceil(32).max(1);
+        gpu.launch(
+            &KernelDesc::builder("pr_pull_accumulate")
+                .launch(LaunchConfig::linear(e64.max(128), 256).with_registers(40))
+                .mix(
+                    InstructionMix::new()
+                        .with_fp32(edge_warps * 2)
+                        .with_int(edge_warps * 6)
+                        .with_branch(edge_warps),
+                )
+                .stream(AccessStream::raw(
+                    Direction::Read,
+                    edge_warps,
+                    10.0,
+                    AccessPattern::RandomUniform {
+                        working_set_bytes: graph_ws,
+                    },
+                ))
+                .stream(AccessStream::raw(
+                    Direction::Read,
+                    edge_warps,
+                    28.0,
+                    AccessPattern::RandomUniform {
+                        working_set_bytes: n64 * 4,
+                    },
+                ))
+                .stream(AccessStream::raw(
+                    Direction::Write,
+                    edge_warps,
+                    28.0,
+                    AccessPattern::RandomUniform {
+                        working_set_bytes: n64 * 4,
+                    },
+                ))
+                .dependency_fraction(0.5)
+                .build(),
+        );
+
+        // 3. Apply damping; 4. convergence reduction.
+        let base = (1.0 - damping) / n as f64;
+        delta = 0.0;
+        for v in 0..n {
+            let updated = base + damping * next[v];
+            delta += (updated - ranks[v]).abs();
+            ranks[v] = updated;
+        }
+        gpu.launch(
+            &KernelDesc::builder("pr_update_ranks")
+                .launch(LaunchConfig::linear(n64, 256))
+                .mix(InstructionMix::elementwise(n64, 3))
+                .stream(AccessStream::read(n64 * 2, 4, AccessPattern::Streaming))
+                .stream(AccessStream::write(n64, 4, AccessPattern::Streaming))
+                .build(),
+        );
+        gpu.launch(
+            &KernelDesc::builder("pr_delta_reduce")
+                .launch(LaunchConfig::linear(n64, 256).with_shared_mem(2048))
+                .mix(
+                    InstructionMix::new()
+                        .with_fp32(n64.div_ceil(32) * 3)
+                        .with_shared(n64.div_ceil(32) * 4)
+                        .with_sync(n64.div_ceil(256).max(1)),
+                )
+                .stream(AccessStream::read(n64, 4, AccessPattern::Streaming))
+                .dependency_fraction(0.6)
+                .build(),
+        );
+
+        iterations += 1;
+    }
+
+    PageRankRun {
+        ranks,
+        iterations,
+        delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactus_gpu::Device;
+
+    fn gpu() -> Gpu {
+        Gpu::new(Device::rtx3080())
+    }
+
+    #[test]
+    fn ranks_sum_to_one_on_a_cycle() {
+        // On a directed cycle every vertex is symmetric: uniform ranks.
+        let edges: Vec<(u32, u32)> = (0..8u32).map(|v| (v, (v + 1) % 8)).collect();
+        let g = CsrGraph::from_edges(8, &edges);
+        let mut gpu = gpu();
+        let run = pagerank(&mut gpu, &g, 0.85, 1e-10, 200);
+        let total: f64 = run.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+        for &r in &run.ranks {
+            assert!((r - 0.125).abs() < 1e-6, "uniform on a cycle, got {r}");
+        }
+    }
+
+    #[test]
+    fn hub_receives_the_highest_rank() {
+        // Star pointing into vertex 0.
+        let edges: Vec<(u32, u32)> = (1..10u32).map(|v| (v, 0)).collect();
+        let g = CsrGraph::from_edges(10, &edges);
+        let mut gpu = gpu();
+        let run = pagerank(&mut gpu, &g, 0.85, 1e-9, 100);
+        let max = run
+            .ranks
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max, 0);
+        assert!(run.ranks[0] > 3.0 * run.ranks[1]);
+    }
+
+    #[test]
+    fn converges_and_launches_multi_kernel_iterations() {
+        let g = crate::generators::rmat(12, 16, 5);
+        let mut gpu = gpu();
+        let run = pagerank(&mut gpu, &g, 0.85, 1e-8, 100);
+        assert!(run.iterations > 2 && run.iterations < 100, "{}", run.iterations);
+        assert!(run.delta <= 1e-8);
+        let names: std::collections::BTreeSet<&str> =
+            gpu.records().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names.len(), 5, "{names:?}");
+        // The edge-centric accumulate dominates GPU time once the graph is
+        // large enough to clear the launch-overhead floor.
+        let profile = cactus_profiler::Profile::from_records(gpu.records());
+        assert_eq!(profile.kernels()[0].name, "pr_pull_accumulate");
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let mut gpu = gpu();
+        let run = pagerank(&mut gpu, &g, 0.85, 1e-6, 10);
+        assert!(run.ranks.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn invalid_damping_panics() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let mut gpu = gpu();
+        let _ = pagerank(&mut gpu, &g, 1.5, 1e-6, 10);
+    }
+}

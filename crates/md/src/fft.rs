@@ -1,0 +1,256 @@
+//! In-crate radix-2 complex FFT (1-D and 3-D), the numerical core of the
+//! PME reciprocal-space solver.
+
+use std::f64::consts::PI;
+
+/// A complex number as `(re, im)`.
+pub type Complex = (f64, f64);
+
+fn cmul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `inverse` applies the
+/// conjugate transform *and* the 1/n normalization.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let mut w: Complex = (1.0, 0.0);
+            for k in 0..half {
+                let u = data[start + k];
+                let v = cmul(data[start + k + half], w);
+                data[start + k] = (u.0 + v.0, u.1 + v.1);
+                data[start + k + half] = (u.0 - v.0, u.1 - v.1);
+                w = cmul(w, wlen);
+            }
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            x.0 *= inv_n;
+            x.1 *= inv_n;
+        }
+    }
+}
+
+/// A cubic complex grid with FFT transforms along every axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl Grid3 {
+    /// A zeroed `n × n × n` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "grid side must be a power of two");
+        Self {
+            n,
+            data: vec![(0.0, 0.0); n * n * n],
+        }
+    }
+
+    /// Grid side length.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.n
+    }
+
+    fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (x * self.n + y) * self.n + z
+    }
+
+    /// Read one cell.
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> Complex {
+        self.data[self.idx(x, y, z)]
+    }
+
+    /// Write one cell.
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: Complex) {
+        let i = self.idx(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Add into one cell.
+    pub fn add(&mut self, x: usize, y: usize, z: usize, v: f64) {
+        let i = self.idx(x, y, z);
+        self.data[i].0 += v;
+    }
+
+    /// Zero the grid.
+    pub fn clear(&mut self) {
+        self.data.fill((0.0, 0.0));
+    }
+
+    /// Forward (or inverse) 3-D FFT, applied axis by axis.
+    pub fn fft(&mut self, inverse: bool) {
+        let n = self.n;
+        let mut line = vec![(0.0, 0.0); n];
+
+        // Z lines are contiguous.
+        for x in 0..n {
+            for y in 0..n {
+                let base = self.idx(x, y, 0);
+                line.copy_from_slice(&self.data[base..base + n]);
+                fft_inplace(&mut line, inverse);
+                self.data[base..base + n].copy_from_slice(&line);
+            }
+        }
+        // Y lines.
+        for x in 0..n {
+            for z in 0..n {
+                for (y, slot) in line.iter_mut().enumerate() {
+                    *slot = self.data[self.idx(x, y, z)];
+                }
+                fft_inplace(&mut line, inverse);
+                for (y, &v) in line.iter().enumerate() {
+                    let i = self.idx(x, y, z);
+                    self.data[i] = v;
+                }
+            }
+        }
+        // X lines.
+        for y in 0..n {
+            for z in 0..n {
+                for (x, slot) in line.iter_mut().enumerate() {
+                    *slot = self.data[self.idx(x, y, z)];
+                }
+                fft_inplace(&mut line, inverse);
+                for (x, &v) in line.iter().enumerate() {
+                    let i = self.idx(x, y, z);
+                    self.data[i] = v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut d = vec![(0.0, 0.0); 8];
+        d[0] = (1.0, 0.0);
+        fft_inplace(&mut d, false);
+        for &(re, im) in &d {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_restores_signal() {
+        let mut d: Vec<Complex> = (0..64)
+            .map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let orig = d.clone();
+        fft_inplace(&mut d, false);
+        fft_inplace(&mut d, true);
+        for (a, b) in d.iter().zip(&orig) {
+            assert!((a.0 - b.0).abs() < 1e-10 && (a.1 - b.1).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_its_bin() {
+        let n = 32;
+        let k = 5;
+        let mut d: Vec<Complex> = (0..n)
+            .map(|i| {
+                let phase = 2.0 * PI * k as f64 * i as f64 / n as f64;
+                (phase.cos(), phase.sin())
+            })
+            .collect();
+        fft_inplace(&mut d, false);
+        for (bin, &(re, im)) in d.iter().enumerate() {
+            let mag = (re * re + im * im).sqrt();
+            if bin == k {
+                assert!((mag - n as f64).abs() < 1e-9);
+            } else {
+                assert!(mag < 1e-9, "bin {bin} has magnitude {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let mut d: Vec<Complex> = (0..128).map(|i| ((i as f64).sin(), 0.0)).collect();
+        let time_energy: f64 = d.iter().map(|&(r, i)| r * r + i * i).sum();
+        fft_inplace(&mut d, false);
+        let freq_energy: f64 =
+            d.iter().map(|&(r, i)| r * r + i * i).sum::<f64>() / d.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut d = vec![(0.0, 0.0); 6];
+        fft_inplace(&mut d, false);
+    }
+
+    #[test]
+    fn grid3_roundtrip() {
+        let mut g = Grid3::new(8);
+        g.set(1, 2, 3, (2.5, 0.0));
+        g.set(7, 0, 4, (-1.0, 0.5));
+        let orig = g.clone();
+        g.fft(false);
+        g.fft(true);
+        for x in 0..8 {
+            for y in 0..8 {
+                for z in 0..8 {
+                    let a = g.get(x, y, z);
+                    let b = orig.get(x, y, z);
+                    assert!((a.0 - b.0).abs() < 1e-10 && (a.1 - b.1).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid3_dc_bin_is_total_mass() {
+        let mut g = Grid3::new(4);
+        g.add(0, 0, 0, 3.0);
+        g.add(2, 1, 3, 4.0);
+        g.fft(false);
+        let dc = g.get(0, 0, 0);
+        assert!((dc.0 - 7.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,213 @@
+//! Cell-list assisted Verlet neighbor lists.
+
+use crate::system::ParticleSystem;
+
+/// A half neighbor list (each pair stored once, `i < j`), built through a
+/// linked-cell binning pass — the standard O(N) MD neighbor search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborList {
+    /// CSR-style offsets into `neighbors` per particle.
+    offsets: Vec<u32>,
+    /// Flattened neighbor indices.
+    neighbors: Vec<u32>,
+    /// Cutoff + skin distance used for the build.
+    cutoff: f64,
+    /// Number of cells per box edge during the build.
+    cells_per_side: usize,
+}
+
+impl NeighborList {
+    /// Build a half list with the given interaction `cutoff` and Verlet
+    /// `skin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff + skin` is not positive.
+    #[must_use]
+    pub fn build(sys: &ParticleSystem, cutoff: f64, skin: f64) -> Self {
+        let r = cutoff + skin;
+        assert!(r > 0.0, "cutoff + skin must be positive");
+        let n = sys.len();
+        let l = sys.box_len;
+        let cells_per_side = ((l / r).floor() as usize).max(1);
+        let cell_len = l / cells_per_side as f64;
+        let n_cells = cells_per_side * cells_per_side * cells_per_side;
+
+        // Bin particles.
+        let cell_of = |p: &[f64; 3]| -> usize {
+            let mut idx = 0usize;
+            for a in 0..3 {
+                let mut c = (p[a].rem_euclid(l) / cell_len) as usize;
+                if c >= cells_per_side {
+                    c = cells_per_side - 1;
+                }
+                idx = idx * cells_per_side + c;
+            }
+            idx
+        };
+        let mut bins: Vec<Vec<u32>> = vec![Vec::new(); n_cells];
+        for (i, p) in sys.positions.iter().enumerate() {
+            bins[cell_of(p)].push(i as u32);
+        }
+
+        let r2 = r * r;
+        let mut offsets = vec![0u32; n + 1];
+        let mut per_particle: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        // For each cell, scan itself and neighbor cells.
+        let cps = cells_per_side as isize;
+        let cell_index = |x: isize, y: isize, z: isize| -> usize {
+            let w = |v: isize| -> usize { v.rem_euclid(cps) as usize };
+            (w(x) * cells_per_side + w(y)) * cells_per_side + w(z)
+        };
+        for x in 0..cps {
+            for y in 0..cps {
+                for z in 0..cps {
+                    let home = cell_index(x, y, z);
+                    // Collect this cell + 26 neighbors; when the grid is
+                    // tiny, wrapping makes cells coincide, so deduplicate.
+                    let mut cells = Vec::with_capacity(27);
+                    for dx in -1..=1 {
+                        for dy in -1..=1 {
+                            for dz in -1..=1 {
+                                let c = cell_index(x + dx, y + dy, z + dz);
+                                if !cells.contains(&c) {
+                                    cells.push(c);
+                                }
+                            }
+                        }
+                    }
+                    for &i in &bins[home] {
+                        for &c in &cells {
+                            for &j in &bins[c] {
+                                if j <= i {
+                                    continue;
+                                }
+                                let d = sys.min_image(i as usize, j as usize);
+                                if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < r2 {
+                                    per_particle[i as usize].push(j);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + per_particle[i].len() as u32;
+        }
+        let mut neighbors = Vec::with_capacity(offsets[n] as usize);
+        for list in per_particle {
+            neighbors.extend(list);
+        }
+
+        Self {
+            offsets,
+            neighbors,
+            cutoff: r,
+            cells_per_side,
+        }
+    }
+
+    /// Neighbors of particle `i` (indices `> i` only — half list).
+    #[must_use]
+    pub fn neighbors_of(&self, i: usize) -> &[u32] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total number of stored pairs.
+    #[must_use]
+    pub fn num_pairs(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    /// The cutoff + skin radius used for the build.
+    #[must_use]
+    pub fn build_radius(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Cells per box edge used during binning (a proxy for the binning
+    /// kernel's footprint).
+    #[must_use]
+    pub fn cells_per_side(&self) -> usize {
+        self.cells_per_side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemBuilder;
+
+    /// Brute-force pair enumeration for validation.
+    fn brute_force_pairs(sys: &ParticleSystem, r: f64) -> std::collections::BTreeSet<(u32, u32)> {
+        let mut out = std::collections::BTreeSet::new();
+        let r2 = r * r;
+        for i in 0..sys.len() {
+            for j in (i + 1)..sys.len() {
+                let d = sys.min_image(i, j);
+                if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < r2 {
+                    out.insert((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    fn list_pairs(nl: &NeighborList, n: usize) -> std::collections::BTreeSet<(u32, u32)> {
+        let mut out = std::collections::BTreeSet::new();
+        for i in 0..n {
+            for &j in nl.neighbors_of(i) {
+                out.insert((i as u32, j));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let sys = SystemBuilder::new(200).density(0.7).seed(3).build_lj_fluid();
+        let nl = NeighborList::build(&sys, 2.5, 0.3);
+        assert_eq!(
+            list_pairs(&nl, sys.len()),
+            brute_force_pairs(&sys, 2.8),
+            "cell list must agree with brute force"
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_sparse_system() {
+        // Low density → few cells per side (exercises cell wrapping).
+        let sys = SystemBuilder::new(60).density(0.05).seed(8).build_lj_fluid();
+        let nl = NeighborList::build(&sys, 2.5, 0.5);
+        assert_eq!(list_pairs(&nl, sys.len()), brute_force_pairs(&sys, 3.0));
+    }
+
+    #[test]
+    fn half_list_stores_each_pair_once() {
+        let sys = SystemBuilder::new(100).build_lj_fluid();
+        let nl = NeighborList::build(&sys, 2.5, 0.3);
+        for i in 0..sys.len() {
+            for &j in nl.neighbors_of(i) {
+                assert!(j as usize > i);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_count_scales_with_cutoff() {
+        let sys = SystemBuilder::new(300).density(0.8).build_lj_fluid();
+        let small = NeighborList::build(&sys, 1.5, 0.0).num_pairs();
+        let large = NeighborList::build(&sys, 3.0, 0.0).num_pairs();
+        assert!(large > 4 * small, "small {small}, large {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_cutoff_panics() {
+        let sys = SystemBuilder::new(8).build_lj_fluid();
+        let _ = NeighborList::build(&sys, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Physical observables computed from MD trajectories: the radial
+//! distribution function g(r) and mean-squared displacement. Production MD
+//! packages compute these on the GPU as periodic analysis kernels; they
+//! also serve as physics sanity checks for the engine (a dense LJ fluid
+//! must show the first solvation shell near r = σ, and g(r) → 1 at long
+//! range).
+
+use cactus_gpu::access::{AccessPattern, AccessStream, Direction};
+use cactus_gpu::instmix::InstructionMix;
+use cactus_gpu::kernel::KernelDesc;
+use cactus_gpu::launch::LaunchConfig;
+use cactus_gpu::Gpu;
+
+use crate::system::{ParticleSystem, Vec3};
+
+/// A radial distribution function histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rdf {
+    /// Bin width in distance units.
+    pub dr: f64,
+    /// Normalized g(r) per bin (bin `i` covers `[i·dr, (i+1)·dr)`).
+    pub g: Vec<f64>,
+}
+
+impl Rdf {
+    /// Distance at a bin's center.
+    #[must_use]
+    pub fn r_at(&self, bin: usize) -> f64 {
+        (bin as f64 + 0.5) * self.dr
+    }
+
+    /// The location of the first peak (first solvation shell).
+    #[must_use]
+    pub fn first_peak(&self) -> Option<(f64, f64)> {
+        self.g
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .filter(|&(_, &v)| v > 0.0)
+            .map(|(i, &v)| (self.r_at(i), v))
+    }
+}
+
+/// Compute g(r) up to `r_max` with `bins` bins, launching the analysis
+/// kernel a production package would run.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `r_max` is not positive.
+#[must_use]
+pub fn radial_distribution(
+    gpu: &mut Gpu,
+    sys: &ParticleSystem,
+    r_max: f64,
+    bins: usize,
+) -> Rdf {
+    assert!(bins > 0 && r_max > 0.0, "need positive bins and r_max");
+    let n = sys.len();
+    let dr = r_max / bins as f64;
+    let mut counts = vec![0u64; bins];
+    let mut pairs: u64 = 0;
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sys.min_image(i, j);
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            if r < r_max {
+                counts[(r / dr) as usize] += 1;
+            }
+            pairs += 1;
+        }
+    }
+
+    // Normalize by the ideal-gas shell population.
+    let volume = sys.box_len.powi(3);
+    let density = n as f64 / volume;
+    let g = counts
+        .iter()
+        .enumerate()
+        .map(|(b, &c)| {
+            let r_lo = b as f64 * dr;
+            let r_hi = r_lo + dr;
+            let shell =
+                4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+            let ideal = 0.5 * n as f64 * density * shell; // half list
+            if ideal > 0.0 {
+                c as f64 / ideal
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    // The analysis kernel: an all-pairs (cell-limited) distance histogram.
+    let warps = pairs.div_ceil(32).max(1);
+    gpu.launch(
+        &KernelDesc::builder("compute_rdf_kernel")
+            .launch(LaunchConfig::linear(pairs.max(128), 256).with_shared_mem(4096))
+            .mix(
+                InstructionMix::new()
+                    .with_fp32(warps * 12)
+                    .with_special(warps)
+                    .with_int(warps * 4)
+                    .with_shared(warps * 2)
+                    .with_branch(warps),
+            )
+            .stream(AccessStream::raw(
+                Direction::Read,
+                warps * 2,
+                6.0,
+                AccessPattern::HotCold {
+                    hot_fraction: 0.8,
+                    hot_bytes: 96 * 1024,
+                    cold_bytes: (n * 12) as u64,
+                },
+            ))
+            .stream(AccessStream::raw(
+                Direction::Write,
+                warps / 8 + 1,
+                4.0,
+                AccessPattern::Broadcast {
+                    bytes: (bins * 8) as u64,
+                },
+            ))
+            .dependency_fraction(0.4)
+            .build(),
+    );
+
+    Rdf { dr, g }
+}
+
+/// Mean-squared displacement of the current positions relative to a
+/// reference snapshot (no periodic unwrapping — callers should compare
+/// over windows shorter than a box crossing). Launches the corresponding
+/// streaming analysis kernel.
+#[must_use]
+pub fn mean_squared_displacement(
+    gpu: &mut Gpu,
+    sys: &ParticleSystem,
+    reference: &[Vec3],
+) -> f64 {
+    assert_eq!(reference.len(), sys.len(), "snapshot length");
+    let n = sys.len().max(1);
+    let msd = sys
+        .positions
+        .iter()
+        .zip(reference)
+        .map(|(p, r)| {
+            let mut s = 0.0;
+            for a in 0..3 {
+                let mut d = p[a] - r[a];
+                d -= sys.box_len * (d / sys.box_len).round();
+                s += d * d;
+            }
+            s
+        })
+        .sum::<f64>()
+        / n as f64;
+
+    let n64 = n as u64;
+    gpu.launch(
+        &KernelDesc::builder("compute_msd_kernel")
+            .launch(LaunchConfig::linear(n64, 256).with_shared_mem(2048))
+            .mix(
+                InstructionMix::new()
+                    .with_fp32(n64.div_ceil(32) * 9)
+                    .with_shared(n64.div_ceil(32) * 4)
+                    .with_sync(n64.div_ceil(256).max(1)),
+            )
+            .stream(AccessStream::read(n64 * 3, 4, AccessPattern::Streaming))
+            .stream(AccessStream::read(n64 * 3, 4, AccessPattern::Streaming))
+            .dependency_fraction(0.5)
+            .build(),
+    );
+    msd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MdConfig, MdEngine};
+    use crate::system::SystemBuilder;
+    use cactus_gpu::Device;
+
+    fn gpu() -> Gpu {
+        Gpu::new(Device::rtx3080())
+    }
+
+    #[test]
+    fn ideal_gas_rdf_is_flat_at_one() {
+        // Uncorrelated random positions → g(r) ≈ 1 away from r = 0.
+        let mut sys = SystemBuilder::new(800).density(0.5).seed(3).build_lj_fluid();
+        // Scramble to kill lattice correlations.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let l = sys.box_len;
+        for p in &mut sys.positions {
+            *p = [
+                rng.gen_range(0.0..l),
+                rng.gen_range(0.0..l),
+                rng.gen_range(0.0..l),
+            ];
+        }
+        let mut gpu = gpu();
+        let rdf = radial_distribution(&mut gpu, &sys, l / 2.2, 24);
+        // Mid-range bins hover around 1.
+        for b in 6..20 {
+            assert!(
+                (rdf.g[b] - 1.0).abs() < 0.25,
+                "bin {b}: g = {}",
+                rdf.g[b]
+            );
+        }
+    }
+
+    #[test]
+    fn equilibrated_lj_fluid_has_first_shell_near_sigma() {
+        let sys = SystemBuilder::new(400).density(0.7).temperature(1.0).seed(5).build_lj_fluid();
+        let config = MdConfig {
+            thermostat: Some(crate::engine::Thermostat { target: 1.0, coupling: 0.1 }),
+            ..MdConfig::default()
+        };
+        let mut engine = MdEngine::new(sys, config);
+        let mut gpu = gpu();
+        let _ = engine.run(&mut gpu, 60);
+        let rdf = radial_distribution(&mut gpu, engine.system(), 3.0, 30);
+        let (r_peak, height) = rdf.first_peak().expect("structured fluid");
+        assert!(
+            (0.9..1.6).contains(&r_peak),
+            "first solvation shell at {r_peak}"
+        );
+        assert!(height > 1.3, "peak height {height}");
+        // Core exclusion: g(r) ~ 0 inside the repulsive core.
+        assert!(rdf.g[2] < 0.1, "core bin g = {}", rdf.g[2]);
+    }
+
+    #[test]
+    fn msd_grows_under_dynamics_and_is_zero_at_start() {
+        let sys = SystemBuilder::new(200).density(0.5).temperature(1.5).seed(7).build_lj_fluid();
+        let reference = sys.positions.clone();
+        let mut engine = MdEngine::new(sys, MdConfig::default());
+        let mut gpu = gpu();
+        let zero = mean_squared_displacement(&mut gpu, engine.system(), &reference);
+        assert!(zero.abs() < 1e-12);
+        let _ = engine.run(&mut gpu, 30);
+        let later = mean_squared_displacement(&mut gpu, engine.system(), &reference);
+        assert!(later > 1e-4, "particles must move, MSD = {later}");
+    }
+
+    #[test]
+    fn analysis_kernels_are_launched() {
+        let sys = SystemBuilder::new(100).build_lj_fluid();
+        let reference = sys.positions.clone();
+        let mut gpu = gpu();
+        let _ = radial_distribution(&mut gpu, &sys, 2.0, 16);
+        let _ = mean_squared_displacement(&mut gpu, &sys, &reference);
+        let names: Vec<&str> = gpu.records().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["compute_rdf_kernel", "compute_msd_kernel"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bins")]
+    fn zero_bins_panics() {
+        let sys = SystemBuilder::new(8).build_lj_fluid();
+        let mut gpu = gpu();
+        let _ = radial_distribution(&mut gpu, &sys, 2.0, 0);
+    }
+}

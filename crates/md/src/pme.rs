@@ -1,0 +1,266 @@
+//! Particle-Mesh-Ewald-style reciprocal-space electrostatics.
+//!
+//! The classic PP-PM decomposition: cloud-in-cell (trilinear) charge
+//! spreading onto a cubic grid, a spectral Poisson solve with the Ewald
+//! Green's function `4π·exp(−k²/4α²)/(V·k²)`, spectral differentiation for
+//! the field (`E(k) = −i·k·φ(k)`), inverse FFTs, and trilinear force
+//! gathering. Combined with the erfc-damped real-space term in
+//! [`crate::forces::lj_coulomb_cut`], the total Coulomb interaction is
+//! α-independent — the property the test suite checks.
+
+use std::f64::consts::PI;
+
+use crate::fft::Grid3;
+use crate::system::ParticleSystem;
+
+/// PME parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmeParams {
+    /// Grid points per box edge (power of two).
+    pub grid: usize,
+    /// Ewald splitting parameter.
+    pub alpha: f64,
+}
+
+impl Default for PmeParams {
+    fn default() -> Self {
+        Self {
+            grid: 32,
+            alpha: 0.8,
+        }
+    }
+}
+
+/// Result of one reciprocal-space evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmeResult {
+    /// Reciprocal-space energy (includes the self-energy correction).
+    pub energy: f64,
+    /// Grid side used.
+    pub grid: usize,
+}
+
+/// Evaluate the reciprocal-space Ewald contribution, accumulating forces
+/// into `sys.forces`.
+///
+/// # Panics
+///
+/// Panics if `params.grid` is not a power of two.
+#[must_use]
+pub fn pme_reciprocal(sys: &mut ParticleSystem, params: &PmeParams) -> PmeResult {
+    let n = params.grid;
+    let l = sys.box_len;
+    let volume = l * l * l;
+    let alpha = params.alpha;
+    let nf = n as f64;
+
+    // --- Spread: cloud-in-cell charge assignment -----------------------
+    let mut rho = Grid3::new(n);
+    let mut weights: Vec<[(usize, f64); 2]> = Vec::new(); // reused per axis
+    weights.resize(3, [(0, 0.0); 2]);
+
+    let cic = |coord: f64| -> [(usize, f64); 2] {
+        // coord is in grid units, already wrapped to [0, n).
+        let i0 = coord.floor() as usize % n;
+        let frac = coord - coord.floor();
+        [(i0, 1.0 - frac), ((i0 + 1) % n, frac)]
+    };
+
+    for (p, &q) in sys.positions.iter().zip(&sys.charges) {
+        if q == 0.0 {
+            continue;
+        }
+        for a in 0..3 {
+            let u = (p[a].rem_euclid(l)) / l * nf;
+            weights[a] = cic(u);
+        }
+        for &(ix, wx) in &weights[0] {
+            for &(iy, wy) in &weights[1] {
+                for &(iz, wz) in &weights[2] {
+                    rho.add(ix, iy, iz, q * wx * wy * wz);
+                }
+            }
+        }
+    }
+
+    // --- Solve: forward FFT, Green's function, spectral gradient -------
+    rho.fft(false);
+
+    let kvec = |m: usize| -> f64 {
+        let m = m as isize;
+        let half = (n / 2) as isize;
+        let wrapped = if m >= half { m - n as isize } else { m };
+        2.0 * PI * wrapped as f64 / l
+    };
+
+    let mut phi = Grid3::new(n);
+    let mut field = [Grid3::new(n), Grid3::new(n), Grid3::new(n)];
+    let mut energy = 0.0;
+
+    for x in 0..n {
+        let kx = kvec(x);
+        for y in 0..n {
+            let ky = kvec(y);
+            for z in 0..n {
+                let kz = kvec(z);
+                let k2 = kx * kx + ky * ky + kz * kz;
+                if k2 <= 0.0 {
+                    continue;
+                }
+                let g = 4.0 * PI * (-k2 / (4.0 * alpha * alpha)).exp() / (volume * k2);
+                let (sr, si) = rho.get(x, y, z);
+                energy += 0.5 * g * (sr * sr + si * si);
+                let (pr, pi) = (g * sr, g * si);
+                phi.set(x, y, z, (pr, pi));
+                // E(k) = −i k φ(k): (−i)(pr + i·pi) k = (pi − i·pr) k
+                let ks = [kx, ky, kz];
+                for (axis, f) in field.iter_mut().enumerate() {
+                    f.set(x, y, z, (pi * ks[axis], -pr * ks[axis]));
+                }
+            }
+        }
+    }
+
+    // Self-energy correction (constant in positions).
+    let q2_sum: f64 = sys.charges.iter().map(|q| q * q).sum();
+    energy -= alpha / PI.sqrt() * q2_sum;
+
+    // --- Gather: inverse FFT the field grids, interpolate at particles --
+    // Our inverse FFT divides by n³; the spectral sum has no such factor,
+    // so scale back.
+    let scale = (n * n * n) as f64;
+    for f in &mut field {
+        f.fft(true);
+    }
+
+    for idx in 0..sys.len() {
+        let q = sys.charges[idx];
+        if q == 0.0 {
+            continue;
+        }
+        let p = sys.positions[idx];
+        for a in 0..3 {
+            let u = (p[a].rem_euclid(l)) / l * nf;
+            weights[a] = cic(u);
+        }
+        let mut e_here = [0.0; 3];
+        for &(ix, wx) in &weights[0] {
+            for &(iy, wy) in &weights[1] {
+                for &(iz, wz) in &weights[2] {
+                    let w = wx * wy * wz;
+                    for (axis, f) in field.iter().enumerate() {
+                        e_here[axis] += w * f.get(ix, iy, iz).0 * scale;
+                    }
+                }
+            }
+        }
+        for a in 0..3 {
+            sys.forces[idx][a] += q * e_here[a];
+        }
+    }
+
+    PmeResult {
+        energy,
+        grid: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces;
+    use crate::neighbor::NeighborList;
+    use crate::system::SystemBuilder;
+
+    /// A big empty box with two opposite unit charges at distance `r`.
+    fn dipole_system(r: f64) -> ParticleSystem {
+        let mut sys = SystemBuilder::new(2).density(0.001).build_lj_fluid();
+        let c = sys.box_len / 2.0;
+        sys.positions[0] = [c - r / 2.0, c, c];
+        sys.positions[1] = [c + r / 2.0, c, c];
+        sys.charges[0] = 1.0;
+        sys.charges[1] = -1.0;
+        sys.clear_forces();
+        sys
+    }
+
+    /// Total Ewald force on particle 0 (real erfc part + reciprocal part).
+    fn total_coulomb_force_x(r: f64, alpha: f64, grid: usize) -> f64 {
+        let mut sys = dipole_system(r);
+        let cutoff = sys.box_len / 2.0 * 0.99;
+        let nl = NeighborList::build(&sys, cutoff, 0.0);
+        // Real-space part only (LJ contributes too, but identically for
+        // both alphas; subtract it out).
+        let mut lj_only = dipole_system(r);
+        let _ = forces::lj_cut(&mut lj_only, &nl, cutoff);
+
+        let _ = forces::lj_coulomb_cut(&mut sys, &nl, cutoff, alpha);
+        let _ = pme_reciprocal(&mut sys, &PmeParams { grid, alpha });
+        sys.forces[0][0] - lj_only.forces[0][0]
+    }
+
+    #[test]
+    fn reciprocal_energy_is_bounded_below_by_self_energy() {
+        let mut sys = dipole_system(3.0);
+        let r = pme_reciprocal(&mut sys, &PmeParams::default());
+        // The k-space sum is non-negative; only the self term is negative.
+        let self_term = -PmeParams::default().alpha / PI.sqrt() * 2.0;
+        assert!(r.energy >= self_term - 1e-9, "{}", r.energy);
+    }
+
+    #[test]
+    fn opposite_charges_attract() {
+        let fx = total_coulomb_force_x(3.0, 0.7, 32);
+        // Particle 0 sits at −x of particle 1; attraction pulls it to +x.
+        assert!(fx > 0.0, "force {fx}");
+    }
+
+    #[test]
+    fn ewald_total_is_alpha_independent() {
+        let f1 = total_coulomb_force_x(3.0, 0.6, 32);
+        let f2 = total_coulomb_force_x(3.0, 1.0, 32);
+        let rel = (f1 - f2).abs() / f1.abs().max(1e-12);
+        assert!(rel < 0.08, "alpha=0.6 → {f1}, alpha=1.0 → {f2}");
+    }
+
+    #[test]
+    fn ewald_approximates_bare_coulomb_in_large_box() {
+        let r = 2.0;
+        let fx = total_coulomb_force_x(r, 0.8, 32);
+        let bare = 1.0 / (r * r);
+        let rel = (fx - bare).abs() / bare;
+        assert!(rel < 0.15, "ewald {fx} vs bare {bare}");
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        let mut sys = SystemBuilder::new(64).build_protein_like(0.3);
+        sys.clear_forces();
+        let _ = pme_reciprocal(&mut sys, &PmeParams::default());
+        let mut net = [0.0; 3];
+        for f in &sys.forces {
+            for a in 0..3 {
+                net[a] += f[a];
+            }
+        }
+        for a in 0..3 {
+            assert!(net[a].abs() < 1e-8, "net force {net:?}");
+        }
+    }
+
+    #[test]
+    fn neutral_system_has_finite_energy() {
+        let mut sys = SystemBuilder::new(128).build_protein_like(0.25);
+        sys.clear_forces();
+        let r = pme_reciprocal(&mut sys, &PmeParams { grid: 16, alpha: 0.8 });
+        assert!(r.energy.is_finite());
+        assert_eq!(r.grid, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_grid_panics() {
+        let mut sys = dipole_system(2.0);
+        let _ = pme_reciprocal(&mut sys, &PmeParams { grid: 20, alpha: 0.8 });
+    }
+}

@@ -1,0 +1,149 @@
+//! CSV emission for profiles — the counterpart of the paper artifact's
+//! `data/` files that its Python/R plotting scripts consume.
+
+use cactus_gpu::metrics::MetricId;
+
+use crate::Profile;
+
+/// CSV header for [`kernel_rows`]: kernel identity, totals, and the full
+/// metric vector in [`MetricId::ALL`] order.
+#[must_use]
+pub fn kernel_header() -> String {
+    let mut cols = vec![
+        "workload".to_owned(),
+        "kernel".to_owned(),
+        "invocations".to_owned(),
+        "total_time_s".to_owned(),
+        "time_share".to_owned(),
+        "warp_instructions".to_owned(),
+        "dram_transactions".to_owned(),
+    ];
+    cols.extend(MetricId::ALL.iter().map(|id| {
+        id.name()
+            .to_lowercase()
+            .replace([' ', '/'], "_")
+    }));
+    cols.join(",")
+}
+
+/// One CSV row per kernel of `profile`, in dominance order.
+#[must_use]
+pub fn kernel_rows(workload: &str, profile: &Profile) -> Vec<String> {
+    let total = profile.total_time_s();
+    profile
+        .kernels()
+        .iter()
+        .map(|k| {
+            let mut fields = vec![
+                escape(workload),
+                escape(&k.name),
+                k.invocations.to_string(),
+                format!("{:e}", k.total_time_s),
+                format!("{:.6}", k.time_share(total)),
+                k.warp_instructions.to_string(),
+                format!("{:e}", k.dram_transactions),
+            ];
+            fields.extend(
+                MetricId::ALL
+                    .iter()
+                    .map(|&id| format!("{:e}", k.metrics.get(id))),
+            );
+            fields.join(",")
+        })
+        .collect()
+}
+
+/// A complete CSV document (header + rows) for one profiled workload.
+#[must_use]
+pub fn to_csv(workload: &str, profile: &Profile) -> String {
+    let mut out = kernel_header();
+    out.push('\n');
+    for row in kernel_rows(workload, profile) {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactus_gpu::prelude::*;
+
+    fn profile() -> Profile {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        for name in ["plain", "with,comma"] {
+            let k = KernelDesc::builder(name)
+                .launch(LaunchConfig::linear(1 << 16, 256))
+                .stream(AccessStream::read(1 << 16, 4, AccessPattern::Streaming))
+                .build();
+            gpu.launch(&k);
+        }
+        Profile::from_records(gpu.records())
+    }
+
+    #[test]
+    fn header_and_rows_have_matching_arity() {
+        let p = profile();
+        let header_cols = kernel_header().split(',').count();
+        for row in kernel_rows("T", &p) {
+            // Quoted commas are escaped, so a naive split works only on
+            // rows without them; count via the csv-aware splitter below.
+            let cols = split_csv(&row).len();
+            assert_eq!(cols, header_cols, "{row}");
+        }
+    }
+
+    #[test]
+    fn commas_in_kernel_names_are_quoted() {
+        let p = profile();
+        let doc = to_csv("T", &p);
+        assert!(doc.contains("\"with,comma\""));
+        // Every line parses back to the header arity.
+        let header_cols = kernel_header().split(',').count();
+        for line in doc.lines().skip(1) {
+            assert_eq!(split_csv(line).len(), header_cols);
+        }
+    }
+
+    #[test]
+    fn time_shares_sum_to_one() {
+        let p = profile();
+        let total: f64 = kernel_rows("T", &p)
+            .iter()
+            .map(|row| split_csv(row)[4].parse::<f64>().unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-3, "shares sum to {total}");
+    }
+
+    /// Minimal RFC-4180 splitter for the tests.
+    fn split_csv(line: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        let mut quoted = false;
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted && chars.peek() == Some(&'"') => {
+                    cur.push('"');
+                    chars.next();
+                }
+                '"' => quoted = !quoted,
+                ',' if !quoted => {
+                    out.push(std::mem::take(&mut cur));
+                }
+                other => cur.push(other),
+            }
+        }
+        out.push(cur);
+        out
+    }
+}

@@ -1,0 +1,7 @@
+//! The five Cactus ML training applications.
+
+pub mod dcgan;
+pub mod neural_style;
+pub mod rl_dqn;
+pub mod seq2seq;
+pub mod spatial_transformer;

@@ -1,0 +1,265 @@
+//! Pure-CPU convolution arithmetic shared by `Conv2d` and
+//! `ConvTranspose2d` (forward, backward-data and backward-filter are the
+//! same three routines with roles swapped).
+
+use crate::tensor::Tensor;
+
+/// Output spatial size of a strided, padded convolution.
+#[must_use]
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Forward convolution: `x[n,ic,h,w] ⊛ w[oc,ic,kh,kw] → [n,oc,oh,ow]`.
+#[must_use]
+pub fn conv_fwd(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let (n, ic, h, ww) = dims4(x);
+    let (oc, ic2, kh, kw) = dims4(w);
+    assert_eq!(ic, ic2, "channel mismatch");
+    let oh = conv_out_dim(h, kh, stride, pad);
+    let ow = conv_out_dim(ww, kw, stride, pad);
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let xd = x.data();
+    let wd = w.data();
+    let od = out.data_mut();
+    for b in 0..n {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for c in 0..ic {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= ww as isize {
+                                    continue;
+                                }
+                                acc += xd[((b * ic + c) * h + iy as usize) * ww + ix as usize]
+                                    * wd[((o * ic + c) * kh + ky) * kw + kx];
+                            }
+                        }
+                    }
+                    od[((b * oc + o) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward-data: gradient w.r.t. the convolution input.
+/// `dout[n,oc,oh,ow]`, `w[oc,ic,kh,kw]` → `dx[n,ic,h,w]`.
+#[must_use]
+pub fn conv_dgrad(
+    dout: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+    input_hw: (usize, usize),
+) -> Tensor {
+    let (n, oc, oh, ow) = dims4(dout);
+    let (oc2, ic, kh, kw) = dims4(w);
+    assert_eq!(oc, oc2, "channel mismatch");
+    let (h, ww) = input_hw;
+    let mut dx = Tensor::zeros(&[n, ic, h, ww]);
+    let dd = dout.data();
+    let wd = w.data();
+    let xd = dx.data_mut();
+    for b in 0..n {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dd[((b * oc + o) * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for c in 0..ic {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= ww as isize {
+                                    continue;
+                                }
+                                xd[((b * ic + c) * h + iy as usize) * ww + ix as usize] +=
+                                    g * wd[((o * ic + c) * kh + ky) * kw + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Backward-filter: gradient w.r.t. the convolution weights.
+/// `x[n,ic,h,w]`, `dout[n,oc,oh,ow]` → `dw[oc,ic,kh,kw]`.
+#[must_use]
+pub fn conv_wgrad(
+    x: &Tensor,
+    dout: &Tensor,
+    stride: usize,
+    pad: usize,
+    kernel_hw: (usize, usize),
+) -> Tensor {
+    let (n, ic, h, ww) = dims4(x);
+    let (n2, oc, oh, ow) = dims4(dout);
+    assert_eq!(n, n2, "batch mismatch");
+    let (kh, kw) = kernel_hw;
+    let mut dw = Tensor::zeros(&[oc, ic, kh, kw]);
+    let xd = x.data();
+    let dd = dout.data();
+    let wd = dw.data_mut();
+    for b in 0..n {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dd[((b * oc + o) * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for c in 0..ic {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= ww as isize {
+                                    continue;
+                                }
+                                wd[((o * ic + c) * kh + ky) * kw + kx] += g
+                                    * xd[((b * ic + c) * h + iy as usize) * ww + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dw
+}
+
+/// Unpack a 4-D shape.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 4-D.
+#[must_use]
+pub fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 4, "expected a 4-D tensor, got {s:?}");
+    (s[0], s[1], s[2], s[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1×1 kernel of weight 1: convolution is the identity.
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let w = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        let y = conv_fwd(&x, &w, 1, 0);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // All-ones 3×3 input, all-ones 3×3 kernel, pad 1: center = 9,
+        // edges = 6, corners = 4.
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let w = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let y = conv_fwd(&x, &w, 1, 1);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.at4(0, 0, 1, 1), 9.0);
+        assert_eq!(y.at4(0, 0, 0, 1), 6.0);
+        assert_eq!(y.at4(0, 0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32).collect());
+        let w = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        let y = conv_fwd(&x, &w, 2, 0);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn dgrad_matches_finite_difference() {
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, 1);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.5, 2);
+        let dout = Tensor::randn(&[1, 3, 2, 2], 1.0, 3);
+        let dx = conv_dgrad(&dout, &w, 1, 0, (4, 4));
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 7, 15, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let loss = |xx: &Tensor| -> f32 {
+                conv_fwd(xx, &w, 1, 0)
+                    .data()
+                    .iter()
+                    .zip(dout.data())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            };
+            let numeric = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[idx]).abs() < 1e-2,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn wgrad_matches_finite_difference() {
+        let x = Tensor::randn(&[2, 2, 5, 5], 1.0, 4);
+        let w = Tensor::randn(&[2, 2, 3, 3], 0.5, 5);
+        let dout = Tensor::randn(&[2, 2, 3, 3], 1.0, 6);
+        let dw = conv_wgrad(&x, &dout, 1, 0, (3, 3));
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 17, 35] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let loss = |ww: &Tensor| -> f32 {
+                conv_fwd(&x, ww, 1, 0)
+                    .data()
+                    .iter()
+                    .zip(dout.data())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            };
+            let numeric = (loss(&wp) - loss(&wm)) / (2.0 * eps);
+            assert!(
+                (numeric - dw.data()[idx]).abs() < 2e-2,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                dw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(32, 3, 1, 1), 32);
+        assert_eq!(conv_out_dim(32, 4, 2, 1), 16);
+        assert_eq!(conv_out_dim(28, 5, 1, 0), 24);
+    }
+}

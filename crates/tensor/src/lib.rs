@@ -1,0 +1,35 @@
+//! # cactus-tensor
+//!
+//! The machine-learning substrate behind the Cactus `DCG`, `NST`, `RFL`,
+//! `SPT` and `LGT` workloads: a compact PyTorch-like framework whose every
+//! operation (a) computes for real on CPU `f32` tensors through a tape-based
+//! autograd, and (b) lowers to named GPU kernels through a cuDNN/cuBLAS-like
+//! *algorithm selection* layer ([`kernels`]) — tiled GEMM variants chosen by
+//! shape, Winograd vs. implicit-GEMM convolutions, vectorized vs. unrolled
+//! elementwise kernels, warp- vs. block-level softmax, separate
+//! dgrad/wgrad backward kernels, and so on. That selection mechanism is what
+//! gives real ML stacks their populations of many tens of distinct kernels
+//! (paper Table I: 37–66 per training app), and it is reproduced here
+//! structurally rather than cosmetically.
+//!
+//! * [`tensor`] — dense `f32` tensors.
+//! * [`graph`] — the autograd tape: ~30 differentiable ops with CPU math
+//!   (gradient-checked in the test suite) and per-op kernel lowering.
+//! * [`kernels`] — the kernel-selection layer.
+//! * [`layers`] — Linear / Conv2d / ConvTranspose2d / BatchNorm2d /
+//!   InstanceNorm2d / Embedding / GRU modules with parameter management.
+//! * [`optim`] — SGD and Adam (with their fused update kernels).
+//! * [`datasets`] — synthetic stand-ins for Celeb-A, MNIST, the style
+//!   images, the flappy-bird environment and the Spacy corpus.
+//! * [`apps`] — the five training applications.
+
+pub mod apps;
+pub mod datasets;
+pub mod graph;
+pub mod kernels;
+pub mod layers;
+pub mod optim;
+pub mod tensor;
+
+pub use graph::{Graph, VarId};
+pub use tensor::Tensor;

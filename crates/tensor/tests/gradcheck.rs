@@ -1,0 +1,363 @@
+//! Finite-difference gradient checks for every differentiable op on the
+//! tape. Each case builds a scalar loss through the op under test, computes
+//! analytic gradients via `backward`, and compares against central
+//! differences of the forward pass.
+
+use cactus_gpu::{Device, Gpu};
+use cactus_tensor::graph::Graph;
+use cactus_tensor::tensor::Tensor;
+
+fn gpu() -> Gpu {
+    Gpu::new(Device::rtx3080())
+}
+
+/// Generic checker: `build` maps (graph, gpu, param id) to a scalar loss.
+fn gradcheck(
+    param: &Tensor,
+    tol: f32,
+    build: impl Fn(&mut Graph, &mut Gpu, usize) -> usize,
+) {
+    let mut gpu = gpu();
+
+    // Analytic gradient.
+    let mut g = Graph::new();
+    let p = g.param(param.clone());
+    let loss = build(&mut g, &mut gpu, p);
+    g.backward(&mut gpu, loss);
+    let analytic = g.grad(p).expect("param must receive gradient").clone();
+
+    // Central differences on a sample of coordinates.
+    let n = param.len();
+    let probe: Vec<usize> = if n <= 12 {
+        (0..n).collect()
+    } else {
+        (0..12).map(|i| i * n / 12).collect()
+    };
+    let eps = 1e-2f32;
+    for &idx in &probe {
+        let mut eval = |delta: f32| -> f32 {
+            let mut t = param.clone();
+            t.data_mut()[idx] += delta;
+            let mut g = Graph::new();
+            let p = g.param(t);
+            let loss = build(&mut g, &mut gpu, p);
+            g.value(loss).data()[0]
+        };
+        let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+        let a = analytic.data()[idx];
+        let denom = numeric.abs().max(a.abs()).max(1e-3);
+        assert!(
+            (numeric - a).abs() / denom < tol,
+            "idx {idx}: numeric {numeric} vs analytic {a}"
+        );
+    }
+}
+
+#[test]
+fn matmul_grad() {
+    let w = Tensor::randn(&[3, 4], 0.5, 1);
+    let x = Tensor::randn(&[2, 3], 1.0, 2);
+    gradcheck(&w, 0.02, |g, gpu, p| {
+        let xv = g.input(x.clone());
+        let y = g.matmul(gpu, xv, p);
+        g.mean(gpu, y)
+    });
+}
+
+#[test]
+fn elementwise_grads() {
+    let x = Tensor::randn(&[8], 1.0, 3);
+    // The kinked ops (relu/leaky) are checked away from the kink.
+    let safe = Tensor::from_vec(&[6], vec![-2.0, -1.0, -0.5, 0.5, 1.0, 2.0]);
+    gradcheck(&safe, 0.03, |g, gpu, p| {
+        let r = g.relu(gpu, p);
+        g.mean(gpu, r)
+    });
+    gradcheck(&safe, 0.03, |g, gpu, p| {
+        let r = g.leaky_relu(gpu, p, 0.2);
+        g.mean(gpu, r)
+    });
+    gradcheck(&x, 0.03, |g, gpu, p| {
+        let t = g.tanh(gpu, p);
+        g.mean(gpu, t)
+    });
+    gradcheck(&x, 0.03, |g, gpu, p| {
+        let s = g.sigmoid(gpu, p);
+        let sq = g.mul(gpu, s, s);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn add_sub_mul_scale_grads() {
+    let x = Tensor::randn(&[6], 1.0, 4);
+    let other = Tensor::randn(&[6], 1.0, 5);
+    gradcheck(&x, 0.02, |g, gpu, p| {
+        let o = g.input(other.clone());
+        let a = g.add(gpu, p, o);
+        let s = g.sub(gpu, a, p);
+        let m = g.mul(gpu, s, p);
+        let sc = g.scale(gpu, m, 1.5);
+        g.mean(gpu, sc)
+    });
+}
+
+#[test]
+fn bias_grads() {
+    let b = Tensor::randn(&[4], 0.5, 6);
+    let x = Tensor::randn(&[3, 4], 1.0, 7);
+    gradcheck(&b, 0.02, |g, gpu, p| {
+        let xv = g.input(x.clone());
+        let y = g.add_bias_rows(gpu, xv, p);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+
+    let bc = Tensor::randn(&[2], 0.5, 8);
+    let xi = Tensor::randn(&[2, 2, 3, 3], 1.0, 9);
+    gradcheck(&bc, 0.02, |g, gpu, p| {
+        let xv = g.input(xi.clone());
+        let y = g.add_bias_nchw(gpu, xv, p);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn conv2d_grads() {
+    let w = Tensor::randn(&[2, 2, 3, 3], 0.3, 10);
+    let x = Tensor::randn(&[1, 2, 5, 5], 1.0, 11);
+    gradcheck(&w, 0.03, |g, gpu, p| {
+        let xv = g.input(x.clone());
+        let y = g.conv2d(gpu, xv, p, 1, 1);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+    // Gradient w.r.t. the input too.
+    gradcheck(&x, 0.03, |g, gpu, p| {
+        let wv = g.input(w.clone());
+        let y = g.conv2d(gpu, p, wv, 2, 1);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn conv_transpose_grads() {
+    let w = Tensor::randn(&[2, 3, 4, 4], 0.3, 12);
+    let x = Tensor::randn(&[1, 2, 3, 3], 1.0, 13);
+    gradcheck(&w, 0.03, |g, gpu, p| {
+        let xv = g.input(x.clone());
+        let y = g.conv_transpose2d(gpu, xv, p, 2, 1);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+    gradcheck(&x, 0.03, |g, gpu, p| {
+        let wv = g.input(w.clone());
+        let y = g.conv_transpose2d(gpu, p, wv, 2, 1);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn maxpool_grad() {
+    // Distinct values so the argmax is stable under the probe epsilon.
+    let x = Tensor::from_vec(
+        &[1, 1, 4, 4],
+        (0..16).map(|i| i as f32 * 0.7 - 3.0).collect(),
+    );
+    gradcheck(&x, 0.02, |g, gpu, p| {
+        let y = g.maxpool2d(gpu, p, 2);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn batchnorm_grads() {
+    let x = Tensor::randn(&[2, 2, 3, 3], 1.0, 14);
+    let gamma = Tensor::from_vec(&[2], vec![1.2, 0.7]);
+    gradcheck(&x, 0.05, |g, gpu, p| {
+        let gm = g.input(gamma.clone());
+        let bt = g.input(Tensor::zeros(&[2]));
+        let y = g.batchnorm2d(gpu, p, gm, bt);
+        let cube = g.mul(gpu, y, y);
+        let c3 = g.mul(gpu, cube, y);
+        g.mean(gpu, c3)
+    });
+    gradcheck(&gamma, 0.03, |g, gpu, p| {
+        let xv = g.input(x.clone());
+        let bt = g.input(Tensor::zeros(&[2]));
+        let y = g.batchnorm2d(gpu, xv, p, bt);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn instancenorm_grad() {
+    let x = Tensor::randn(&[2, 2, 3, 3], 1.0, 15);
+    gradcheck(&x, 0.05, |g, gpu, p| {
+        let gm = g.input(Tensor::from_vec(&[2], vec![0.9, 1.1]));
+        let bt = g.input(Tensor::from_vec(&[2], vec![0.1, -0.1]));
+        let y = g.instancenorm2d(gpu, p, gm, bt);
+        let cube = g.mul(gpu, y, y);
+        let c3 = g.mul(gpu, cube, y);
+        g.mean(gpu, c3)
+    });
+}
+
+#[test]
+fn softmax_cross_entropy_grad() {
+    let logits = Tensor::randn(&[3, 5], 1.0, 16);
+    gradcheck(&logits, 0.02, |g, gpu, p| {
+        g.softmax_cross_entropy(gpu, p, &[2, 0, 4])
+    });
+}
+
+#[test]
+fn bce_with_logits_grad() {
+    let logits = Tensor::randn(&[6], 1.0, 17);
+    let targets = Tensor::from_vec(&[6], vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    gradcheck(&logits, 0.02, |g, gpu, p| {
+        g.bce_with_logits(gpu, p, targets.clone())
+    });
+}
+
+#[test]
+fn mse_grad() {
+    let a = Tensor::randn(&[7], 1.0, 18);
+    let b = Tensor::randn(&[7], 1.0, 19);
+    gradcheck(&a, 0.02, |g, gpu, p| {
+        let bv = g.input(b.clone());
+        g.mse_loss(gpu, p, bv)
+    });
+}
+
+#[test]
+fn embedding_grad() {
+    let table = Tensor::randn(&[5, 3], 0.5, 20);
+    gradcheck(&table, 0.02, |g, gpu, p| {
+        let e = g.embedding(gpu, p, &[1, 3, 1]);
+        let sq = g.mul(gpu, e, e);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn transpose_sumrows_softmaxrows_grads() {
+    let x = Tensor::randn(&[3, 4], 1.0, 21);
+    gradcheck(&x, 0.02, |g, gpu, p| {
+        let t = g.transpose2d(gpu, p);
+        let sq = g.mul(gpu, t, t);
+        g.mean(gpu, sq)
+    });
+    gradcheck(&x, 0.02, |g, gpu, p| {
+        let s = g.sum_rows(gpu, p);
+        let sq = g.mul(gpu, s, s);
+        g.mean(gpu, sq)
+    });
+    gradcheck(&x, 0.03, |g, gpu, p| {
+        let s = g.softmax_rows(gpu, p);
+        let sq = g.mul(gpu, s, s);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn mul_col_broadcast_and_concat_grads() {
+    let x = Tensor::randn(&[3, 4], 1.0, 22);
+    let col = Tensor::randn(&[3, 1], 1.0, 23);
+    gradcheck(&x, 0.02, |g, gpu, p| {
+        let c = g.input(col.clone());
+        let y = g.mul_col_broadcast(gpu, p, c);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+    gradcheck(&col, 0.02, |g, gpu, p| {
+        let xv = g.input(x.clone());
+        let y = g.mul_col_broadcast(gpu, xv, p);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+    let b = Tensor::randn(&[3, 2], 1.0, 24);
+    gradcheck(&x, 0.02, |g, gpu, p| {
+        let bv = g.input(b.clone());
+        let y = g.concat_cols(gpu, p, bv);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn spatial_transform_grads() {
+    let x = Tensor::randn(&[1, 1, 6, 6], 1.0, 25);
+    // Near-identity theta, non-degenerate.
+    let theta = Tensor::from_vec(&[1, 6], vec![0.9, 0.1, 0.05, -0.1, 1.1, -0.05]);
+    gradcheck(&theta, 0.08, |g, gpu, p| {
+        let xv = g.input(x.clone());
+        let y = g.spatial_transform(gpu, xv, p, 6, 6);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+    gradcheck(&x, 0.08, |g, gpu, p| {
+        let th = g.input(theta.clone());
+        let y = g.spatial_transform(gpu, p, th, 6, 6);
+        let sq = g.mul(gpu, y, y);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn dropout_grad_through_mask() {
+    // Dropout is deterministic per seed, so the same mask applies on every
+    // finite-difference evaluation.
+    let x = Tensor::randn(&[8], 1.0, 26);
+    gradcheck(&x, 0.02, |g, gpu, p| {
+        let d = g.dropout(gpu, p, 0.5, 99);
+        let sq = g.mul(gpu, d, d);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn reshape_grad() {
+    let x = Tensor::randn(&[2, 6], 1.0, 27);
+    gradcheck(&x, 0.02, |g, gpu, p| {
+        let r = g.reshape(p, &[3, 4]);
+        let sq = g.mul(gpu, r, r);
+        g.mean(gpu, sq)
+    });
+}
+
+#[test]
+fn deep_composite_graph_grad() {
+    // A little conv → pool → linear → CE network, checking grads all the
+    // way back to the first conv weight.
+    let w1 = Tensor::randn(&[2, 1, 3, 3], 0.4, 28);
+    let x = Tensor::randn(&[2, 1, 6, 6], 1.0, 29);
+    let w2 = Tensor::randn(&[18, 3], 0.4, 30);
+    // Loose tolerance: the relu/maxpool kinks can shift under the probe
+    // epsilon in a deep f32 chain.
+    gradcheck(&w1, 0.15, |g, gpu, p| {
+        let xv = g.input(x.clone());
+        let c = g.conv2d(gpu, xv, p, 1, 1);
+        let r = g.relu(gpu, c);
+        let m = g.maxpool2d(gpu, r, 2);
+        let f = g.reshape(m, &[2, 18]);
+        let wv = g.input(w2.clone());
+        let logits = g.matmul(gpu, f, wv);
+        g.softmax_cross_entropy(gpu, logits, &[0, 2])
+    });
+}
+
+#[test]
+fn slice_cols_grad() {
+    let x = Tensor::randn(&[3, 5], 1.0, 31);
+    gradcheck(&x, 0.02, |g, gpu, p| {
+        let s = g.slice_cols(gpu, p, 1, 4);
+        let sq = g.mul(gpu, s, s);
+        g.mean(gpu, sq)
+    });
+}

@@ -1,0 +1,144 @@
+//! Property tests over the tensor framework: linear-algebra identities,
+//! convolution linearity, softmax normalization, and loss non-negativity —
+//! each checked through the public graph API on random data.
+
+use cactus_gpu::{Device, Gpu};
+use cactus_tensor::graph::Graph;
+use cactus_tensor::tensor::Tensor;
+
+use proptest::prelude::*;
+
+fn gpu() -> Gpu {
+    Gpu::new(Device::rtx3080())
+}
+
+fn tensor_from(values: &[f32], shape: &[usize]) -> Tensor {
+    Tensor::from_vec(shape, values.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Matrix multiplication is associative: (A·B)·C == A·(B·C).
+    #[test]
+    fn matmul_is_associative(
+        a in prop::collection::vec(-2.0f32..2.0, 6),
+        b in prop::collection::vec(-2.0f32..2.0, 6),
+        c in prop::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let mut g = Graph::new();
+        let mut gp = gpu();
+        let av = g.input(tensor_from(&a, &[2, 3]));
+        let bv = g.input(tensor_from(&b, &[3, 2]));
+        let cv = g.input(tensor_from(&c, &[2, 2]));
+
+        let ab = g.matmul(&mut gp, av, bv);
+        let ab_c = g.matmul(&mut gp, ab, cv);
+        let bc = g.matmul(&mut gp, bv, cv);
+        let a_bc = g.matmul(&mut gp, av, bc);
+
+        for (x, y) in g.value(ab_c).data().iter().zip(g.value(a_bc).data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Convolution is linear: conv(x1 + x2) == conv(x1) + conv(x2).
+    #[test]
+    fn conv_is_linear(
+        x1 in prop::collection::vec(-1.0f32..1.0, 32),
+        x2 in prop::collection::vec(-1.0f32..1.0, 32),
+        w in prop::collection::vec(-0.5f32..0.5, 18),
+    ) {
+        let mut g = Graph::new();
+        let mut gp = gpu();
+        let shape = [1, 2, 4, 4];
+        let wv = g.input(tensor_from(&w, &[1, 2, 3, 3]));
+        let a = g.input(tensor_from(&x1, &shape));
+        let b = g.input(tensor_from(&x2, &shape));
+        let sum = g.add(&mut gp, a, b);
+
+        let conv_sum = g.conv2d(&mut gp, sum, wv, 1, 1);
+        let ca = g.conv2d(&mut gp, a, wv, 1, 1);
+        let cb = g.conv2d(&mut gp, b, wv, 1, 1);
+        let sum_conv = g.add(&mut gp, ca, cb);
+
+        for (x, y) in g.value(conv_sum).data().iter().zip(g.value(sum_conv).data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    /// Softmax rows are valid probability distributions and invariant to a
+    /// per-row constant shift.
+    #[test]
+    fn softmax_rows_normalize(
+        logits in prop::collection::vec(-8.0f32..8.0, 12),
+        shift in -5.0f32..5.0,
+    ) {
+        let mut g = Graph::new();
+        let mut gp = gpu();
+        let a = g.input(tensor_from(&logits, &[3, 4]));
+        let s = g.softmax_rows(&mut gp, a);
+        for r in 0..3 {
+            let row = &g.value(s).data()[r * 4..(r + 1) * 4];
+            let total: f32 = row.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-5, "row sum {total}");
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        // Shift invariance.
+        let shifted: Vec<f32> = logits.iter().map(|x| x + shift).collect();
+        let b = g.input(tensor_from(&shifted, &[3, 4]));
+        let s2 = g.softmax_rows(&mut gp, b);
+        for (x, y) in g.value(s).data().iter().zip(g.value(s2).data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// Losses are non-negative, and the cross-entropy of a one-hot-correct
+    /// prediction is smaller than that of a wrong one.
+    #[test]
+    fn losses_are_sane(
+        logits in prop::collection::vec(-4.0f32..4.0, 8),
+        target in 0usize..4,
+    ) {
+        let mut g = Graph::new();
+        let mut gp = gpu();
+        let a = g.input(tensor_from(&logits, &[2, 4]));
+        let ce = g.softmax_cross_entropy(&mut gp, a, &[target, (target + 1) % 4]);
+        prop_assert!(g.value(ce).data()[0] >= 0.0);
+
+        let b = g.input(tensor_from(&logits, &[8]));
+        let mse = g.mse_loss(&mut gp, b, b);
+        prop_assert!(g.value(mse).data()[0].abs() < 1e-9, "MSE(x,x) = 0");
+    }
+
+    /// reshape → transpose → transpose → reshape is the identity.
+    #[test]
+    fn double_transpose_is_identity(
+        data in prop::collection::vec(-10.0f32..10.0, 12),
+    ) {
+        let mut g = Graph::new();
+        let mut gp = gpu();
+        let a = g.input(tensor_from(&data, &[3, 4]));
+        let t = g.transpose2d(&mut gp, a);
+        let tt = g.transpose2d(&mut gp, t);
+        prop_assert_eq!(g.value(tt).data(), g.value(a).data());
+    }
+
+    /// Maxpool never invents values: every output element appears in the
+    /// input, and the output max equals the input max.
+    #[test]
+    fn maxpool_selects_existing_values(
+        data in prop::collection::vec(-10.0f32..10.0, 16),
+    ) {
+        let mut g = Graph::new();
+        let mut gp = gpu();
+        let a = g.input(tensor_from(&data, &[1, 1, 4, 4]));
+        let p = g.maxpool2d(&mut gp, a, 2);
+        let in_max = data.iter().fold(f32::MIN, |m, &x| m.max(x));
+        let out_max = g.value(p).data().iter().fold(f32::MIN, |m, &x| m.max(x));
+        prop_assert_eq!(in_max, out_max);
+        for &v in g.value(p).data() {
+            prop_assert!(data.contains(&v));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Profile a custom application: describe your own kernels to the device
+//! model, then run the same top-down analysis the paper applies to Cactus.
+//!
+//! The example implements a toy iterative solver — a compute-dense update
+//! kernel, a halo-exchange copy, and a convergence reduction — and shows
+//! how its GPU-time distribution and roofline mix compare to a
+//! single-kernel design.
+//!
+//! ```sh
+//! cargo run --release -p cactus-examples --bin profile_custom_app
+//! ```
+
+use cactus_analysis::roofline::{Roofline, RooflinePoint};
+use cactus_gpu::prelude::*;
+use cactus_profiler::Profile;
+
+fn main() {
+    let mut gpu = Gpu::new(Device::rtx3080());
+    let n: u64 = 1 << 22;
+
+    // 40 solver iterations, three kernels each.
+    for _ in 0..40 {
+        let lc = LaunchConfig::linear(n, 256).with_shared_mem(8 * 1024);
+        let warps = lc.total_warps();
+
+        // 1. The stencil update: compute-dense with shared-memory tiling.
+        gpu.launch(
+            &KernelDesc::builder("jacobi_update_tiled")
+                .launch(lc)
+                .mix(
+                    InstructionMix::new()
+                        .with_fp32(warps * 90)
+                        .with_shared(warps * 24)
+                        .with_int(warps * 10)
+                        .with_sync(warps / 8),
+                )
+                .stream(AccessStream::read(
+                    n,
+                    4,
+                    AccessPattern::Sweep {
+                        working_set_bytes: n * 4,
+                        sweeps: 1,
+                    },
+                ))
+                .stream(AccessStream::write(n, 4, AccessPattern::Streaming))
+                .build(),
+        );
+
+        // 2. Halo exchange: a pure copy over the boundary slices.
+        let halo = n / 64;
+        gpu.launch(
+            &KernelDesc::builder("halo_exchange_copy")
+                .launch(LaunchConfig::linear(halo, 256))
+                .stream(AccessStream::read(halo, 4, AccessPattern::Streaming))
+                .stream(AccessStream::write(halo, 4, AccessPattern::Streaming))
+                .build(),
+        );
+
+        // 3. Convergence check: a residual reduction.
+        gpu.launch(
+            &KernelDesc::builder("residual_reduce")
+                .launch(LaunchConfig::linear(n, 256).with_shared_mem(2048))
+                .mix(
+                    InstructionMix::new()
+                        .with_fp32(warps * 3)
+                        .with_shared(warps * 5)
+                        .with_sync(warps / 4),
+                )
+                .stream(AccessStream::read(n, 4, AccessPattern::Streaming))
+                .dependency_fraction(0.6)
+                .build(),
+        );
+    }
+
+    // The same analysis pipeline the paper applies.
+    let profile = Profile::from_records(gpu.records());
+    let roofline = Roofline::for_device(gpu.device());
+
+    println!("Custom app: {} kernels, {:.3} ms GPU time", profile.kernel_count(),
+        profile.total_time_s() * 1e3);
+    let total = profile.total_time_s();
+    let mut points = Vec::new();
+    for k in profile.kernels() {
+        println!(
+            "  {:<22} {:>5.1}%  II {:>7.2}  {:>7.1} GIPS  [{}]",
+            k.name,
+            100.0 * k.time_share(total),
+            k.metrics.instruction_intensity,
+            k.metrics.gips,
+            roofline.intensity_class(k.metrics.instruction_intensity).label(),
+        );
+        points.push(RooflinePoint::from_metrics(
+            k.name.clone(),
+            &k.metrics,
+            k.time_share(total),
+        ));
+    }
+    println!(
+        "\nKernels needed for 70% of GPU time: {} — already a 'top-down' profile\n\
+         shape: speeding up only `jacobi_update_tiled` caps the end-to-end gain.",
+        profile.kernels_for_fraction(0.7)
+    );
+    println!("\n{}", roofline.render_chart(&points));
+}

@@ -1,0 +1,38 @@
+//! Quickstart: run one Cactus workload, profile it, and read the paper's
+//! headline metrics off the result.
+//!
+//! ```sh
+//! cargo run --release -p cactus-examples --bin quickstart [ABBR]
+//! ```
+
+use cactus_analysis::roofline::Roofline;
+use cactus_core::SuiteScale;
+use cactus_gpu::Device;
+use cactus_profiler::report;
+
+fn main() {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "LMC".to_owned());
+    println!("Running Cactus workload {abbr} at small scale…");
+
+    // One call: execute the workload on a simulated RTX-3080-class device
+    // and aggregate its kernel launches into a profile.
+    let profile = cactus_core::run(&abbr, SuiteScale::Small);
+
+    println!("\nPer-kernel breakdown (dominance order):");
+    print!("{}", report::render_kernel_table(&profile));
+
+    let roofline = Roofline::for_device(&Device::rtx3080());
+    let aggregate = profile.aggregate_metrics();
+    println!(
+        "\nAggregate: {:.1} GIPS at instruction intensity {:.2} → {} / {}",
+        aggregate.gips,
+        aggregate.instruction_intensity,
+        roofline.intensity_class(aggregate.instruction_intensity).label(),
+        roofline.boundedness_class(aggregate.gips).label(),
+    );
+    println!(
+        "{} kernels total; the top {} cover 70% of GPU time.",
+        profile.kernel_count(),
+        profile.kernels_for_fraction(0.7)
+    );
+}

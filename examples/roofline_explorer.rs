@@ -1,0 +1,73 @@
+//! Roofline explorer: sweep a kernel's arithmetic intensity and occupancy
+//! across the design space and watch it move through the roofline regimes
+//! (latency-bound → bandwidth-bound → compute-bound).
+//!
+//! ```sh
+//! cargo run --release -p cactus-examples --bin roofline_explorer
+//! ```
+
+use cactus_analysis::roofline::{Roofline, RooflinePoint};
+use cactus_gpu::prelude::*;
+
+fn kernel(flops_per_elem: u64, registers: u32) -> KernelDesc {
+    let n: u64 = 1 << 22;
+    let lc = LaunchConfig::linear(n, 256).with_registers(registers);
+    let warps = lc.total_warps();
+    KernelDesc::builder(format!("sweep_f{flops_per_elem}_r{registers}"))
+        .launch(lc)
+        .mix(
+            InstructionMix::new()
+                .with_fp32(warps * flops_per_elem)
+                .with_int(warps * 4),
+        )
+        .stream(AccessStream::read(1 << 22, 8, AccessPattern::Streaming))
+        .stream(AccessStream::write(1 << 22, 4, AccessPattern::Streaming))
+        .build()
+}
+
+fn main() {
+    let mut gpu = Gpu::new(Device::rtx3080());
+    let roofline = Roofline::for_device(gpu.device());
+    println!(
+        "Sweeping FLOPs/element at full occupancy (elbow = {:.2} warp insts/txn):\n",
+        roofline.elbow()
+    );
+    println!(
+        "{:>8} {:>9} {:>9} {:>10} {:>11}",
+        "flops", "II", "GIPS", "class", "bound"
+    );
+
+    let mut points = Vec::new();
+    for flops in [1, 4, 16, 64, 256, 1024] {
+        let rec = gpu.launch(&kernel(flops, 32)).metrics;
+        println!(
+            "{flops:>8} {:>9.2} {:>9.1} {:>10} {:>11}",
+            rec.instruction_intensity,
+            rec.gips,
+            roofline.intensity_class(rec.instruction_intensity).label(),
+            roofline.boundedness_class(rec.gips).label(),
+        );
+        points.push(RooflinePoint::from_metrics(
+            format!("f{flops}"),
+            &rec,
+            1.0,
+        ));
+    }
+
+    println!("\nSame 256-FLOP kernel, throttled by register pressure (occupancy):\n");
+    println!("{:>10} {:>11} {:>9}", "registers", "occupancy", "GIPS");
+    for regs in [32, 64, 128, 255] {
+        let k = kernel(256, regs);
+        let occ = k.launch().occupancy(gpu.device());
+        let rec = gpu.launch(&k).metrics;
+        println!("{regs:>10} {:>11.2} {:>9.1}", occ.occupancy, rec.gips);
+    }
+
+    println!("\n{}", roofline.render_chart(&points));
+    println!(
+        "The sweep walks the memory roof up to the elbow, then flattens at the\n\
+         {:.1}-GIPS compute roof; dropping occupancy starves the latency-hiding\n\
+         and pulls the kernel below the roofs — the three regimes of Figure 4.",
+        roofline.peak_gips()
+    );
+}

@@ -1,0 +1,4 @@
+//! Host crate for the cross-crate integration tests in `tests/`.
+//!
+//! The tests assert the paper's Observations 1-12 end-to-end at test scale;
+//! the `cactus-bench` binaries reproduce them at profile scale.

@@ -1,0 +1,110 @@
+//! Cross-device invariants: the model must behave sensibly on every
+//! device preset, and the comparison suites must be deterministic.
+
+use cactus_analysis::roofline::Roofline;
+use cactus_gpu::access::{AccessPattern, AccessStream};
+use cactus_gpu::instmix::InstructionMix;
+use cactus_gpu::kernel::KernelDesc;
+use cactus_gpu::launch::LaunchConfig;
+use cactus_gpu::{Device, Gpu};
+use cactus_profiler::Profile;
+use cactus_suites::Scale;
+
+fn presets() -> [Device; 4] {
+    [
+        Device::gtx1080(),
+        Device::rtx2080ti(),
+        Device::rtx3080(),
+        Device::a100(),
+    ]
+}
+
+/// A saturating streaming kernel reaches (near) the memory roof on every
+/// device, so modeled bandwidth scales with the hardware.
+#[test]
+fn streaming_kernel_scales_with_device_bandwidth() {
+    let n = 1u64 << 24;
+    let mut durations = Vec::new();
+    for d in presets() {
+        let bw = d.dram_bandwidth_gbps;
+        let mut gpu = Gpu::new(d);
+        let k = KernelDesc::builder("copy")
+            .launch(LaunchConfig::linear(n, 256))
+            .stream(AccessStream::read(n, 4, AccessPattern::Streaming))
+            .stream(AccessStream::write(n, 4, AccessPattern::Streaming))
+            .build();
+        let m = gpu.launch(&k).metrics;
+        durations.push((bw, m.duration_s));
+        // On the roof: duration ≈ bytes / bandwidth.
+        let bytes = 2.0 * n as f64 * 4.0;
+        let ideal = bytes / (bw * 1e9);
+        assert!(
+            m.duration_s >= ideal * 0.95 && m.duration_s < ideal * 1.5,
+            "{}: {} vs ideal {ideal}",
+            gpu.device().name,
+            m.duration_s
+        );
+    }
+    // Faster memory ⇒ shorter duration, strictly ordered across presets.
+    for w in durations.windows(2) {
+        assert!(w[0].0 < w[1].0);
+        assert!(w[0].1 > w[1].1, "{w:?}");
+    }
+}
+
+/// A compute-saturating kernel approaches each device's own peak GIPS.
+#[test]
+fn compute_kernel_tracks_each_peak() {
+    for d in presets() {
+        let peak = d.peak_gips();
+        let mut gpu = Gpu::new(d);
+        let lc = LaunchConfig::linear(1 << 24, 256);
+        let warps = lc.total_warps();
+        let k = KernelDesc::builder("flops")
+            .launch(lc)
+            .mix(InstructionMix::new().with_fp32(warps * 4000))
+            .build();
+        let m = gpu.launch(&k).metrics;
+        assert!(
+            m.gips > 0.9 * peak && m.gips <= peak * 1.0001,
+            "{}: {} vs peak {peak}",
+            gpu.device().name,
+            m.gips
+        );
+    }
+}
+
+/// The roofline model is internally consistent on every preset: the elbow
+/// equals peak/slope and the roof is continuous there.
+#[test]
+fn roofline_geometry_consistent_on_all_presets() {
+    for d in presets() {
+        let r = Roofline::for_device(&d);
+        let elbow = r.elbow();
+        assert!((r.roof(elbow) - r.peak_gips()).abs() < 1e-6);
+        assert!((r.roof(elbow * 0.999) - r.peak_gips()).abs() < 0.01 * r.peak_gips());
+        assert!((d.elbow_intensity() - elbow).abs() < 1e-9);
+    }
+}
+
+/// Every comparison-suite benchmark produces an identical profile on
+/// repeated runs (full determinism of the baseline pool).
+#[test]
+fn comparison_suites_are_deterministic() {
+    for b in cactus_suites::all() {
+        let run = || {
+            let mut gpu = Gpu::new(Device::rtx3080());
+            b.run(&mut gpu, Scale::Tiny);
+            Profile::from_records(gpu.records())
+        };
+        let (a, c) = (run(), run());
+        assert_eq!(a.kernel_count(), c.kernel_count(), "{}", b.name);
+        assert_eq!(
+            a.total_warp_instructions(),
+            c.total_warp_instructions(),
+            "{}",
+            b.name
+        );
+        assert!((a.total_time_s() - c.total_time_s()).abs() < 1e-18, "{}", b.name);
+    }
+}
