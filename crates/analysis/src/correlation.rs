@@ -24,7 +24,9 @@ impl CorrelationMatrix {
             .iter()
             .map(|&r| {
                 let rs = series(r);
-                cols.iter().map(|&c| stats::pearson(&rs, &series(c))).collect()
+                cols.iter()
+                    .map(|&c| stats::pearson(&rs, &series(c)))
+                    .collect()
             })
             .collect();
         Self {
@@ -156,7 +158,10 @@ mod tests {
             ],
         );
         assert!((m.value(0, 0) - 1.0).abs() < 1e-9, "gips vs occupancy");
-        assert!((m.value(0, 1) + 1.0).abs() < 1e-9, "gips vs sm eff (negative)");
+        assert!(
+            (m.value(0, 1) + 1.0).abs() < 1e-9,
+            "gips vs sm eff (negative)"
+        );
         assert_eq!(m.band(0, 0), CorrelationBand::Strong);
         assert_eq!(m.band(0, 1), CorrelationBand::Strong);
         assert_eq!(m.band(0, 2), CorrelationBand::None);

@@ -121,11 +121,7 @@ mod tests {
 
     #[test]
     fn quantitative_only_reduces_to_pca() {
-        let quant = Matrix::from_rows(
-            4,
-            2,
-            vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0, 4.0, 8.0],
-        );
+        let quant = Matrix::from_rows(4, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0, 4.0, 8.0]);
         let famd = Famd::fit(&quant, &[]);
         assert_eq!(famd.encoded_cols(), 2);
         assert!(famd.pca().explained_ratio(1) > 0.999);
@@ -156,11 +152,7 @@ mod tests {
 
     #[test]
     fn mixed_data_dimensions() {
-        let quant = Matrix::from_rows(
-            5,
-            2,
-            vec![1.0, 9.0, 2.0, 7.0, 3.0, 5.0, 4.0, 3.0, 5.0, 1.0],
-        );
+        let quant = Matrix::from_rows(5, 2, vec![1.0, 9.0, 2.0, 7.0, 3.0, 5.0, 4.0, 3.0, 5.0, 1.0]);
         let qual = vec![
             labels(&["m", "m", "c", "c", "c"]),
             labels(&["bw", "lat", "bw", "lat", "bw"]),
@@ -169,7 +161,7 @@ mod tests {
         // 2 quant + 2 + 2 indicator columns.
         assert_eq!(famd.encoded_cols(), 6);
         let k = famd.dims_for_ratio(0.9);
-        assert!(k >= 1 && k <= 6);
+        assert!((1..=6).contains(&k));
         let coords = famd.coordinates(k);
         assert_eq!(coords.rows(), 5);
         assert_eq!(coords.cols(), k);

@@ -175,11 +175,7 @@ pub fn cluster_distances(dist: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
     let ward = linkage == Linkage::Ward;
     let mut d: Vec<Vec<f64>> = dist
         .iter()
-        .map(|row| {
-            row.iter()
-                .map(|&v| if ward { v * v } else { v })
-                .collect()
-        })
+        .map(|row| row.iter().map(|&v| if ward { v * v } else { v }).collect())
         .collect();
 
     let mut active: Vec<usize> = (0..n).collect(); // index into d

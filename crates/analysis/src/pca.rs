@@ -109,11 +109,7 @@ mod tests {
 
     #[test]
     fn independent_features_need_both_components() {
-        let data = Matrix::from_rows(
-            4,
-            2,
-            vec![1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0, -1.0],
-        );
+        let data = Matrix::from_rows(4, 2, vec![1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0, -1.0]);
         let pca = fit_standardized(&data);
         assert!((pca.explained_ratio(1) - 0.5).abs() < 1e-9);
         assert_eq!(pca.components_for_ratio(0.95), 2);

@@ -163,12 +163,16 @@ impl Roofline {
         // Intensity range: 10^-2 .. 10^4; GIPS range: 10^-2 .. 10^3.
         let x_of = |ii: f64| -> usize {
             let l = ii.max(1e-2).log10();
-            (((l + 2.0) / 6.0) * (W as f64 - 1.0)).round().clamp(0.0, W as f64 - 1.0) as usize
+            (((l + 2.0) / 6.0) * (W as f64 - 1.0))
+                .round()
+                .clamp(0.0, W as f64 - 1.0) as usize
         };
         let y_of = |g: f64| -> usize {
             let l = g.max(1e-2).log10();
             let frac = (l + 2.0) / 5.0;
-            ((1.0 - frac) * (H as f64 - 1.0)).round().clamp(0.0, H as f64 - 1.0) as usize
+            ((1.0 - frac) * (H as f64 - 1.0))
+                .round()
+                .clamp(0.0, H as f64 - 1.0) as usize
         };
         let mut grid = vec![vec![' '; W]; H];
         // Roofs.

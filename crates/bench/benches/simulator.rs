@@ -18,7 +18,11 @@ fn bench_launch(c: &mut Criterion) {
     let warps = lc.total_warps();
     let kernel = KernelDesc::builder("bench_kernel")
         .launch(lc)
-        .mix(InstructionMix::new().with_fp32(warps * 100).with_load(warps * 10))
+        .mix(
+            InstructionMix::new()
+                .with_fp32(warps * 100)
+                .with_load(warps * 10),
+        )
         .stream(AccessStream::read(1 << 20, 4, AccessPattern::Streaming))
         .stream(AccessStream::write(1 << 20, 4, AccessPattern::Streaming))
         .build();

@@ -40,8 +40,7 @@ fn timing_ablation() {
     let mut naive_total = 0.0;
     for rec in gpu.records() {
         let m = &rec.metrics;
-        let naive = (m.warp_instructions as f64 / peak_issue)
-            .max(m.dram_transactions / peak_txn);
+        let naive = (m.warp_instructions as f64 / peak_issue).max(m.dram_transactions / peak_txn);
         model_total += m.duration_s;
         naive_total += naive;
     }
@@ -91,8 +90,13 @@ fn cache_ablation() {
             },
         ),
     ];
-    println!("{:<14} {:>10} {:>10} {:>8}", "pattern", "trace", "analytic", "|err|");
-    for (name, pattern) in cases {
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "pattern", "trace", "analytic", "|err|"
+    );
+    // Each pattern's trace-driven simulation is independent, so the sweep
+    // fans out one pattern per worker; rows print in declaration order.
+    let rows = cactus_gpu::par::parallel_map(cases.to_vec(), |(name, pattern)| {
         let n = match pattern {
             AccessPattern::Sweep { .. } => 2048 * 8,
             _ => 120_000,
@@ -108,10 +112,13 @@ fn cache_ablation() {
         }
         let measured = cache.hit_rate();
         let predicted = analytic::hit_rate(&pattern, 4096.0, 32, n as f64);
-        println!(
+        format!(
             "{name:<14} {measured:>10.4} {predicted:>10.4} {:>8.4}",
             (measured - predicted).abs()
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }
 

@@ -1,7 +1,8 @@
 //! Dump the per-kernel data files behind the figures (the counterpart of
 //! the paper artifact's `data/` directory) as CSV under `results/csv/`.
 
-use cactus_bench::{cactus_profiles, header, prt_profiles};
+use cactus_bench::header;
+use cactus_bench::store::{cactus_profiles_cached, prt_profiles_cached};
 use cactus_profiler::csv;
 
 fn main() {
@@ -11,21 +12,18 @@ fn main() {
     header("Dumping per-kernel CSV data files");
     let mut cactus_doc = csv::kernel_header();
     cactus_doc.push('\n');
-    for p in cactus_profiles() {
+    for p in cactus_profiles_cached() {
         for row in csv::kernel_rows(&p.name, &p.profile) {
             cactus_doc.push_str(&row);
             cactus_doc.push('\n');
         }
     }
     std::fs::write(dir.join("cactus_kernels.csv"), &cactus_doc).expect("write");
-    println!(
-        "cactus_kernels.csv: {} lines",
-        cactus_doc.lines().count()
-    );
+    println!("cactus_kernels.csv: {} lines", cactus_doc.lines().count());
 
     let mut prt_doc = csv::kernel_header();
     prt_doc.push('\n');
-    for p in prt_profiles() {
+    for p in prt_profiles_cached() {
         for row in csv::kernel_rows(&p.name, &p.profile) {
             prt_doc.push_str(&row);
             prt_doc.push('\n');

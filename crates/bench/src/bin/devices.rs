@@ -84,7 +84,11 @@ fn main() {
             "{:<6} {:?}{}",
             w.abbr,
             classes,
-            if stable { "" } else { "  <- class flips across devices" }
+            if stable {
+                ""
+            } else {
+                "  <- class flips across devices"
+            }
         );
     }
     println!(

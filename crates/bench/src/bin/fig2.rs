@@ -2,11 +2,12 @@
 //! benchmarks — existing suites spend the majority of their time in one or
 //! just a few kernels.
 
-use cactus_bench::{header, prt_profiles};
+use cactus_bench::header;
+use cactus_bench::store::prt_profiles_cached;
 
 fn main() {
     header("Figure 2: PRT GPU-time distribution (top kernels per benchmark)");
-    let profiles = prt_profiles();
+    let profiles = prt_profiles_cached();
 
     println!(
         "{:<16} {:<9} {:>7} {:>7} {:>7} {:>9}",

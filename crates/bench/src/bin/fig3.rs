@@ -1,12 +1,13 @@
 //! Figure 3: cumulative distribution of GPU time spent in the most
 //! dominant kernels of the Cactus workloads.
 
-use cactus_bench::{cactus_profiles, header};
+use cactus_bench::header;
+use cactus_bench::store::cactus_profiles_cached;
 
 fn main() {
     header("Figure 3: Cactus cumulative kernel-time distribution");
     println!("Entry k = fraction of GPU time covered by the k most dominant kernels.\n");
-    let profiles = cactus_profiles();
+    let profiles = cactus_profiles_cached();
 
     print!("{:<5}", "k");
     for p in &profiles {
@@ -24,7 +25,10 @@ fn main() {
     }
 
     header("Kernel counts (Table I cross-check)");
-    println!("{:<6} {:>12} {:>12} {:>12}", "Bench", "Kernels100%", "Kernels70%", "Kernels90%");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12}",
+        "Bench", "Kernels100%", "Kernels70%", "Kernels90%"
+    );
     for p in &profiles {
         println!(
             "{:<6} {:>12} {:>12} {:>12}",

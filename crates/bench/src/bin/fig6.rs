@@ -4,13 +4,12 @@
 //! and compute-intensive kernels, unlike the traditional suites.
 
 use cactus_analysis::roofline::Intensity;
-use cactus_bench::{
-    cactus_profiles, header, kernel_points, roofline, roofline_header, roofline_row,
-};
+use cactus_bench::store::cactus_profiles_cached;
+use cactus_bench::{header, kernel_points, roofline, roofline_header, roofline_row};
 
 fn main() {
     let r = roofline();
-    let profiles = cactus_profiles();
+    let profiles = cactus_profiles_cached();
     let md: Vec<_> = profiles
         .iter()
         .filter(|p| ["GMS", "LMR", "LMC"].contains(&p.name.as_str()))
@@ -20,7 +19,10 @@ fn main() {
         .filter(|p| ["GST", "GRU"].contains(&p.name.as_str()))
         .collect();
 
-    for (title, group) in [("(a) molecular simulation", &md), ("(b) graph analytics", &graph)] {
+    for (title, group) in [
+        ("(a) molecular simulation", &md),
+        ("(b) graph analytics", &graph),
+    ] {
         header(&format!("Figure 6{title}: all kernels"));
         println!("{}", roofline_header());
         let mut points = Vec::new();

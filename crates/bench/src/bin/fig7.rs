@@ -3,15 +3,14 @@
 //! (c) dominant kernels. The ML apps show wide kernel diversity, with many
 //! dominant kernels bound by memory bandwidth (near the memory roof).
 
-use cactus_bench::{
-    cactus_profiles, header, kernel_points, roofline, roofline_header, roofline_row,
-};
+use cactus_bench::store::cactus_profiles_cached;
+use cactus_bench::{header, kernel_points, roofline, roofline_header, roofline_row};
 
 const ML: [&str; 5] = ["DCG", "NST", "RFL", "SPT", "LGT"];
 
 fn main() {
     let r = roofline();
-    let profiles = cactus_profiles();
+    let profiles = cactus_profiles_cached();
     let ml: Vec<_> = profiles
         .iter()
         .filter(|p| ML.contains(&p.name.as_str()))
@@ -74,9 +73,7 @@ fn main() {
                 )
             );
             dominant_total += 1;
-            let pt = cactus_analysis::roofline::RooflinePoint::from_metrics(
-                "", &k.metrics, 1.0,
-            );
+            let pt = cactus_analysis::roofline::RooflinePoint::from_metrics("", &k.metrics, 1.0);
             for (slot, tol) in near_roof.iter_mut().zip([0.35, 0.5, 0.7]) {
                 if r.near_memory_roof(&pt, tol) {
                     *slot += 1;

@@ -4,15 +4,16 @@
 //! underlying metrics.
 
 use cactus_analysis::correlation::CorrelationMatrix;
-use cactus_bench::{all_kernel_metrics, cactus_profiles, header, prt_profiles};
+use cactus_bench::store::{cactus_profiles_cached, prt_profiles_cached};
+use cactus_bench::{all_kernel_metrics, header};
 use cactus_gpu::metrics::KernelMetrics;
 
 fn main() {
-    let cactus: Vec<KernelMetrics> = all_kernel_metrics(&cactus_profiles())
+    let cactus: Vec<KernelMetrics> = all_kernel_metrics(&cactus_profiles_cached())
         .into_iter()
         .map(|(_, m)| m)
         .collect();
-    let prt: Vec<KernelMetrics> = all_kernel_metrics(&prt_profiles())
+    let prt: Vec<KernelMetrics> = all_kernel_metrics(&prt_profiles_cached())
         .into_iter()
         .map(|(_, m)| m)
         .collect();
@@ -23,7 +24,10 @@ fn main() {
     header(&format!("Figure 8(a): Cactus ({} kernels)", cactus.len()));
     print!("{}", mc.render());
 
-    header(&format!("Figure 8(b): Parboil/Rodinia/Tango ({} kernels)", prt.len()));
+    header(&format!(
+        "Figure 8(b): Parboil/Rodinia/Tango ({} kernels)",
+        prt.len()
+    ));
     print!("{}", mp.render());
 
     header("Observation 9 check: correlated-metric counts per primary metric");

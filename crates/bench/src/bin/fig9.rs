@@ -8,13 +8,14 @@ use std::collections::BTreeMap;
 use cactus_analysis::famd::Famd;
 use cactus_analysis::hclust::{self, Linkage};
 use cactus_analysis::matrix::Matrix;
-use cactus_bench::{cactus_profiles, dominant_kernel_metrics, header, prt_profiles, roofline};
+use cactus_bench::store::{cactus_profiles_cached, prt_profiles_cached};
+use cactus_bench::{dominant_kernel_metrics, header, roofline};
 use cactus_gpu::metrics::MetricId;
 
 fn main() {
     let r = roofline();
-    let cactus = cactus_profiles();
-    let prt = prt_profiles();
+    let cactus = cactus_profiles_cached();
+    let prt = prt_profiles_cached();
 
     // Collect the dominant kernels of every workload from both pools.
     let mut labels: Vec<String> = Vec::new(); // "workload/kernel"
@@ -29,12 +30,7 @@ fn main() {
             labels.push(format!("{w}/{k}"));
             workloads.push(w);
             origins.push(origin);
-            rows.push(
-                MetricId::TABLE_IV
-                    .iter()
-                    .map(|&id| m.get(id))
-                    .collect(),
-            );
+            rows.push(MetricId::TABLE_IV.iter().map(|&id| m.get(id)).collect());
             qual_intensity.push(
                 r.intensity_class(m.instruction_intensity)
                     .label()
@@ -71,14 +67,21 @@ fn main() {
             e.1 += 1;
         }
     }
-    println!("\n{:<9} {:>8} {:>6} {:>17}", "Cluster", "Cactus", "PRT", "Cactus share");
+    println!(
+        "\n{:<9} {:>8} {:>6} {:>17}",
+        "Cluster", "Cactus", "PRT", "Cactus share"
+    );
     let mut cactus_dominated = 0;
     for (c, (ca, pr)) in &by_cluster {
         let share = *ca as f64 / (ca + pr) as f64;
         if share >= 0.6 {
             cactus_dominated += 1;
         }
-        println!("#{:<8} {ca:>8} {pr:>6} {share:>16.0}%", c + 1, share = share * 100.0);
+        println!(
+            "#{:<8} {ca:>8} {pr:>6} {share:>16.0}%",
+            c + 1,
+            share = share * 100.0
+        );
     }
     println!(
         "\nObservation 12 check: {cactus_dominated}/6 clusters are Cactus-dominated \
@@ -102,7 +105,12 @@ fn main() {
             if clusters.len() > 1 {
                 cactus_multi += 1;
             }
-            println!("{:<16} {} cluster(s) {:?} [Cactus]", w, clusters.len(), clusters);
+            println!(
+                "{:<16} {} cluster(s) {:?} [Cactus]",
+                w,
+                clusters.len(),
+                clusters
+            );
         } else {
             prt_apps += 1;
             if clusters.len() > 2 {

@@ -1,0 +1,34 @@
+//! Populate the shared profile store: simulate the Cactus suite and the
+//! Parboil/Rodinia/Tango comparison set once (in parallel) and serialize
+//! the profiles to `results/profiles/`, so every fig/table binary that
+//! follows loads instead of re-simulating. Pass `--no-cache` (or set
+//! `CACTUS_NO_CACHE=1`) to force fresh simulation even when a valid store
+//! exists.
+
+use cactus_bench::store::{self, cactus_profiles_cached, prt_profiles_cached};
+use cactus_bench::{header, ProfiledWorkload};
+
+fn main() {
+    header("Profile store");
+    println!(
+        "store: {}\nno-cache: {}",
+        store::store_dir().display(),
+        store::no_cache_requested()
+    );
+
+    let report = |set: &str, profiles: &[ProfiledWorkload]| {
+        let kernels: usize = profiles.iter().map(|p| p.profile.kernel_count()).sum();
+        let time_s: f64 = profiles.iter().map(|p| p.profile.total_time_s()).sum();
+        println!(
+            "{set:<8} {:>3} workloads, {kernels:>4} distinct kernels, {time_s:>9.3} s simulated GPU time",
+            profiles.len()
+        );
+    };
+
+    let start = std::time::Instant::now();
+    let cactus = cactus_profiles_cached();
+    let prt = prt_profiles_cached();
+    report("cactus", &cactus);
+    report("prt", &prt);
+    println!("ready in {:.2} s", start.elapsed().as_secs_f64());
+}

@@ -20,6 +20,12 @@ fn main() {
 
     header("Workload descriptions");
     for w in suite() {
-        println!("{:<4} {:<17} {:<38} {}", w.abbr, w.domain.name(), w.name, w.dataset);
+        println!(
+            "{:<4} {:<17} {:<38} {}",
+            w.abbr,
+            w.domain.name(),
+            w.name,
+            w.dataset
+        );
     }
 }

@@ -8,7 +8,10 @@ fn main() {
     let d = Device::rtx3080();
     header("Table II: system setup (modeled device)");
     println!("GPU              {}", d.name);
-    println!("SMs              {} ({} CUDA cores each)", d.sm_count, d.fp32_lanes_per_sm);
+    println!(
+        "SMs              {} ({} CUDA cores each)",
+        d.sm_count, d.fp32_lanes_per_sm
+    );
     println!("Clock            {:.1} GHz", d.clock_ghz);
     println!("Warp schedulers  {} per SM", d.schedulers_per_sm);
     println!("L1 data cache    {} KiB per SM", d.l1.size_bytes / 1024);
@@ -16,9 +19,18 @@ fn main() {
     println!("DRAM bandwidth   {:.1} GB/s", d.dram_bandwidth_gbps);
     println!("Transaction      {} B", d.dram_transaction_bytes);
     header("Derived roofline constants (paper Section IV)");
-    println!("Peak performance       {:.1} GIPS (paper: 516.8)", d.peak_gips());
-    println!("Peak transaction rate  {:.2} GTXN/s (paper: 23.75)", d.peak_gtxn_per_s());
-    println!("Roofline elbow         {:.2} warp insts/txn (paper: 21.76)", d.elbow_intensity());
+    println!(
+        "Peak performance       {:.1} GIPS (paper: 516.8)",
+        d.peak_gips()
+    );
+    println!(
+        "Peak transaction rate  {:.2} GTXN/s (paper: 23.75)",
+        d.peak_gtxn_per_s()
+    );
+    println!(
+        "Roofline elbow         {:.2} warp insts/txn (paper: 21.76)",
+        d.elbow_intensity()
+    );
     println!(
         "Latency-bound threshold {:.2} GIPS (1% of peak, paper: 5.16)",
         d.latency_bound_threshold_gips()

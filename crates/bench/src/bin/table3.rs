@@ -11,6 +11,11 @@ fn main() {
             .filter(|b| b.suite == suite)
             .map(|b| b.name)
             .collect();
-        println!("{:<8} ({:>2}): {}", suite.name(), names.len(), names.join(", "));
+        println!(
+            "{:<8} ({:>2}): {}",
+            suite.name(),
+            names.len(),
+            names.join(", ")
+        );
     }
 }

@@ -21,6 +21,8 @@
 //! | `fig8` | Figure 8 — correlation analysis |
 //! | `fig9` | Figure 9 — FAMD + Ward dendrogram |
 
+pub mod store;
+
 use cactus_analysis::roofline::{Roofline, RooflinePoint};
 use cactus_core::{SuiteScale, Workload};
 use cactus_gpu::metrics::KernelMetrics;
@@ -47,7 +49,9 @@ impl ProfiledWorkload {
     }
 }
 
-/// Run the full Cactus suite at profile scale.
+/// Run the full Cactus suite at profile scale. Fans out one workload per
+/// worker thread ([`cactus_gpu::par`]); identical output to
+/// [`cactus_profiles_serial`].
 #[must_use]
 pub fn cactus_profiles() -> Vec<ProfiledWorkload> {
     cactus_core::run_suite(SuiteScale::Profile)
@@ -60,21 +64,44 @@ pub fn cactus_profiles() -> Vec<ProfiledWorkload> {
         .collect()
 }
 
-/// Run the Parboil/Rodinia/Tango comparison benchmarks at profile scale.
+/// [`cactus_profiles`] on the calling thread only.
 #[must_use]
-pub fn prt_profiles() -> Vec<ProfiledWorkload> {
-    cactus_suites::all()
+pub fn cactus_profiles_serial() -> Vec<ProfiledWorkload> {
+    cactus_core::run_suite_serial(SuiteScale::Profile)
         .into_iter()
-        .map(|b: Benchmark| {
-            let mut gpu = Gpu::new(Device::rtx3080());
-            b.run(&mut gpu, Scale::Profile);
-            ProfiledWorkload {
-                name: b.name.to_owned(),
-                suite: b.suite.name().to_owned(),
-                profile: Profile::from_records(gpu.records()),
-            }
+        .map(|(w, profile): (Workload, Profile)| ProfiledWorkload {
+            name: w.abbr.to_owned(),
+            suite: "Cactus".to_owned(),
+            profile,
         })
         .collect()
+}
+
+/// Run the Parboil/Rodinia/Tango comparison benchmarks at profile scale.
+/// Each benchmark simulates on its own device and worker thread; identical
+/// output to [`prt_profiles_serial`].
+#[must_use]
+pub fn prt_profiles() -> Vec<ProfiledWorkload> {
+    cactus_gpu::par::parallel_map(cactus_suites::all(), profile_prt_benchmark)
+}
+
+/// [`prt_profiles`] on the calling thread only.
+#[must_use]
+pub fn prt_profiles_serial() -> Vec<ProfiledWorkload> {
+    cactus_suites::all()
+        .into_iter()
+        .map(profile_prt_benchmark)
+        .collect()
+}
+
+fn profile_prt_benchmark(b: Benchmark) -> ProfiledWorkload {
+    let mut gpu = Gpu::new(Device::rtx3080());
+    b.run(&mut gpu, Scale::Profile);
+    ProfiledWorkload {
+        name: b.name.to_owned(),
+        suite: b.suite.name().to_owned(),
+        profile: Profile::from_records(gpu.records()),
+    }
 }
 
 /// All per-kernel metric records of a set of profiled workloads, tagged

@@ -1,0 +1,312 @@
+//! The shared profile store: simulate the suite once, reuse everywhere.
+//!
+//! Every fig/table binary consumes the same two profile sets — the Cactus
+//! suite and the Parboil/Rodinia/Tango comparison set, both at Profile
+//! scale. Re-simulating them in each binary dominated wall-clock time, so
+//! the store serializes the sets to `results/profiles/` (bit-exact; see
+//! [`cactus_profiler::store`]) keyed by device, scale, and
+//! [`cactus_gpu::MODEL_VERSION`]:
+//!
+//! ```text
+//! results/profiles/<device-slug>/<scale>-v<model-version>/cactus.profiles
+//! results/profiles/<device-slug>/<scale>-v<model-version>/prt.profiles
+//! ```
+//!
+//! [`cactus_profiles_cached`] / [`prt_profiles_cached`] load from the store
+//! when a valid entry exists and otherwise simulate (in parallel) and
+//! populate it. A model-parameter bump changes the path *and* the embedded
+//! version line, so stale profiles can never be read back. Pass `--no-cache`
+//! to any binary (or set `CACTUS_NO_CACHE=1`) to force re-simulation; the
+//! fresh result overwrites the store.
+
+use crate::ProfiledWorkload;
+use cactus_gpu::{Device, MODEL_VERSION};
+use cactus_profiler::store::{read_profile, write_profile};
+
+use std::path::{Path, PathBuf};
+
+/// Environment variable forcing re-simulation (any non-empty value but `0`).
+pub const NO_CACHE_ENV: &str = "CACTUS_NO_CACHE";
+
+/// Environment variable overriding the store directory.
+pub const STORE_DIR_ENV: &str = "CACTUS_PROFILE_STORE";
+
+/// Magic first line of a profile-set file.
+const SET_HEADER: &str = "cactus-profile-set v1";
+
+/// The scale both cached sets are simulated at.
+const SCALE_SLUG: &str = "profile";
+
+/// True when the caller asked to bypass the store: `--no-cache` on the
+/// command line or [`NO_CACHE_ENV`] in the environment.
+#[must_use]
+pub fn no_cache_requested() -> bool {
+    std::env::args().any(|a| a == "--no-cache")
+        || std::env::var(NO_CACHE_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The store root: [`STORE_DIR_ENV`] if set, else `results/profiles/` under
+/// the workspace root.
+#[must_use]
+pub fn store_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var(STORE_DIR_ENV) {
+        return PathBuf::from(dir);
+    }
+    // crates/bench/ → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(
+            || PathBuf::from("results/profiles"),
+            |ws| ws.join("results/profiles"),
+        )
+}
+
+/// Cactus-suite profiles at Profile scale, via the store.
+#[must_use]
+pub fn cactus_profiles_cached() -> Vec<ProfiledWorkload> {
+    cached("cactus", crate::cactus_profiles)
+}
+
+/// Comparison-suite (PRT) profiles at Profile scale, via the store.
+#[must_use]
+pub fn prt_profiles_cached() -> Vec<ProfiledWorkload> {
+    cached("prt", crate::prt_profiles)
+}
+
+fn cached(set: &str, compute: fn() -> Vec<ProfiledWorkload>) -> Vec<ProfiledWorkload> {
+    let dir = store_dir();
+    if !no_cache_requested() {
+        if let Some(profiles) = load_set_in(&dir, set) {
+            return profiles;
+        }
+    }
+    let profiles = compute();
+    if let Err(e) = save_set_in(&dir, set, &profiles) {
+        eprintln!("profile store: could not write {set} set: {e}");
+    }
+    profiles
+}
+
+/// Path of one set file under `dir` for the current device/scale/version.
+#[must_use]
+pub fn set_path_in(dir: &Path, set: &str) -> PathBuf {
+    let slug = device_slug(&Device::rtx3080());
+    dir.join(slug)
+        .join(format!("{SCALE_SLUG}-v{MODEL_VERSION}"))
+        .join(format!("{set}.profiles"))
+}
+
+fn device_slug(device: &Device) -> String {
+    device
+        .name
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// Serialize one profile set to its store path. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_set_in(
+    dir: &Path,
+    set: &str,
+    profiles: &[ProfiledWorkload],
+) -> std::io::Result<PathBuf> {
+    let path = set_path_in(dir, set);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    out.push_str(SET_HEADER);
+    out.push('\n');
+    out.push_str(&format!("model_version {MODEL_VERSION}\n"));
+    out.push_str(&format!("device {}\n", Device::rtx3080().name));
+    out.push_str(&format!("scale {SCALE_SLUG}\n"));
+    out.push_str(&format!("entries {}\n", profiles.len()));
+    for p in profiles {
+        out.push_str(&format!("e {}\t{}\n", p.suite, p.name));
+        out.push_str(&write_profile(&p.profile));
+    }
+    // Write-then-rename so a crashed writer never leaves a torn set behind.
+    let tmp = path.with_extension("profiles.tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Load one profile set from its store path. `None` means "simulate
+/// instead": missing file, version/device mismatch, or any parse failure.
+#[must_use]
+pub fn load_set_in(dir: &Path, set: &str) -> Option<Vec<ProfiledWorkload>> {
+    let path = set_path_in(dir, set);
+    let text = std::fs::read_to_string(&path).ok()?;
+    match parse_set(&text) {
+        Ok(profiles) => Some(profiles),
+        Err(reason) => {
+            eprintln!("profile store: ignoring {}: {reason}", path.display());
+            None
+        }
+    }
+}
+
+fn parse_set(text: &str) -> Result<Vec<ProfiledWorkload>, String> {
+    let mut lines = text.lines();
+    let expect = |lines: &mut std::str::Lines<'_>, want: &str| -> Result<(), String> {
+        let got = lines
+            .next()
+            .ok_or_else(|| format!("missing {want:?} line"))?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("expected {want:?}, got {got:?}"))
+        }
+    };
+    expect(&mut lines, SET_HEADER)?;
+    expect(&mut lines, &format!("model_version {MODEL_VERSION}"))?;
+    expect(&mut lines, &format!("device {}", Device::rtx3080().name))?;
+    expect(&mut lines, &format!("scale {SCALE_SLUG}"))?;
+
+    let entries_line = lines.next().ok_or("missing entries line")?;
+    let entries: usize = entries_line
+        .strip_prefix("entries ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("bad entries line {entries_line:?}"))?;
+
+    let mut profiles = Vec::with_capacity(entries);
+    for _ in 0..entries {
+        let tag = lines.next().ok_or("truncated before entry tag")?;
+        let (suite, name) = tag
+            .strip_prefix("e ")
+            .and_then(|rest| rest.split_once('\t'))
+            .ok_or_else(|| format!("bad entry tag {tag:?}"))?;
+
+        // A profile block is its header, a `kernels <n>` line, and n kernel
+        // lines; re-join exactly that many lines and hand them to the
+        // profile parser.
+        let header = lines.next().ok_or("truncated before profile header")?;
+        let count_line = lines.next().ok_or("truncated before kernel count")?;
+        let count: usize = count_line
+            .strip_prefix("kernels ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("bad kernel count line {count_line:?}"))?;
+        let mut block = String::new();
+        block.push_str(header);
+        block.push('\n');
+        block.push_str(count_line);
+        block.push('\n');
+        for _ in 0..count {
+            block.push_str(lines.next().ok_or("truncated inside profile")?);
+            block.push('\n');
+        }
+        let profile = read_profile(&block).map_err(|e| e.to_string())?;
+        profiles.push(ProfiledWorkload {
+            name: name.to_owned(),
+            suite: suite.to_owned(),
+            profile,
+        });
+    }
+    if lines.next().is_some() {
+        return Err("trailing data after final profile".to_owned());
+    }
+    Ok(profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactus_gpu::prelude::*;
+    use cactus_profiler::Profile;
+
+    fn sample_set() -> Vec<ProfiledWorkload> {
+        ["alpha", "beta"]
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut gpu = Gpu::new(Device::rtx3080());
+                let n = 1u64 << (20 + i);
+                let k = KernelDesc::builder(format!("{name}_kernel"))
+                    .launch(LaunchConfig::linear(n, 256))
+                    .stream(AccessStream::read(n, 4, AccessPattern::Streaming))
+                    .build();
+                gpu.launch(&k);
+                gpu.launch(&k);
+                ProfiledWorkload {
+                    name: name.to_owned(),
+                    suite: "TestSuite".to_owned(),
+                    profile: Profile::from_records(gpu.records()),
+                }
+            })
+            .collect()
+    }
+
+    fn tmp_store(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cactus-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_then_load_is_exact() {
+        let dir = tmp_store("roundtrip");
+        let set = sample_set();
+        let path = save_set_in(&dir, "cactus", &set).expect("save");
+        assert!(path.starts_with(&dir));
+
+        let loaded = load_set_in(&dir, "cactus").expect("load");
+        assert_eq!(loaded.len(), set.len());
+        for (a, b) in loaded.iter().zip(&set) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.suite, b.suite);
+            assert_eq!(a.profile, b.profile);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_store_is_a_clean_miss() {
+        let dir = tmp_store("missing");
+        assert!(load_set_in(&dir, "cactus").is_none());
+    }
+
+    #[test]
+    fn version_mismatch_invalidates() {
+        let dir = tmp_store("version");
+        let set = sample_set();
+        let path = save_set_in(&dir, "prt", &set).expect("save");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let stale = text.replace(&format!("model_version {MODEL_VERSION}"), "model_version 0");
+        std::fs::write(&path, stale).expect("rewrite");
+        assert!(load_set_in(&dir, "prt").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_profile_invalidates() {
+        let dir = tmp_store("corrupt");
+        let set = sample_set();
+        let path = save_set_in(&dir, "cactus", &set).expect("save");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&path, truncated).expect("rewrite");
+        assert!(load_set_in(&dir, "cactus").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn set_path_encodes_device_scale_and_version() {
+        let p = set_path_in(Path::new("/store"), "cactus");
+        let s = p.to_string_lossy();
+        assert!(s.contains("rtx-3080"), "{s}");
+        assert!(s.contains(&format!("profile-v{MODEL_VERSION}")), "{s}");
+        assert!(s.ends_with("cactus.profiles"), "{s}");
+    }
+}

@@ -40,8 +40,7 @@ use cactus_profiler::Profile;
 /// Panics if the abbreviation is unknown.
 #[must_use]
 pub fn run(abbr: &str, scale: SuiteScale) -> Profile {
-    let w = workloads::by_abbr(abbr)
-        .unwrap_or_else(|| panic!("unknown Cactus workload {abbr:?}"));
+    let w = workloads::by_abbr(abbr).unwrap_or_else(|| panic!("unknown Cactus workload {abbr:?}"));
     let mut gpu = Gpu::new(Device::rtx3080());
     w.run(&mut gpu, scale);
     Profile::from_records(gpu.records())
@@ -49,8 +48,7 @@ pub fn run(abbr: &str, scale: SuiteScale) -> Profile {
 
 /// Run one workload on an existing device (the trace accumulates).
 pub fn run_on(gpu: &mut Gpu, abbr: &str, scale: SuiteScale) -> Profile {
-    let w = workloads::by_abbr(abbr)
-        .unwrap_or_else(|| panic!("unknown Cactus workload {abbr:?}"));
+    let w = workloads::by_abbr(abbr).unwrap_or_else(|| panic!("unknown Cactus workload {abbr:?}"));
     let start = gpu.records().len();
     w.run(gpu, scale);
     Profile::from_records(&gpu.records()[start..])
@@ -58,8 +56,24 @@ pub fn run_on(gpu: &mut Gpu, abbr: &str, scale: SuiteScale) -> Profile {
 
 /// Run the whole suite and produce one `(workload, profile)` pair per row
 /// of Table I.
+///
+/// Workloads are independent — each gets its own fresh device — so they fan
+/// out across worker threads ([`cactus_gpu::par`]; pin the count with
+/// `CACTUS_THREADS`). The result is bit-identical to [`run_suite_serial`].
 #[must_use]
 pub fn run_suite(scale: SuiteScale) -> Vec<(Workload, Profile)> {
+    cactus_gpu::par::parallel_map(suite(), |w| {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        w.run(&mut gpu, scale);
+        let p = Profile::from_records(gpu.records());
+        (w, p)
+    })
+}
+
+/// [`run_suite`] on the calling thread only, in Table I order. Reference
+/// implementation for determinism tests and serial-vs-parallel benchmarks.
+#[must_use]
+pub fn run_suite_serial(scale: SuiteScale) -> Vec<(Workload, Profile)> {
     suite()
         .into_iter()
         .map(|w| {

@@ -281,10 +281,18 @@ mod tests {
 
         let mut gpu = Gpu::new(Device::rtx3080());
         by_abbr("LMR").unwrap().run(&mut gpu, SuiteScale::Tiny);
-        assert_eq!(Profile::from_records(gpu.records()).kernel_count(), 15, "LMR");
+        assert_eq!(
+            Profile::from_records(gpu.records()).kernel_count(),
+            15,
+            "LMR"
+        );
 
         let mut gpu = Gpu::new(Device::rtx3080());
         by_abbr("LMC").unwrap().run(&mut gpu, SuiteScale::Tiny);
-        assert_eq!(Profile::from_records(gpu.records()).kernel_count(), 9, "LMC");
+        assert_eq!(
+            Profile::from_records(gpu.records()).kernel_count(),
+            9,
+            "LMC"
+        );
     }
 }

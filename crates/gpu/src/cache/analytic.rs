@@ -82,8 +82,16 @@ pub fn hit_rate(
             let (hh, hc) = che_two_class(f, dh, dc, capacity_blocks);
             // Per class: compulsory miss on the first touch of each block
             // reached, steady-state hits on the rest.
-            let hot_hits = if nh > 0.0 { hh * (nh - th).max(0.0) } else { 0.0 };
-            let cold_hits = if nc > 0.0 { hc * (nc - tc).max(0.0) } else { 0.0 };
+            let hot_hits = if nh > 0.0 {
+                hh * (nh - th).max(0.0)
+            } else {
+                0.0
+            };
+            let cold_hits = if nc > 0.0 {
+                hc * (nc - tc).max(0.0)
+            } else {
+                0.0
+            };
             ((hot_hits + cold_hits) / accesses).clamp(0.0, 1.0)
         }
         AccessPattern::Broadcast { bytes } => {

@@ -109,8 +109,8 @@ impl MemoryModel {
                     out.l2_hits += h2 * l2_in;
                     out.dram_read_transactions += dram;
 
-                    let avg = h1 * lat.l1_hit
-                        + (1.0 - h1) * (h2 * lat.l2_hit + (1.0 - h2) * lat.dram);
+                    let avg =
+                        h1 * lat.l1_hit + (1.0 - h1) * (h2 * lat.l2_hit + (1.0 - h2) * lat.dram);
                     read_latency_weighted += avg * txns;
                     read_txns += txns;
                 }
@@ -206,10 +206,10 @@ mod tests {
         let r = MemoryModel::resolve(&device(), &streams);
         assert!(r.dram_read_transactions > 0.0);
         assert!(r.dram_write_transactions > 0.0);
-        assert!((r.dram_transactions()
-            - (r.dram_read_transactions + r.dram_write_transactions))
-            .abs()
-            < 1e-9);
+        assert!(
+            (r.dram_transactions() - (r.dram_read_transactions + r.dram_write_transactions)).abs()
+                < 1e-9
+        );
     }
 
     #[test]

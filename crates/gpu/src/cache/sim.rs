@@ -7,6 +7,12 @@ use crate::device::CacheGeometry;
 ///
 /// Lines are allocated at `line_bytes` granularity. The simulator tracks hits
 /// and misses; it does not model data contents.
+///
+/// Recency is kept as compact per-set `u32` ages (a per-set counter stamps
+/// each touched way) rather than one global `u64` clock — half the stamp
+/// memory and the ages stay local to the set that owns them. When a set's
+/// counter would overflow, its ages are rank-compressed to `0..assoc` and
+/// counting resumes; LRU order is preserved exactly.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
@@ -15,9 +21,12 @@ pub struct SetAssocCache {
     line_shift: u32,
     /// `tags[set * assoc + way]`; `u64::MAX` = invalid.
     tags: Vec<u64>,
-    /// Monotonic per-access stamps for LRU.
-    stamps: Vec<u64>,
-    clock: u64,
+    /// Per-way recency ages, larger = more recently used; indexed like
+    /// `tags`.
+    ages: Vec<u32>,
+    /// Per-set age counters; the next stamp handed out in a set is
+    /// `set_clock[set] + 1`.
+    set_clock: Vec<u32>,
     hits: u64,
     misses: u64,
 }
@@ -44,8 +53,8 @@ impl SetAssocCache {
             assoc,
             line_shift: geometry.line_bytes.trailing_zeros(),
             tags: vec![u64::MAX; sets * assoc],
-            stamps: vec![0; sets * assoc],
-            clock: 0,
+            ages: vec![0; sets * assoc],
+            set_clock: vec![0; sets],
             hits: 0,
             misses: 0,
         }
@@ -59,27 +68,27 @@ impl SetAssocCache {
 
     /// Access one byte address; returns `true` on hit. Misses allocate.
     pub fn access(&mut self, addr: u64) -> bool {
-        self.clock += 1;
         let line = addr >> self.line_shift;
         let set = (line % self.sets as u64) as usize;
+        let stamp = self.next_stamp(set);
         let base = set * self.assoc;
-        let ways = &mut self.tags[base..base + self.assoc];
+        let ways = &self.tags[base..base + self.assoc];
 
         if let Some(way) = ways.iter().position(|&t| t == line) {
-            self.stamps[base + way] = self.clock;
+            self.ages[base + way] = stamp;
             self.hits += 1;
             return true;
         }
 
-        // Miss: fill into invalid way or evict LRU.
+        // Miss: fill into invalid way or evict LRU (smallest age).
         let victim = match ways.iter().position(|&t| t == u64::MAX) {
             Some(w) => w,
             None => {
                 let mut lru_way = 0;
-                let mut lru_stamp = u64::MAX;
-                for (w, &stamp) in self.stamps[base..base + self.assoc].iter().enumerate() {
-                    if stamp < lru_stamp {
-                        lru_stamp = stamp;
+                let mut lru_age = u32::MAX;
+                for (w, &age) in self.ages[base..base + self.assoc].iter().enumerate() {
+                    if age < lru_age {
+                        lru_age = age;
                         lru_way = w;
                     }
                 }
@@ -87,9 +96,33 @@ impl SetAssocCache {
             }
         };
         self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.clock;
+        self.ages[base + victim] = stamp;
         self.misses += 1;
         false
+    }
+
+    /// Advance one set's age counter, rank-compressing the set's ages first
+    /// if the counter is about to overflow.
+    fn next_stamp(&mut self, set: usize) -> u32 {
+        if self.set_clock[set] == u32::MAX {
+            self.renormalize(set);
+        }
+        self.set_clock[set] += 1;
+        self.set_clock[set]
+    }
+
+    /// Rank-compress one set's ages to `0..assoc`, preserving their relative
+    /// order, and pull the set counter back accordingly. Runs once per
+    /// ~4 × 10⁹ accesses to a set.
+    fn renormalize(&mut self, set: usize) {
+        let base = set * self.assoc;
+        let ages = &mut self.ages[base..base + self.assoc];
+        let mut order: Vec<usize> = (0..ages.len()).collect();
+        order.sort_unstable_by_key(|&w| ages[w]);
+        for (rank, &w) in order.iter().enumerate() {
+            ages[w] = rank as u32;
+        }
+        self.set_clock[set] = self.assoc as u32;
     }
 
     /// Number of hits so far.
@@ -127,12 +160,28 @@ impl SetAssocCache {
         self.misses = 0;
     }
 
-    /// Invalidate all lines and reset statistics.
-    pub fn flush(&mut self) {
+    /// Return the cache to its just-constructed state — contents, recency,
+    /// and statistics — without reallocating, so one simulator instance can
+    /// be reused across many sweep configurations.
+    pub fn reset(&mut self) {
         self.tags.fill(u64::MAX);
-        self.stamps.fill(0);
-        self.clock = 0;
+        self.ages.fill(0);
+        self.set_clock.fill(0);
         self.reset_stats();
+    }
+
+    /// Invalidate all lines and reset statistics (alias of [`reset`]
+    /// retained for existing callers).
+    ///
+    /// [`reset`]: SetAssocCache::reset
+    pub fn flush(&mut self) {
+        self.reset();
+    }
+
+    /// Force one set's age counter (test hook for overflow handling).
+    #[cfg(test)]
+    fn force_set_clock(&mut self, set: usize, value: u32) {
+        self.set_clock[set] = value;
     }
 }
 
@@ -146,6 +195,15 @@ mod tests {
             line_bytes: 64,
             sector_bytes: 32,
             associativity: 4,
+        })
+    }
+
+    fn two_way_single_set() -> SetAssocCache {
+        SetAssocCache::new(CacheGeometry {
+            size_bytes: 2 * 64,
+            line_bytes: 64,
+            sector_bytes: 32,
+            associativity: 2,
         })
     }
 
@@ -173,7 +231,7 @@ mod tests {
     #[test]
     fn cyclic_sweep_larger_than_cache_thrashes() {
         let mut c = small_cache(); // 64 lines, 16 sets × 4 ways
-        // 128 distinct lines, cycled: classic LRU worst case — ~0% hits.
+                                   // 128 distinct lines, cycled: classic LRU worst case — ~0% hits.
         for _ in 0..4 {
             for line in 0..128u64 {
                 c.access(line * 64);
@@ -184,12 +242,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut c = SetAssocCache::new(CacheGeometry {
-            size_bytes: 2 * 64,
-            line_bytes: 64,
-            sector_bytes: 32,
-            associativity: 2,
-        });
+        let mut c = two_way_single_set();
         // Single set, 2 ways.
         c.access(0); // A
         c.access(64); // B
@@ -206,5 +259,59 @@ mod tests {
         c.flush();
         assert!(!c.access(0));
         assert_eq!(c.accesses(), 1);
+    }
+
+    #[test]
+    fn reset_allows_exact_reuse() {
+        let run = |c: &mut SetAssocCache| -> (u64, u64) {
+            for _ in 0..3 {
+                for line in 0..96u64 {
+                    c.access(line * 64 * 7);
+                }
+            }
+            (c.hits(), c.misses())
+        };
+        let mut reused = small_cache();
+        let first = run(&mut reused);
+        reused.reset();
+        assert_eq!(reused.accesses(), 0);
+        let second = run(&mut reused);
+        assert_eq!(first, second, "reset cache must replay identically");
+
+        let mut fresh = small_cache();
+        assert_eq!(run(&mut fresh), first, "reset equals fresh construction");
+    }
+
+    #[test]
+    fn age_counter_overflow_preserves_lru_order() {
+        let mut c = two_way_single_set();
+        c.access(0); // A, age 1
+        c.access(64); // B, age 2 — A is LRU
+                      // Next stamp would overflow: the set renormalizes (A → 0, B → 1)
+                      // before stamping.
+        c.force_set_clock(0, u32::MAX);
+        assert!(c.access(64), "B still resident across renormalization");
+        // A must still be the LRU victim.
+        c.access(128); // C evicts A
+        assert!(c.access(64), "B survives");
+        assert!(c.access(128), "C survives");
+        assert!(!c.access(0), "A was the LRU victim");
+    }
+
+    #[test]
+    fn repeated_overflow_is_stable() {
+        let mut c = two_way_single_set();
+        c.access(0);
+        c.access(64);
+        for round in 0..5 {
+            c.force_set_clock(0, u32::MAX);
+            // Touch A so the recency order flips each round.
+            let keep = if round % 2 == 0 { 0 } else { 64 };
+            assert!(c.access(keep), "round {round}");
+        }
+        // Last touched was A (round 4) → B is LRU.
+        c.access(128);
+        assert!(c.access(0), "A survives final eviction");
+        assert!(!c.access(64), "B evicted");
     }
 }

@@ -1,5 +1,16 @@
 //! The simulated GPU device: executes kernel descriptors and records an
 //! execution trace.
+//!
+//! Kernel simulation is **memoized**: the timing model and memory hierarchy
+//! are pure functions of the device and the kernel descriptor, and the
+//! Cactus workloads relaunch the same kernel configuration many times per
+//! run (MD force kernels every timestep, attention kernels every decoder
+//! step), so each [`Gpu`] caches `(Timing, KernelMetrics)` per distinct
+//! launch fingerprint and replays the cached result on repeat launches. The
+//! trace a workload observes is bit-identical with memoization on or off —
+//! only the simulation cost changes. See [`Gpu::memo_hits`].
+
+use std::collections::HashMap;
 
 use crate::cache::MemoryModel;
 use crate::device::Device;
@@ -26,6 +37,70 @@ impl LaunchRecord {
     }
 }
 
+/// Words per access stream in a launch fingerprint: direction,
+/// warp accesses, transactions-per-access bits, pattern tag, three
+/// pattern parameters (zero-padded).
+const STREAM_FINGERPRINT_WORDS: usize = 7;
+
+/// Exact fingerprint of everything [`timing::simulate`] and
+/// [`MemoryModel::resolve`] read from a kernel descriptor. The kernel *name*
+/// is deliberately excluded — two kernels with identical launch geometry,
+/// instruction mix, and access streams simulate identically — and the device
+/// is excluded because a fingerprint never leaves the `Gpu` whose device
+/// produced it.
+fn fingerprint(kernel: &KernelDesc) -> Box<[u64]> {
+    let launch = kernel.launch();
+    let mix = kernel.mix();
+    let streams = kernel.streams();
+
+    let mut words = Vec::with_capacity(14 + streams.len() * STREAM_FINGERPRINT_WORDS);
+    words.extend([
+        launch.grid_blocks,
+        u64::from(launch.threads_per_block),
+        u64::from(launch.registers_per_thread),
+        u64::from(launch.shared_mem_per_block),
+    ]);
+    words.extend([
+        mix.fp32,
+        mix.special,
+        mix.int,
+        mix.branch,
+        mix.load,
+        mix.store,
+        mix.shared,
+        mix.sync,
+        mix.misc,
+    ]);
+    words.push(kernel.dependency_fraction().to_bits());
+    for stream in streams {
+        use crate::access::{AccessPattern, Direction};
+        words.push(match stream.direction {
+            Direction::Read => 0,
+            Direction::Write => 1,
+        });
+        words.push(stream.warp_accesses);
+        words.push(stream.transactions_per_access.to_bits());
+        // Fixed-width pattern encoding so no two descriptors can share a
+        // word sequence.
+        let (tag, p0, p1, p2) = match stream.pattern {
+            AccessPattern::Streaming => (0, 0, 0, 0),
+            AccessPattern::RandomUniform { working_set_bytes } => (1, working_set_bytes, 0, 0),
+            AccessPattern::Sweep {
+                working_set_bytes,
+                sweeps,
+            } => (2, working_set_bytes, u64::from(sweeps), 0),
+            AccessPattern::HotCold {
+                hot_fraction,
+                hot_bytes,
+                cold_bytes,
+            } => (3, hot_fraction.to_bits(), hot_bytes, cold_bytes),
+            AccessPattern::Broadcast { bytes } => (4, bytes, 0, 0),
+        };
+        words.extend([tag, p0, p1, p2]);
+    }
+    words.into_boxed_slice()
+}
+
 /// A simulated GPU: executes [`KernelDesc`]s in issue order and records the
 /// resulting trace, playing the role the RTX 3080 + Nsight Compute play in
 /// the paper.
@@ -42,22 +117,33 @@ impl LaunchRecord {
 ///     .stream(AccessStream::write(1 << 20, 4, AccessPattern::Streaming))
 ///     .build();
 /// gpu.launch(&k);
-/// assert_eq!(gpu.records().len(), 1);
+/// gpu.launch(&k);
+/// assert_eq!(gpu.records().len(), 2);
+/// assert_eq!(gpu.memo_hits(), 1); // second launch replayed from cache
 /// assert!(gpu.total_gpu_time_s() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Gpu {
     device: Device,
     records: Vec<LaunchRecord>,
+    memo: HashMap<Box<[u64]>, (Timing, KernelMetrics)>,
+    memo_enabled: bool,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl Gpu {
-    /// Create a device with an empty trace.
+    /// Create a device with an empty trace. Launch memoization starts
+    /// enabled; see [`Gpu::set_memoization`].
     #[must_use]
     pub fn new(device: Device) -> Self {
         Self {
             device,
             records: Vec::new(),
+            memo: HashMap::new(),
+            memo_enabled: true,
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 
@@ -69,21 +155,74 @@ impl Gpu {
 
     /// Execute one kernel launch and append it to the trace; returns the
     /// record.
+    ///
+    /// If an identical launch (same geometry, mix, streams, and dependency
+    /// fraction) was simulated before on this device, the cached result is
+    /// replayed instead of re-running the memory and timing models.
     pub fn launch(&mut self, kernel: &KernelDesc) -> &LaunchRecord {
-        let traffic = MemoryModel::resolve(&self.device, kernel.streams());
-        let (timing, metrics) = timing::simulate(
-            &self.device,
-            kernel.launch(),
-            kernel.mix(),
-            kernel.dependency_fraction(),
-            &traffic,
-        );
+        let (timing, metrics) = if self.memo_enabled {
+            let key = fingerprint(kernel);
+            if let Some(&cached) = self.memo.get(&key) {
+                self.memo_hits += 1;
+                cached
+            } else {
+                self.memo_misses += 1;
+                let result = self.simulate(kernel);
+                self.memo.insert(key, result);
+                result
+            }
+        } else {
+            self.simulate(kernel)
+        };
         self.records.push(LaunchRecord {
             name: kernel.name().to_owned(),
             metrics,
             timing,
         });
         self.records.last().expect("record just pushed")
+    }
+
+    /// Run the memory and timing models for one kernel (the memo-miss path).
+    fn simulate(&self, kernel: &KernelDesc) -> (Timing, KernelMetrics) {
+        let traffic = MemoryModel::resolve(&self.device, kernel.streams());
+        timing::simulate(
+            &self.device,
+            kernel.launch(),
+            kernel.mix(),
+            kernel.dependency_fraction(),
+            &traffic,
+        )
+    }
+
+    /// Enable or disable launch memoization. Disabling leaves existing
+    /// cached entries in place (re-enable to use them again).
+    pub fn set_memoization(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+    }
+
+    /// Launches answered from the memo cache.
+    #[must_use]
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Launches that ran the full simulation (and populated the cache).
+    #[must_use]
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses
+    }
+
+    /// Distinct launch fingerprints currently cached.
+    #[must_use]
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Drop all cached simulation results and reset the hit/miss counters.
+    pub fn clear_memo(&mut self) {
+        self.memo.clear();
+        self.memo_hits = 0;
+        self.memo_misses = 0;
     }
 
     /// The execution trace so far, in launch order.
@@ -108,7 +247,8 @@ impl Gpu {
     }
 
     /// Drop the trace (e.g. after a warm-up phase, mirroring how the paper
-    /// profiles only a steady-state region).
+    /// profiles only a steady-state region). The memo cache survives — a
+    /// post-warm-up run replays warm-up kernels from cache.
     pub fn reset_trace(&mut self) {
         self.records.clear();
     }
@@ -179,7 +319,11 @@ mod tests {
         let warps = lc.total_warps();
         let k = KernelDesc::builder("gemm_like")
             .launch(lc)
-            .mix(InstructionMix::new().with_fp32(warps * 4000).with_shared(warps * 500))
+            .mix(
+                InstructionMix::new()
+                    .with_fp32(warps * 4000)
+                    .with_shared(warps * 500),
+            )
             .stream(AccessStream::read(1 << 22, 4, AccessPattern::Streaming))
             .build();
         let elbow = gpu.device().elbow_intensity();
@@ -189,5 +333,114 @@ mod tests {
             "II {} vs elbow {elbow}",
             r.metrics.instruction_intensity
         );
+    }
+
+    #[test]
+    fn repeat_launches_hit_the_memo() {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        let k = copy_kernel(1 << 20);
+        for _ in 0..5 {
+            gpu.launch(&k);
+        }
+        assert_eq!(gpu.memo_misses(), 1);
+        assert_eq!(gpu.memo_hits(), 4);
+        assert_eq!(gpu.memo_len(), 1);
+        let first = gpu.records()[0].clone();
+        for r in gpu.records() {
+            assert_eq!(*r, first);
+        }
+    }
+
+    #[test]
+    fn memoized_trace_is_bit_identical_to_cold_trace() {
+        let kernels: Vec<KernelDesc> = (0..4)
+            .flat_map(|_| [copy_kernel(1 << 18), copy_kernel(1 << 20)])
+            .collect();
+
+        let mut warm = Gpu::new(Device::rtx3080());
+        let mut cold = Gpu::new(Device::rtx3080());
+        cold.set_memoization(false);
+        for k in &kernels {
+            warm.launch(k);
+            cold.launch(k);
+        }
+        assert_eq!(warm.records(), cold.records());
+        assert_eq!(warm.memo_misses(), 2);
+        assert_eq!(warm.memo_hits(), 6);
+        assert_eq!(cold.memo_hits() + cold.memo_misses(), 0);
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_kernels() {
+        // Same name, different geometry → distinct entries.
+        let a = copy_kernel(1 << 18);
+        let b = copy_kernel(1 << 20);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+
+        // Different name, same everything else → same fingerprint.
+        let renamed = KernelDesc::builder("other_name")
+            .launch(*a.launch())
+            .mix(*a.mix())
+            .streams(a.streams().iter().copied())
+            .dependency_fraction(a.dependency_fraction())
+            .build();
+        assert_eq!(fingerprint(&a), fingerprint(&renamed));
+
+        // Pattern parameters are part of the key.
+        let sweep1 = KernelDesc::builder("s")
+            .stream(AccessStream::read(
+                1 << 16,
+                4,
+                AccessPattern::Sweep {
+                    working_set_bytes: 1 << 20,
+                    sweeps: 2,
+                },
+            ))
+            .build();
+        let sweep2 = KernelDesc::builder("s")
+            .stream(AccessStream::read(
+                1 << 16,
+                4,
+                AccessPattern::Sweep {
+                    working_set_bytes: 1 << 20,
+                    sweeps: 3,
+                },
+            ))
+            .build();
+        assert_ne!(fingerprint(&sweep1), fingerprint(&sweep2));
+    }
+
+    #[test]
+    fn memo_survives_reset_trace_and_clears_on_demand() {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        let k = copy_kernel(1 << 20);
+        gpu.launch(&k);
+        gpu.reset_trace();
+        gpu.launch(&k);
+        assert_eq!(gpu.memo_hits(), 1, "cache must survive reset_trace");
+
+        gpu.clear_memo();
+        assert_eq!(gpu.memo_len(), 0);
+        assert_eq!(gpu.memo_hits() + gpu.memo_misses(), 0);
+        gpu.launch(&k);
+        assert_eq!(gpu.memo_misses(), 1);
+    }
+
+    #[test]
+    fn renamed_kernel_records_its_own_name_on_memo_hit() {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        let a = copy_kernel(1 << 20);
+        let b = KernelDesc::builder("copy_v2")
+            .launch(*a.launch())
+            .mix(*a.mix())
+            .streams(a.streams().iter().copied())
+            .dependency_fraction(a.dependency_fraction())
+            .build();
+        gpu.launch(&a);
+        gpu.launch(&b);
+        assert_eq!(gpu.memo_hits(), 1);
+        assert_eq!(gpu.records()[0].name, "copy");
+        assert_eq!(gpu.records()[1].name, "copy_v2");
+        assert_eq!(gpu.records()[0].metrics, gpu.records()[1].metrics);
     }
 }

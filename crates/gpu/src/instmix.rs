@@ -204,7 +204,10 @@ mod tests {
 
     #[test]
     fn fractions() {
-        let mix = InstructionMix::new().with_branch(1).with_load(2).with_fp32(7);
+        let mix = InstructionMix::new()
+            .with_branch(1)
+            .with_load(2)
+            .with_fp32(7);
         assert!((mix.fraction_branches() - 0.1).abs() < 1e-12);
         assert!((mix.fraction_ldst() - 0.2).abs() < 1e-12);
     }

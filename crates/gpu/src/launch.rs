@@ -81,7 +81,7 @@ impl LaunchConfig {
         let by_blocks = device.max_blocks_per_sm;
 
         // Limit 2: warps per SM.
-        let by_warps = (device.max_warps_per_sm / warps_per_block).max(0);
+        let by_warps = device.max_warps_per_sm / warps_per_block;
 
         // Limit 3: register file.
         let regs_per_block =

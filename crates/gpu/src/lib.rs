@@ -29,7 +29,8 @@
 //! * [`metrics`] — the Nsight-style per-kernel metric record.
 //! * [`kernel`] — the kernel descriptor assembled by workloads.
 //! * [`engine`] — the [`engine::Gpu`] device that executes launches and
-//!   records an execution trace.
+//!   records an execution trace, memoizing repeated launch configurations.
+//! * [`par`] — deterministic parallel fan-out used by the suite runners.
 //! * [`tracefile`] — serialization of execution traces (the paper's
 //!   future-work "simulator-compatible instruction traces").
 //!
@@ -58,8 +59,15 @@ pub mod instmix;
 pub mod kernel;
 pub mod launch;
 pub mod metrics;
+pub mod par;
 pub mod timing;
 pub mod tracefile;
+
+/// Version of the performance model's parameters and equations. Bump this
+/// whenever a change to the device descriptors, cache models, or timing
+/// model can alter simulated metrics: serialized profile stores are keyed on
+/// it, so stale cached profiles invalidate automatically.
+pub const MODEL_VERSION: u32 = 1;
 
 /// Convenient re-exports of the types used by nearly every client.
 pub mod prelude {
@@ -72,5 +80,5 @@ pub mod prelude {
     pub use crate::metrics::KernelMetrics;
 }
 
-pub use crate::engine::Gpu;
 pub use crate::device::Device;
+pub use crate::engine::Gpu;

@@ -1,0 +1,150 @@
+//! Deterministic parallel fan-out for suite-scale simulation.
+//!
+//! The Cactus runners simulate many independent workloads, each on its own
+//! [`crate::engine::Gpu`]; nothing couples them, so they can execute on
+//! separate OS threads. This module provides the one primitive those runners
+//! need: an ordered parallel map whose output is **bit-identical to the
+//! serial map** — workers pull items from a shared queue, tag every result
+//! with its input index, and the results are reassembled in input order. The
+//! per-item closures themselves are deterministic (the device model draws no
+//! randomness at simulation time), so scheduling order cannot leak into the
+//! output.
+//!
+//! Thread count defaults to [`std::thread::available_parallelism`] and can
+//! be pinned with the `CACTUS_THREADS` environment variable (`1` forces the
+//! serial path; useful for benchmarking and debugging).
+
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "CACTUS_THREADS";
+
+/// Worker threads to use: `CACTUS_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+#[must_use]
+pub fn max_threads() -> usize {
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Map `f` over `items` on up to [`max_threads`] worker threads, returning
+/// results in input order. Output is identical to
+/// `items.into_iter().map(f).collect()`.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    parallel_map_threads(items, max_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn parallel_map_threads<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Work queue: each worker takes the next (index, item) under the lock,
+    // releases it, then runs `f` outside the lock.
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let finished: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let next = queue.lock().expect("work queue poisoned").next();
+                    let Some((index, item)) = next else { break };
+                    local.push((index, f(item)));
+                }
+                finished
+                    .lock()
+                    .expect("result sink poisoned")
+                    .append(&mut local);
+            });
+        }
+    });
+
+    let mut tagged = finished.into_inner().expect("result sink poisoned");
+    debug_assert_eq!(tagged.len(), n);
+    tagged.sort_unstable_by_key(|&(index, _)| index);
+    tagged.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let input: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64, 1000] {
+            let got = parallel_map_threads(input.clone(), threads, |x| x * x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn matches_serial_with_uneven_costs() {
+        // Early items are the slowest, so completion order inverts input
+        // order — the output must not.
+        let input: Vec<u64> = (0..32).collect();
+        let f = |x: u64| {
+            std::thread::sleep(std::time::Duration::from_micros((32 - x) * 50));
+            x + 1
+        };
+        let serial: Vec<u64> = input.iter().map(|&x| f(x)).collect();
+        assert_eq!(parallel_map_threads(input, 8, f), serial);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map_threads(empty, 4, |x: u32| x).is_empty());
+        assert_eq!(parallel_map_threads(vec![7], 4, |x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn non_copy_items_and_results() {
+        let input: Vec<String> = (0..20).map(|i| format!("w{i}")).collect();
+        let got = parallel_map_threads(input, 4, |s| format!("{s}!"));
+        assert_eq!(got[0], "w0!");
+        assert_eq!(got[19], "w19!");
+    }
+
+    // std::thread::scope re-panics with its own payload, so only the fact
+    // of the panic (not the message) crosses the join.
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let _ = parallel_map_threads(vec![1u32, 2, 3], 2, |x| {
+            assert!(x != 2, "worker boom");
+            x
+        });
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -80,8 +80,8 @@ pub fn simulate(
     // --- Serial (dependency-limited) time of one warp -----------------
     let mem_lat = traffic.avg_read_latency_cycles;
     let sync_cost = 20.0 + 2.0 * f64::from(launch.warps_per_block());
-    let serial_stall_mem = dep
-        * (per_warp(mix.load) * (mem_lat - 1.0) + per_warp(mix.shared) * (lat.shared - 1.0));
+    let serial_stall_mem =
+        dep * (per_warp(mix.load) * (mem_lat - 1.0) + per_warp(mix.shared) * (lat.shared - 1.0));
     let serial_stall_exec = dep
         * ((per_warp(mix.fp32) + per_warp(mix.int) + per_warp(mix.branch) + per_warp(mix.misc))
             * (lat.alu - 1.0)
@@ -146,8 +146,9 @@ pub fn simulate(
     // Bandwidth surplus goes to the memory-stall bucket (warps queue on the
     // memory system) unless the kernel is issue/latency bound.
     let bw_surplus = match bound {
-        Bound::Dram | Bound::L2 => (wave_time - issue_cycles_per_wave.max(serial_cycles_per_warp))
-            .max(0.0),
+        Bound::Dram | Bound::L2 => {
+            (wave_time - issue_cycles_per_wave.max(serial_cycles_per_warp)).max(0.0)
+        }
         _ => 0.0,
     };
     let mem_raw = serial_stall_mem + bw_surplus;
@@ -170,8 +171,7 @@ pub fn simulate(
 
     // Functional-unit utilizations.
     let sm_active = f64::from(device.sm_count) * sm_util;
-    let fp32_capacity =
-        sm_active * f64::from(device.fp32_lanes_per_sm) / 32.0 * duration_cycles;
+    let fp32_capacity = sm_active * f64::from(device.fp32_lanes_per_sm) / 32.0 * duration_cycles;
     let sp_utilization = if fp32_capacity > 0.0 {
         (mix.fp32 as f64 / fp32_capacity).clamp(0.0, 1.0)
     } else {
@@ -195,10 +195,7 @@ pub fn simulate(
         sm_efficiency: sm_util,
         l1_hit_rate: traffic.l1_hit_rate(),
         l2_hit_rate: traffic.l2_hit_rate(),
-        dram_read_throughput_gbps: traffic
-            .dram_read_bytes(device)
-            / duration_s
-            / 1e9,
+        dram_read_throughput_gbps: traffic.dram_read_bytes(device) / duration_s / 1e9,
         ldst_utilization,
         sp_utilization,
         fraction_branches: mix.fraction_branches(),
@@ -276,7 +273,9 @@ mod tests {
         let d = device();
         let lc = LaunchConfig::new(1, 64);
         let warps = lc.total_warps();
-        let mix = InstructionMix::new().with_fp32(warps * 100).with_load(warps * 30);
+        let mix = InstructionMix::new()
+            .with_fp32(warps * 100)
+            .with_load(warps * 30);
         let streams = [AccessStream::raw(
             crate::access::Direction::Read,
             warps * 30,
@@ -289,11 +288,7 @@ mod tests {
         let (t, m) = simulate(&d, &lc, &mix, 0.6, &traffic);
         assert_eq!(t.bound, Bound::Latency);
         assert!(m.sm_efficiency < 0.05, "sm eff {}", m.sm_efficiency);
-        assert!(
-            m.gips < d.latency_bound_threshold_gips(),
-            "gips {}",
-            m.gips
-        );
+        assert!(m.gips < d.latency_bound_threshold_gips(), "gips {}", m.gips);
     }
 
     #[test]
@@ -311,7 +306,12 @@ mod tests {
         let (_, m) = simulate(&d, &lc, &mix, 0.4, &traffic);
         let total = m.memory_stall + m.execution_stall + m.sync_stall + m.pipe_stall;
         assert!((0.0..=1.0).contains(&total), "total stall {total}");
-        for v in [m.memory_stall, m.execution_stall, m.sync_stall, m.pipe_stall] {
+        for v in [
+            m.memory_stall,
+            m.execution_stall,
+            m.sync_stall,
+            m.pipe_stall,
+        ] {
             assert!((0.0..=1.0).contains(&v));
         }
     }
@@ -322,7 +322,9 @@ mod tests {
         let n = 1u64 << 22;
         let mix_of = |lc: &LaunchConfig| {
             let warps = lc.total_warps();
-            InstructionMix::new().with_fp32(warps * 64).with_load(warps * 16)
+            InstructionMix::new()
+                .with_fp32(warps * 64)
+                .with_load(warps * 16)
         };
         let streams = [AccessStream::read(n, 4, AccessPattern::Streaming)];
         let traffic = MemoryModel::resolve(&d, &streams);

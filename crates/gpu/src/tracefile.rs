@@ -49,7 +49,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -159,8 +163,7 @@ pub fn parse(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
                     tpb = t.parse().map_err(|e| err(format!("grid tpb: {e}")))?;
                 }
                 "dur_s" => {
-                    metrics.duration_s =
-                        value.parse().map_err(|e| err(format!("dur_s: {e}")))?;
+                    metrics.duration_s = value.parse().map_err(|e| err(format!("dur_s: {e}")))?;
                 }
                 "insts" => {
                     metrics.warp_instructions =
@@ -249,8 +252,10 @@ mod tests {
             assert!(rel(p.metrics.duration_s, r.metrics.duration_s) < 1e-9);
             assert_eq!(p.metrics.warp_instructions, r.metrics.warp_instructions);
             assert!(rel(p.metrics.gips, r.metrics.gips) < 1e-9);
-            assert!(rel(p.metrics.l2_hit_rate, r.metrics.l2_hit_rate.max(1e-30)) < 1e-6
-                || r.metrics.l2_hit_rate == 0.0);
+            assert!(
+                rel(p.metrics.l2_hit_rate, r.metrics.l2_hit_rate.max(1e-30)) < 1e-6
+                    || r.metrics.l2_hit_rate == 0.0
+            );
         }
     }
 

@@ -34,11 +34,11 @@ fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
 
 fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
     (
-        1u64..1 << 24,            // threads
-        32u32..1024,              // threads per block
-        0u64..4096,               // fp32 per warp
-        0u64..512,                // loads per warp
-        1.0f64..32.0,             // coalescing
+        1u64..1 << 24, // threads
+        32u32..1024,   // threads per block
+        0u64..4096,    // fp32 per warp
+        0u64..512,     // loads per warp
+        1.0f64..32.0,  // coalescing
         arb_pattern(),
         0.0f64..1.0, // dependency fraction
     )

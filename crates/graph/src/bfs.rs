@@ -101,12 +101,7 @@ pub fn gunrock_bfs(gpu: &mut Gpu, g: &CsrGraph, src: u32) -> BfsRun {
 ///
 /// Panics if `src` is out of range.
 #[must_use]
-pub fn gunrock_bfs_with_config(
-    gpu: &mut Gpu,
-    g: &CsrGraph,
-    src: u32,
-    cfg: &BfsConfig,
-) -> BfsRun {
+pub fn gunrock_bfs_with_config(gpu: &mut Gpu, g: &CsrGraph, src: u32, cfg: &BfsConfig) -> BfsRun {
     assert!(src < g.num_vertices(), "source vertex out of range");
     let n = g.num_vertices() as usize;
     let v_bytes = 4 * n as u64;
@@ -207,7 +202,12 @@ pub fn gunrock_bfs_with_config(
             gpu.launch(&compact_scan_kernel(next.len()));
             gpu.launch(&compact_scatter_kernel(next.len()));
         } else if !next.is_empty() {
-            gpu.launch(&filter_kernel("bfs_filter_atomic", next.len(), v_bytes, 0.6));
+            gpu.launch(&filter_kernel(
+                "bfs_filter_atomic",
+                next.len(),
+                v_bytes,
+                0.6,
+            ));
         }
 
         visited += next.len() as u64;
@@ -426,7 +426,11 @@ fn compact_scan_kernel(candidates: usize) -> KernelDesc {
                 .with_branch(warps * 2),
         )
         .stream(AccessStream::read(c, 4, AccessPattern::Streaming))
-        .stream(AccessStream::write(c.div_ceil(256).max(1), 4, AccessPattern::Streaming))
+        .stream(AccessStream::write(
+            c.div_ceil(256).max(1),
+            4,
+            AccessPattern::Streaming,
+        ))
         .dependency_fraction(0.6)
         .build()
 }
@@ -522,10 +526,8 @@ mod tests {
         let mut g2 = gpu();
         let _ = gunrock_bfs(&mut g1, &road, 0);
         let _ = gunrock_bfs(&mut g2, &social, 0);
-        let road_kernels: BTreeSet<&str> =
-            g1.records().iter().map(|r| r.name.as_str()).collect();
-        let social_kernels: BTreeSet<&str> =
-            g2.records().iter().map(|r| r.name.as_str()).collect();
+        let road_kernels: BTreeSet<&str> = g1.records().iter().map(|r| r.name.as_str()).collect();
+        let social_kernels: BTreeSet<&str> = g2.records().iter().map(|r| r.name.as_str()).collect();
         assert_ne!(road_kernels, social_kernels);
         // The pull-phase kernels only appear on the social input.
         assert!(social_kernels.contains("bfs_advance_bottom_up"));

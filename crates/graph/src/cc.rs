@@ -43,10 +43,7 @@ pub fn connected_components(gpu: &mut Gpu, g: &CsrGraph) -> CcRun {
     let e64 = g.num_edges();
     let mut labels: Vec<u32> = (0..g.num_vertices()).collect();
     if n == 0 {
-        return CcRun {
-            labels,
-            rounds: 0,
-        };
+        return CcRun { labels, rounds: 0 };
     }
 
     gpu.launch(

@@ -91,7 +91,10 @@ impl CsrGraph {
     /// Maximum out-degree.
     #[must_use]
     pub fn max_degree(&self) -> u64 {
-        (0..self.num_vertices()).map(|v| self.out_degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Bytes occupied by the CSR arrays — the working-set footprint the GPU

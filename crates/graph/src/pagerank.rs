@@ -41,7 +41,10 @@ pub fn pagerank(
     tolerance: f64,
     max_iterations: u32,
 ) -> PageRankRun {
-    assert!((0.0..1.0).contains(&damping) && damping > 0.0, "damping in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&damping) && damping > 0.0,
+        "damping in (0,1)"
+    );
     let n = g.num_vertices() as usize;
     if n == 0 {
         return PageRankRun {
@@ -219,7 +222,11 @@ mod tests {
         let g = crate::generators::rmat(12, 16, 5);
         let mut gpu = gpu();
         let run = pagerank(&mut gpu, &g, 0.85, 1e-8, 100);
-        assert!(run.iterations > 2 && run.iterations < 100, "{}", run.iterations);
+        assert!(
+            run.iterations > 2 && run.iterations < 100,
+            "{}",
+            run.iterations
+        );
         assert!(run.delta <= 1e-8);
         let names: std::collections::BTreeSet<&str> =
             gpu.records().iter().map(|r| r.name.as_str()).collect();

@@ -165,17 +165,15 @@ impl MdEngine {
 
         // --- Neighbor search --------------------------------------------
         let rebuild = self.neighbor_list.is_none()
-            || self.step_count % u64::from(self.config.neighbor_every.max(1)) == 0;
+            || self
+                .step_count
+                .is_multiple_of(u64::from(self.config.neighbor_every.max(1)));
         if rebuild {
             // The colloid style's cutoff is a multiple of the pair sigma, so
             // the Verlet list must be built out to the largest pair's range.
             let radius = match self.config.pair_style {
                 PairStyle::Colloid => {
-                    let max_sigma = self
-                        .sys
-                        .sigmas
-                        .iter()
-                        .fold(1.0f64, |m, &s| m.max(s));
+                    let max_sigma = self.sys.sigmas.iter().fold(1.0f64, |m, &s| m.max(s));
                     self.config.cutoff * max_sigma
                 }
                 _ => self.config.cutoff,
@@ -197,14 +195,27 @@ impl MdEngine {
         let stats = match self.config.pair_style {
             PairStyle::LjCut => {
                 let s = forces::lj_cut(&mut self.sys, nl, self.config.cutoff);
-                gpu.launch(&pair_kernel(taxonomy, "lj_cut", n, &s, self.sys.len(), false));
+                gpu.launch(&pair_kernel(
+                    taxonomy,
+                    "lj_cut",
+                    n,
+                    &s,
+                    self.sys.len(),
+                    false,
+                ));
                 s
             }
             PairStyle::LjCoulombCharmm => {
                 let alpha = self.config.pme.map_or(0.8, |p| p.alpha);
-                let s =
-                    forces::lj_coulomb_cut(&mut self.sys, nl, self.config.cutoff, alpha);
-                gpu.launch(&pair_kernel(taxonomy, "coul_long", n, &s, self.sys.len(), true));
+                let s = forces::lj_coulomb_cut(&mut self.sys, nl, self.config.cutoff, alpha);
+                gpu.launch(&pair_kernel(
+                    taxonomy,
+                    "coul_long",
+                    n,
+                    &s,
+                    self.sys.len(),
+                    true,
+                ));
                 s
             }
             PairStyle::Colloid => {
@@ -212,8 +223,7 @@ impl MdEngine {
                 // Split the pair population into colloid-involved and
                 // solvent-solvent kernels, as LAMMPS' hybrid style does.
                 let n_big = self.sys.sigmas.iter().filter(|&&sg| sg > 1.0).count();
-                let big_frac =
-                    (2.0 * n_big as f64 / n.max(1) as f64).clamp(0.0, 1.0);
+                let big_frac = (2.0 * n_big as f64 / n.max(1) as f64).clamp(0.0, 1.0);
                 let big_pairs = ForceStats {
                     potential_energy: 0.0,
                     pairs_in_cutoff: (s.pairs_in_cutoff as f64 * big_frac) as u64,
@@ -237,12 +247,7 @@ impl MdEngine {
             if !self.sys.angles.is_empty() {
                 potential += forces::angles(&mut self.sys);
             }
-            for k in bonded_kernels(
-                taxonomy,
-                self.sys.bonds.len(),
-                self.sys.angles.len(),
-                n,
-            ) {
+            for k in bonded_kernels(taxonomy, self.sys.bonds.len(), self.sys.angles.len(), n) {
                 gpu.launch(&k);
             }
         }
@@ -282,7 +287,9 @@ impl MdEngine {
         // Gromacs accumulates energies inside the nonbonded kernel; LAMMPS
         // runs explicit compute reductions.
         if taxonomy == KernelTaxonomy::Lammps
-            && self.step_count % u64::from(self.config.energy_every.max(1)) == 0
+            && self
+                .step_count
+                .is_multiple_of(u64::from(self.config.energy_every.max(1)))
         {
             gpu.launch(&reduce_kernel(taxonomy, n));
         }
@@ -361,7 +368,11 @@ fn neighbor_kernels(
                         cold_bytes: positions_ws(n),
                     },
                 ))
-                .stream(AccessStream::write(pairs.max(32), 4, AccessPattern::Streaming))
+                .stream(AccessStream::write(
+                    pairs.max(32),
+                    4,
+                    AccessPattern::Streaming,
+                ))
                 .dependency_fraction(0.4)
                 .build()]
         }
@@ -385,8 +396,16 @@ fn neighbor_kernels(
                 KernelDesc::builder("neigh_stencil_build")
                     .launch(LaunchConfig::linear(cells.max(32), 128))
                     .mix(InstructionMix::elementwise(cells.max(32), 6))
-                    .stream(AccessStream::read(cells.max(32), 8, AccessPattern::Streaming))
-                    .stream(AccessStream::write(cells.max(32), 8, AccessPattern::Streaming))
+                    .stream(AccessStream::read(
+                        cells.max(32),
+                        8,
+                        AccessPattern::Streaming,
+                    ))
+                    .stream(AccessStream::write(
+                        cells.max(32),
+                        8,
+                        AccessPattern::Streaming,
+                    ))
                     .build(),
                 KernelDesc::builder("neigh_build_half")
                     .launch(LaunchConfig::linear(n64, 128).with_registers(48))
@@ -404,7 +423,11 @@ fn neighbor_kernels(
                             working_set_bytes: positions_ws(n),
                         },
                     ))
-                    .stream(AccessStream::write(pairs.max(32), 4, AccessPattern::Streaming))
+                    .stream(AccessStream::write(
+                        pairs.max(32),
+                        4,
+                        AccessPattern::Streaming,
+                    ))
                     .dependency_fraction(0.45)
                     .build(),
             ]
@@ -450,8 +473,16 @@ fn pair_kernel(
     let mut builder = KernelDesc::builder(name)
         .launch(
             LaunchConfig::linear(pairs, 128)
-                .with_registers(if tax == KernelTaxonomy::Gromacs { 72 } else { 56 })
-                .with_shared_mem(if tax == KernelTaxonomy::Gromacs { 24 * 1024 } else { 0 }),
+                .with_registers(if tax == KernelTaxonomy::Gromacs {
+                    72
+                } else {
+                    56
+                })
+                .with_shared_mem(if tax == KernelTaxonomy::Gromacs {
+                    24 * 1024
+                } else {
+                    0
+                }),
         )
         .dependency_fraction(0.4);
 
@@ -525,12 +556,7 @@ fn pair_kernel(
     builder.build()
 }
 
-fn bonded_kernels(
-    tax: KernelTaxonomy,
-    bonds: usize,
-    angles: usize,
-    n: usize,
-) -> Vec<KernelDesc> {
+fn bonded_kernels(tax: KernelTaxonomy, bonds: usize, angles: usize, n: usize) -> Vec<KernelDesc> {
     let make = |name: &str, count: usize| {
         let c = (count as u64).max(32);
         let warps = c.div_ceil(32);
@@ -775,9 +801,18 @@ mod tests {
         let config = MdConfig {
             taxonomy: KernelTaxonomy::Gromacs,
             pair_style: PairStyle::LjCoulombCharmm,
-            pme: Some(PmeParams { grid: 16, alpha: 0.8 }),
-            thermostat: Some(Thermostat { target: 1.0, coupling: 0.1 }),
-            barostat: Some(Barostat { target: 1.0, coupling: 0.01 }),
+            pme: Some(PmeParams {
+                grid: 16,
+                alpha: 0.8,
+            }),
+            thermostat: Some(Thermostat {
+                target: 1.0,
+                coupling: 0.1,
+            }),
+            barostat: Some(Barostat {
+                target: 1.0,
+                coupling: 0.01,
+            }),
             ..MdConfig::default()
         };
         let mut engine = MdEngine::new(sys, config);
@@ -798,9 +833,18 @@ mod tests {
         let config = MdConfig {
             taxonomy: KernelTaxonomy::Lammps,
             pair_style: PairStyle::LjCoulombCharmm,
-            pme: Some(PmeParams { grid: 16, alpha: 0.8 }),
-            thermostat: Some(Thermostat { target: 1.0, coupling: 0.1 }),
-            barostat: Some(Barostat { target: 1.0, coupling: 0.01 }),
+            pme: Some(PmeParams {
+                grid: 16,
+                alpha: 0.8,
+            }),
+            thermostat: Some(Thermostat {
+                target: 1.0,
+                coupling: 0.1,
+            }),
+            barostat: Some(Barostat {
+                target: 1.0,
+                coupling: 0.01,
+            }),
             ..MdConfig::default()
         };
         let mut engine = MdEngine::new(sys, config);
@@ -819,7 +863,10 @@ mod tests {
             taxonomy: KernelTaxonomy::Lammps,
             pair_style: PairStyle::Colloid,
             cutoff: 2.5,
-            thermostat: Some(Thermostat { target: 1.0, coupling: 0.1 }),
+            thermostat: Some(Thermostat {
+                target: 1.0,
+                coupling: 0.1,
+            }),
             ..MdConfig::default()
         };
         let mut engine = MdEngine::new(sys, config);
@@ -836,7 +883,10 @@ mod tests {
     fn uncharged_system_skips_pme_even_if_configured() {
         let sys = SystemBuilder::new(100).build_lj_fluid();
         let config = MdConfig {
-            pme: Some(PmeParams { grid: 16, alpha: 0.8 }),
+            pme: Some(PmeParams {
+                grid: 16,
+                alpha: 0.8,
+            }),
             ..MdConfig::default()
         };
         let mut engine = MdEngine::new(sys, config);

@@ -213,8 +213,7 @@ mod tests {
         let mut d: Vec<Complex> = (0..128).map(|i| ((i as f64).sin(), 0.0)).collect();
         let time_energy: f64 = d.iter().map(|&(r, i)| r * r + i * i).sum();
         fft_inplace(&mut d, false);
-        let freq_energy: f64 =
-            d.iter().map(|&(r, i)| r * r + i * i).sum::<f64>() / d.len() as f64;
+        let freq_energy: f64 = d.iter().map(|&(r, i)| r * r + i * i).sum::<f64>() / d.len() as f64;
         assert!((time_energy - freq_energy).abs() < 1e-8);
     }
 

@@ -93,8 +93,7 @@ pub fn lj_coulomb_cut(
                 let coul_e = qq * erfc_ar / r;
                 stats.potential_energy += coul_e;
                 f_over_r += qq
-                    * (erfc_ar / r
-                        + two_over_sqrt_pi * alpha * (-alpha * alpha * r2).exp())
+                    * (erfc_ar / r + two_over_sqrt_pi * alpha * (-alpha * alpha * r2).exp())
                     / r2;
             }
             for a in 0..3 {
@@ -179,8 +178,7 @@ pub fn angles(sys: &mut ParticleSystem) -> f64 {
         if r1 <= 0.0 || r2 <= 0.0 {
             continue;
         }
-        let cos_t = ((d1[0] * d2[0] + d1[1] * d2[1] + d1[2] * d2[2]) / (r1 * r2))
-            .clamp(-1.0, 1.0);
+        let cos_t = ((d1[0] * d2[0] + d1[1] * d2[1] + d1[2] * d2[2]) / (r1 * r2)).clamp(-1.0, 1.0);
         let theta = cos_t.acos();
         let dtheta = theta - t.theta0;
         energy += 0.5 * t.k * dtheta * dtheta;
@@ -304,7 +302,12 @@ mod tests {
         let mut sys = SystemBuilder::new(8).density(0.01).build_lj_fluid();
         sys.positions[0] = [2.0, 2.0, 2.0];
         sys.positions[1] = [4.0, 2.0, 2.0]; // stretched: r=2, r0=1
-        sys.bonds = vec![Bond { i: 0, j: 1, r0: 1.0, k: 10.0 }];
+        sys.bonds = vec![Bond {
+            i: 0,
+            j: 1,
+            r0: 1.0,
+            k: 10.0,
+        }];
         sys.clear_forces();
         let e = bonds(&mut sys);
         assert!((e - 5.0).abs() < 1e-9); // ½·10·1²

@@ -114,9 +114,7 @@ mod tests {
 
     #[test]
     fn thermostat_moves_temperature_toward_target() {
-        let mut sys = SystemBuilder::new(216)
-            .temperature(2.0)
-            .build_lj_fluid();
+        let mut sys = SystemBuilder::new(216).temperature(2.0).build_lj_fluid();
         let t0 = sys.temperature();
         for _ in 0..50 {
             let _ = berendsen_thermostat(&mut sys, 1.0, 0.1);

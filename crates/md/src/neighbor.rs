@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn matches_brute_force() {
-        let sys = SystemBuilder::new(200).density(0.7).seed(3).build_lj_fluid();
+        let sys = SystemBuilder::new(200)
+            .density(0.7)
+            .seed(3)
+            .build_lj_fluid();
         let nl = NeighborList::build(&sys, 2.5, 0.3);
         assert_eq!(
             list_pairs(&nl, sys.len()),
@@ -180,7 +183,10 @@ mod tests {
     #[test]
     fn matches_brute_force_on_sparse_system() {
         // Low density → few cells per side (exercises cell wrapping).
-        let sys = SystemBuilder::new(60).density(0.05).seed(8).build_lj_fluid();
+        let sys = SystemBuilder::new(60)
+            .density(0.05)
+            .seed(8)
+            .build_lj_fluid();
         let nl = NeighborList::build(&sys, 2.5, 0.5);
         assert_eq!(list_pairs(&nl, sys.len()), brute_force_pairs(&sys, 3.0));
     }

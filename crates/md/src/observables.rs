@@ -48,12 +48,7 @@ impl Rdf {
 ///
 /// Panics if `bins == 0` or `r_max` is not positive.
 #[must_use]
-pub fn radial_distribution(
-    gpu: &mut Gpu,
-    sys: &ParticleSystem,
-    r_max: f64,
-    bins: usize,
-) -> Rdf {
+pub fn radial_distribution(gpu: &mut Gpu, sys: &ParticleSystem, r_max: f64, bins: usize) -> Rdf {
     assert!(bins > 0 && r_max > 0.0, "need positive bins and r_max");
     let n = sys.len();
     let dr = r_max / bins as f64;
@@ -80,8 +75,7 @@ pub fn radial_distribution(
         .map(|(b, &c)| {
             let r_lo = b as f64 * dr;
             let r_hi = r_lo + dr;
-            let shell =
-                4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+            let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
             let ideal = 0.5 * n as f64 * density * shell; // half list
             if ideal > 0.0 {
                 c as f64 / ideal
@@ -134,11 +128,7 @@ pub fn radial_distribution(
 /// over windows shorter than a box crossing). Launches the corresponding
 /// streaming analysis kernel.
 #[must_use]
-pub fn mean_squared_displacement(
-    gpu: &mut Gpu,
-    sys: &ParticleSystem,
-    reference: &[Vec3],
-) -> f64 {
+pub fn mean_squared_displacement(gpu: &mut Gpu, sys: &ParticleSystem, reference: &[Vec3]) -> f64 {
     assert_eq!(reference.len(), sys.len(), "snapshot length");
     let n = sys.len().max(1);
     let msd = sys
@@ -189,7 +179,10 @@ mod tests {
     #[test]
     fn ideal_gas_rdf_is_flat_at_one() {
         // Uncorrelated random positions → g(r) ≈ 1 away from r = 0.
-        let mut sys = SystemBuilder::new(800).density(0.5).seed(3).build_lj_fluid();
+        let mut sys = SystemBuilder::new(800)
+            .density(0.5)
+            .seed(3)
+            .build_lj_fluid();
         // Scramble to kill lattice correlations.
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(9);
@@ -205,19 +198,22 @@ mod tests {
         let rdf = radial_distribution(&mut gpu, &sys, l / 2.2, 24);
         // Mid-range bins hover around 1.
         for b in 6..20 {
-            assert!(
-                (rdf.g[b] - 1.0).abs() < 0.25,
-                "bin {b}: g = {}",
-                rdf.g[b]
-            );
+            assert!((rdf.g[b] - 1.0).abs() < 0.25, "bin {b}: g = {}", rdf.g[b]);
         }
     }
 
     #[test]
     fn equilibrated_lj_fluid_has_first_shell_near_sigma() {
-        let sys = SystemBuilder::new(400).density(0.7).temperature(1.0).seed(5).build_lj_fluid();
+        let sys = SystemBuilder::new(400)
+            .density(0.7)
+            .temperature(1.0)
+            .seed(5)
+            .build_lj_fluid();
         let config = MdConfig {
-            thermostat: Some(crate::engine::Thermostat { target: 1.0, coupling: 0.1 }),
+            thermostat: Some(crate::engine::Thermostat {
+                target: 1.0,
+                coupling: 0.1,
+            }),
             ..MdConfig::default()
         };
         let mut engine = MdEngine::new(sys, config);
@@ -236,7 +232,11 @@ mod tests {
 
     #[test]
     fn msd_grows_under_dynamics_and_is_zero_at_start() {
-        let sys = SystemBuilder::new(200).density(0.5).temperature(1.5).seed(7).build_lj_fluid();
+        let sys = SystemBuilder::new(200)
+            .density(0.5)
+            .temperature(1.5)
+            .seed(7)
+            .build_lj_fluid();
         let reference = sys.positions.clone();
         let mut engine = MdEngine::new(sys, MdConfig::default());
         let mut gpu = gpu();

@@ -159,10 +159,7 @@ pub fn pme_reciprocal(sys: &mut ParticleSystem, params: &PmeParams) -> PmeResult
         }
     }
 
-    PmeResult {
-        energy,
-        grid: n,
-    }
+    PmeResult { energy, grid: n }
 }
 
 #[cfg(test)]
@@ -252,7 +249,13 @@ mod tests {
     fn neutral_system_has_finite_energy() {
         let mut sys = SystemBuilder::new(128).build_protein_like(0.25);
         sys.clear_forces();
-        let r = pme_reciprocal(&mut sys, &PmeParams { grid: 16, alpha: 0.8 });
+        let r = pme_reciprocal(
+            &mut sys,
+            &PmeParams {
+                grid: 16,
+                alpha: 0.8,
+            },
+        );
         assert!(r.energy.is_finite());
         assert_eq!(r.grid, 16);
     }
@@ -261,6 +264,12 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_grid_panics() {
         let mut sys = dipole_system(2.0);
-        let _ = pme_reciprocal(&mut sys, &PmeParams { grid: 20, alpha: 0.8 });
+        let _ = pme_reciprocal(
+            &mut sys,
+            &PmeParams {
+                grid: 20,
+                alpha: 0.8,
+            },
+        );
     }
 }

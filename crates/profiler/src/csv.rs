@@ -18,11 +18,11 @@ pub fn kernel_header() -> String {
         "warp_instructions".to_owned(),
         "dram_transactions".to_owned(),
     ];
-    cols.extend(MetricId::ALL.iter().map(|id| {
-        id.name()
-            .to_lowercase()
-            .replace([' ', '/'], "_")
-    }));
+    cols.extend(
+        MetricId::ALL
+            .iter()
+            .map(|id| id.name().to_lowercase().replace([' ', '/'], "_")),
+    );
     cols.join(",")
 }
 

@@ -12,6 +12,8 @@
 //!   (the paper uses 70 %), and the cumulative time distribution behind
 //!   Figures 2 and 3.
 //! * [`report`] — Table I-style summary rows.
+//! * [`store`] — bit-exact profile (de)serialization backing the shared
+//!   profile store in `cactus-bench`.
 //!
 //! ## Example
 //!
@@ -35,6 +37,7 @@
 
 pub mod csv;
 pub mod report;
+pub mod store;
 
 use std::collections::HashMap;
 
@@ -169,6 +172,27 @@ impl Profile {
 
         // Dominance order: total time descending, name as tiebreaker for
         // determinism.
+        kernels.sort_by(|a, b| {
+            b.total_time_s
+                .partial_cmp(&a.total_time_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        let total_time_s = kernels.iter().map(|k| k.total_time_s).sum();
+        Self {
+            kernels,
+            total_time_s,
+        }
+    }
+
+    /// Build a profile from already-aggregated kernel statistics (the
+    /// deserialization path of [`store`]). Kernels are (re-)sorted into
+    /// dominance order and the total recomputed; feeding back
+    /// [`Profile::kernels`] reproduces the original profile bit-exactly
+    /// because the sort is stable and the summation order matches
+    /// [`Profile::from_records`].
+    #[must_use]
+    pub fn from_kernel_stats(mut kernels: Vec<KernelStats>) -> Self {
         kernels.sort_by(|a, b| {
             b.total_time_s
                 .partial_cmp(&a.total_time_s)

@@ -1,0 +1,322 @@
+//! Exact serialization of [`Profile`]s for the shared profile store.
+//!
+//! The fig/table binaries in `cactus-bench` all consume the same simulated
+//! profiles; the store lets one run simulate the suite and every later
+//! binary load the result instead of re-simulating. The format is a
+//! line-oriented text format with **bit-exact** float round-tripping: every
+//! `f64` is written as the 16-hex-digit encoding of its IEEE-754 bits, so a
+//! loaded profile compares equal (`==`) to the profile that was saved —
+//! including NaN payloads — and downstream figures are byte-identical
+//! whether they came from a live simulation or from the store.
+//!
+//! Format (tab-separated where multi-field):
+//!
+//! ```text
+//! cactus-profile v1
+//! kernels <count>
+//! k <name> <invocations> <total_time_s> <warp_instructions>
+//!   <dram_transactions> <18 metric words>
+//! ```
+//!
+//! Kernel names escape backslash, tab, and newline; all other bytes pass
+//! through. Kernels appear in dominance order, matching
+//! [`Profile::kernels`].
+
+use crate::{KernelStats, Profile};
+use cactus_gpu::metrics::KernelMetrics;
+
+use std::fmt;
+
+/// Magic first line; bump the version when the format changes.
+pub const FORMAT_HEADER: &str = "cactus-profile v1";
+
+/// Why a stored profile failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// First line was not [`FORMAT_HEADER`].
+    BadHeader(String),
+    /// A line did not match the expected shape.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Fewer kernel lines than the declared count.
+    Truncated,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadHeader(got) => {
+                write!(f, "bad profile header {got:?} (want {FORMAT_HEADER:?})")
+            }
+            StoreError::Malformed { line, reason } => {
+                write!(f, "malformed profile at line {line}: {reason}")
+            }
+            StoreError::Truncated => write!(f, "profile ends before declared kernel count"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Serialize a profile. Inverse of [`read_profile`].
+#[must_use]
+pub fn write_profile(profile: &Profile) -> String {
+    let kernels = profile.kernels();
+    let mut out = String::with_capacity(64 + kernels.len() * 400);
+    out.push_str(FORMAT_HEADER);
+    out.push('\n');
+    out.push_str(&format!("kernels {}\n", kernels.len()));
+    for k in kernels {
+        out.push('k');
+        out.push('\t');
+        out.push_str(&escape_name(&k.name));
+        out.push('\t');
+        out.push_str(&k.invocations.to_string());
+        out.push('\t');
+        push_f64(&mut out, k.total_time_s);
+        out.push('\t');
+        out.push_str(&k.warp_instructions.to_string());
+        out.push('\t');
+        push_f64(&mut out, k.dram_transactions);
+        for word in metric_words(&k.metrics) {
+            out.push('\t');
+            out.push_str(&word);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a profile serialized by [`write_profile`].
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] describing the first structural problem found.
+pub fn read_profile(text: &str) -> Result<Profile, StoreError> {
+    let mut lines = text.lines().enumerate();
+
+    let (_, header) = lines.next().ok_or(StoreError::BadHeader(String::new()))?;
+    if header != FORMAT_HEADER {
+        return Err(StoreError::BadHeader(header.to_owned()));
+    }
+
+    let (line_no, count_line) = lines.next().ok_or(StoreError::Truncated)?;
+    let count: usize = count_line
+        .strip_prefix("kernels ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| StoreError::Malformed {
+            line: line_no + 1,
+            reason: format!("expected `kernels <count>`, got {count_line:?}"),
+        })?;
+
+    let mut kernels = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (line_no, line) = lines.next().ok_or(StoreError::Truncated)?;
+        kernels.push(parse_kernel_line(line, line_no + 1)?);
+    }
+    Ok(Profile::from_kernel_stats(kernels))
+}
+
+fn parse_kernel_line(line: &str, line_no: usize) -> Result<KernelStats, StoreError> {
+    let err = |reason: String| StoreError::Malformed {
+        line: line_no,
+        reason,
+    };
+    let fields: Vec<&str> = line.split('\t').collect();
+    // tag, name, invocations, total_time, warp_insts, dram_txns, 18 metrics.
+    const EXPECTED: usize = 6 + 18;
+    if fields.len() != EXPECTED || fields[0] != "k" {
+        return Err(err(format!(
+            "expected {EXPECTED} tab-separated kernel fields starting with `k`, got {}",
+            fields.len()
+        )));
+    }
+    let parse_u64 = |s: &str, what: &str| {
+        s.parse::<u64>()
+            .map_err(|_| err(format!("bad {what}: {s:?}")))
+    };
+    let parse_f64 = |s: &str, what: &str| {
+        parse_f64_bits(s).ok_or_else(|| err(format!("bad {what} bits: {s:?}")))
+    };
+
+    let name = unescape_name(fields[1]);
+    let invocations = parse_u64(fields[2], "invocation count")?;
+    let total_time_s = parse_f64(fields[3], "total time")?;
+    let warp_instructions = parse_u64(fields[4], "warp instructions")?;
+    let dram_transactions = parse_f64(fields[5], "dram transactions")?;
+
+    let m = &fields[6..];
+    let metrics = KernelMetrics {
+        duration_s: parse_f64(m[0], "duration_s")?,
+        warp_instructions: parse_u64(m[1], "metric warp_instructions")?,
+        dram_transactions: parse_f64(m[2], "metric dram_transactions")?,
+        gips: parse_f64(m[3], "gips")?,
+        instruction_intensity: parse_f64(m[4], "instruction_intensity")?,
+        warp_occupancy: parse_f64(m[5], "warp_occupancy")?,
+        sm_efficiency: parse_f64(m[6], "sm_efficiency")?,
+        l1_hit_rate: parse_f64(m[7], "l1_hit_rate")?,
+        l2_hit_rate: parse_f64(m[8], "l2_hit_rate")?,
+        dram_read_throughput_gbps: parse_f64(m[9], "dram_read_throughput_gbps")?,
+        ldst_utilization: parse_f64(m[10], "ldst_utilization")?,
+        sp_utilization: parse_f64(m[11], "sp_utilization")?,
+        fraction_branches: parse_f64(m[12], "fraction_branches")?,
+        fraction_ldst: parse_f64(m[13], "fraction_ldst")?,
+        execution_stall: parse_f64(m[14], "execution_stall")?,
+        pipe_stall: parse_f64(m[15], "pipe_stall")?,
+        sync_stall: parse_f64(m[16], "sync_stall")?,
+        memory_stall: parse_f64(m[17], "memory_stall")?,
+    };
+
+    Ok(KernelStats {
+        name,
+        invocations,
+        total_time_s,
+        warp_instructions,
+        dram_transactions,
+        metrics,
+    })
+}
+
+/// The 18 metric fields of [`KernelMetrics`], serialized in declaration
+/// order.
+fn metric_words(m: &KernelMetrics) -> [String; 18] {
+    [
+        f64_bits(m.duration_s),
+        m.warp_instructions.to_string(),
+        f64_bits(m.dram_transactions),
+        f64_bits(m.gips),
+        f64_bits(m.instruction_intensity),
+        f64_bits(m.warp_occupancy),
+        f64_bits(m.sm_efficiency),
+        f64_bits(m.l1_hit_rate),
+        f64_bits(m.l2_hit_rate),
+        f64_bits(m.dram_read_throughput_gbps),
+        f64_bits(m.ldst_utilization),
+        f64_bits(m.sp_utilization),
+        f64_bits(m.fraction_branches),
+        f64_bits(m.fraction_ldst),
+        f64_bits(m.execution_stall),
+        f64_bits(m.pipe_stall),
+        f64_bits(m.sync_stall),
+        f64_bits(m.memory_stall),
+    ]
+}
+
+fn f64_bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn push_f64(out: &mut String, x: f64) {
+    out.push_str(&f64_bits(x));
+}
+
+fn parse_f64_bits(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn escape_name(name: &str) -> String {
+    name.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unescape_name(escaped: &str) -> String {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactus_gpu::prelude::*;
+
+    fn sample_profile() -> Profile {
+        let mut gpu = Gpu::new(Device::rtx3080());
+        for (name, n) in [("gemm", 1 << 22), ("reduce", 1 << 20), ("gemm", 1 << 22)] {
+            let k = KernelDesc::builder(name)
+                .launch(LaunchConfig::linear(n, 256))
+                .stream(AccessStream::read(n, 4, AccessPattern::Streaming))
+                .stream(AccessStream::write(n, 4, AccessPattern::Streaming))
+                .build();
+            gpu.launch(&k);
+        }
+        Profile::from_records(gpu.records())
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let original = sample_profile();
+        let text = write_profile(&original);
+        let loaded = read_profile(&text).expect("roundtrip parse");
+        assert_eq!(loaded, original);
+        assert_eq!(
+            loaded.total_time_s().to_bits(),
+            original.total_time_s().to_bits()
+        );
+        // Re-serializing the loaded profile reproduces the bytes.
+        assert_eq!(write_profile(&loaded), text);
+    }
+
+    #[test]
+    fn empty_profile_roundtrips() {
+        let empty = Profile::from_records(&[]);
+        let loaded = read_profile(&write_profile(&empty)).expect("parse");
+        assert_eq!(loaded, empty);
+    }
+
+    #[test]
+    fn names_with_escapes_roundtrip() {
+        assert_eq!(unescape_name(&escape_name("a\tb\\c\nd")), "a\tb\\c\nd");
+        assert_eq!(unescape_name(&escape_name("plain_kernel")), "plain_kernel");
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let err = read_profile("something else\n").unwrap_err();
+        assert!(matches!(err, StoreError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_and_malformed() {
+        let good = write_profile(&sample_profile());
+        let mut lines: Vec<&str> = good.lines().collect();
+        let dropped = lines.pop().expect("has kernel lines");
+        let truncated = lines.join("\n");
+        assert_eq!(read_profile(&truncated).unwrap_err(), StoreError::Truncated);
+
+        let mangled = format!("{}\n{}", truncated, dropped.replace('\t', " "));
+        assert!(matches!(
+            read_profile(&mangled).unwrap_err(),
+            StoreError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn special_floats_roundtrip() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 1e-300] {
+            let bits = f64_bits(x);
+            let back = parse_f64_bits(&bits).expect("parse bits");
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+}

@@ -144,7 +144,11 @@ pub fn reduction_kernel(name: &str, threads: u64) -> KernelDesc {
                 .with_int(w * 2),
         )
         .stream(AccessStream::read(threads, 4, AccessPattern::Streaming))
-        .stream(AccessStream::write(threads / 256 + 1, 4, AccessPattern::Streaming))
+        .stream(AccessStream::write(
+            threads / 256 + 1,
+            4,
+            AccessPattern::Streaming,
+        ))
         .dependency_fraction(0.6)
         .build()
 }

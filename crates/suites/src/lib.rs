@@ -112,7 +112,10 @@ mod tests {
             benches.iter().filter(|b| b.suite == Suite::Rodinia).count(),
             18
         );
-        assert_eq!(benches.iter().filter(|b| b.suite == Suite::Tango).count(), 3);
+        assert_eq!(
+            benches.iter().filter(|b| b.suite == Suite::Tango).count(),
+            3
+        );
     }
 
     #[test]
@@ -128,11 +131,7 @@ mod tests {
         for b in all() {
             let mut gpu = Gpu::new(Device::rtx3080());
             b.run(&mut gpu, Scale::Tiny);
-            assert!(
-                !gpu.records().is_empty(),
-                "{} launched no kernels",
-                b.name
-            );
+            assert!(!gpu.records().is_empty(), "{} launched no kernels", b.name);
             let p = Profile::from_records(gpu.records());
             assert!(p.total_time_s() > 0.0, "{}", b.name);
         }

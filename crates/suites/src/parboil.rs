@@ -128,7 +128,13 @@ fn histo(gpu: &mut Gpu, scale: Scale) {
     assert_eq!(bins.iter().sum::<u32>() as usize, n.min(1 << 16));
     let n = n as u64;
     gpu.launch(&streaming_kernel("histo_prescan_kernel", n / 64, 4, 1, 2));
-    gpu.launch(&streaming_kernel("histo_intermediates_kernel", n / 8, 8, 8, 2));
+    gpu.launch(&streaming_kernel(
+        "histo_intermediates_kernel",
+        n / 8,
+        8,
+        8,
+        2,
+    ));
     gpu.launch(&gather_kernel("histo_main_kernel", n, 1, 1 << 20, 2));
     gpu.launch(&streaming_kernel("histo_final_kernel", n / 16, 8, 4, 2));
 }
@@ -219,7 +225,13 @@ fn sad(gpu: &mut Gpu, scale: Scale) {
     let blocks = (w / 16 * h / 16) as u64;
     gpu.launch(&streaming_kernel("mb_sad_calc", blocks * 41, 64, 8, 48));
     gpu.launch(&streaming_kernel("larger_sad_calc_8", blocks * 8, 16, 8, 6));
-    gpu.launch(&streaming_kernel("larger_sad_calc_16", blocks * 2, 16, 8, 6));
+    gpu.launch(&streaming_kernel(
+        "larger_sad_calc_16",
+        blocks * 2,
+        16,
+        8,
+        6,
+    ));
 }
 
 /// `sgemm`: one tiled compute-bound GEMM kernel.
@@ -296,15 +308,12 @@ fn stencil(gpu: &mut Gpu, scale: Scale) {
             }
         }
     }
-    assert!(out[idx(2, 2, 2)].abs() < 1e-6, "uniform field has zero residual");
+    assert!(
+        out[idx(2, 2, 2)].abs() < 1e-6,
+        "uniform field has zero residual"
+    );
     let big = n_of(scale, 1 << 12, 1 << 21) as u64;
-    gpu.launch(&streaming_kernel(
-        "block2D_hybrid_coarsen_x",
-        big,
-        32,
-        4,
-        8,
-    ));
+    gpu.launch(&streaming_kernel("block2D_hybrid_coarsen_x", big, 32, 4, 8));
 }
 
 /// `tpacf`: two-point angular correlation, compute-dense histogramming.
@@ -339,8 +348,8 @@ fn tpacf(gpu: &mut Gpu, scale: Scale) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cactus_gpu::Device;
     use cactus_analysis::roofline::{Intensity, Roofline};
+    use cactus_gpu::Device;
     use cactus_profiler::Profile;
 
     fn profile_of(name: &str) -> (Profile, Roofline) {

@@ -315,7 +315,12 @@ fn leukocyte(gpu: &mut Gpu, scale: Scale) {
     let var: f32 = patch.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 64.0;
     assert!(var > 0.0);
     gpu.launch(&compute_kernel("GICOV_kernel", frame_px, 280, frame_px * 4));
-    gpu.launch(&compute_kernel("dilate_kernel", frame_px, 230, frame_px * 4));
+    gpu.launch(&compute_kernel(
+        "dilate_kernel",
+        frame_px,
+        230,
+        frame_px * 4,
+    ));
     gpu.launch(&compute_kernel(
         "IMGVF_kernel",
         cells as u64 * 4096,
@@ -334,7 +339,11 @@ fn lud(gpu: &mut Gpu, scale: Scale) {
     let mut a = vec![0.0f64; m * m];
     for i in 0..m {
         for j in 0..m {
-            a[i * m + j] = if i == j { 10.0 } else { 1.0 / (1.0 + (i + j) as f64) };
+            a[i * m + j] = if i == j {
+                10.0
+            } else {
+                1.0 / (1.0 + (i + j) as f64)
+            };
         }
     }
     let orig = a.clone();
@@ -411,10 +420,26 @@ fn nw(gpu: &mut Gpu, scale: Scale) {
                 .max(dp[i * (l2 + 1) + j - 1] - 1);
         }
     }
-    assert_eq!(dp[l1 * (l2 + 1) + l2], 0, "known NW score of GATTACA/GCATGCU");
+    assert_eq!(
+        dp[l1 * (l2 + 1) + l2],
+        0,
+        "known NW score of GATTACA/GCATGCU"
+    );
     let cells = (n * n) as u64;
-    gpu.launch(&streaming_kernel("needle_cuda_shared_1", cells / 2, 12, 4, 4));
-    gpu.launch(&streaming_kernel("needle_cuda_shared_2", cells / 2, 12, 4, 4));
+    gpu.launch(&streaming_kernel(
+        "needle_cuda_shared_1",
+        cells / 2,
+        12,
+        4,
+        4,
+    ));
+    gpu.launch(&streaming_kernel(
+        "needle_cuda_shared_2",
+        cells / 2,
+        12,
+        4,
+        4,
+    ));
 }
 
 /// `pathfinder`: row-by-row DP, one memory-side kernel.
@@ -451,7 +476,10 @@ fn srad(gpu: &mut Gpu, scale: Scale) {
         let ds = img[i + m] - img[i];
         out[i] = img[i] + 0.1 * (dn + ds);
     }
-    assert!((out[m * 8] - 1.0).abs() < 1e-6, "uniform image is a fixed point");
+    assert!(
+        (out[m * 8] - 1.0).abs() < 1e-6,
+        "uniform image is a fixed point"
+    );
     gpu.launch(&streaming_kernel("prepare_kernel", px, 8, 8, 2));
     gpu.launch(&reduction_kernel("reduce_kernel", px));
     gpu.launch(&streaming_kernel("srad_kernel", px, 24, 8, 12));

@@ -31,7 +31,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
         suite: Suite::Tango,
         runner,
     };
-    vec![b("alexnet", alexnet), b("resnet", resnet), b("squeezenet", squeezenet)]
+    vec![
+        b("alexnet", alexnet),
+        b("resnet", resnet),
+        b("squeezenet", squeezenet),
+    ]
 }
 
 /// A real (tiny) direct convolution used as the computational core of all
@@ -40,7 +44,9 @@ fn direct_conv_core(seed: u64) -> f32 {
     let mut rng = StdRng::seed_from_u64(seed);
     let (c, h, w, oc, k) = (3usize, 8usize, 8usize, 4usize, 3usize);
     let input: Vec<f32> = (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let weights: Vec<f32> = (0..oc * c * k * k).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    let weights: Vec<f32> = (0..oc * c * k * k)
+        .map(|_| rng.gen_range(-0.5..0.5))
+        .collect();
     let mut acc = 0.0f32;
     for o in 0..oc {
         for y in 0..h - k + 1 {
@@ -110,11 +116,15 @@ mod tests {
         let c = classes("alexnet");
         assert_eq!(c.len(), 3);
         assert_eq!(
-            c.iter().filter(|&&x| x == Intensity::ComputeIntensive).count(),
+            c.iter()
+                .filter(|&&x| x == Intensity::ComputeIntensive)
+                .count(),
             2
         );
         assert_eq!(
-            c.iter().filter(|&&x| x == Intensity::MemoryIntensive).count(),
+            c.iter()
+                .filter(|&&x| x == Intensity::MemoryIntensive)
+                .count(),
             1
         );
     }

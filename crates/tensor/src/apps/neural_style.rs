@@ -193,7 +193,9 @@ mod tests {
         let mut app = NeuralStyle::new(MlScale::tiny(), 2);
         let _ = app.train_iteration(&mut gpu);
         let names: BTreeSet<&str> = gpu.records().iter().map(|r| r.name.as_str()).collect();
-        assert!(names.iter().any(|n| n.contains("sgemm") || n.contains("gemv")));
+        assert!(names
+            .iter()
+            .any(|n| n.contains("sgemm") || n.contains("gemv")));
         assert!(names.iter().any(|n| n.contains("batch_norm")));
         assert!(names.iter().any(|n| n.contains("winograd")));
         assert!(names.len() >= 20, "{} kernels", names.len());

@@ -93,20 +93,17 @@ impl FlappyEnv {
         // Recycle pipes that scrolled off.
         for i in 0..self.pipes.len() {
             if self.pipes[i].0 < -0.1 {
-                let rightmost = self
-                    .pipes
-                    .iter()
-                    .map(|p| p.0)
-                    .fold(f64::MIN, f64::max);
+                let rightmost = self.pipes.iter().map(|p| p.0).fold(f64::MIN, f64::max);
                 self.pipes[i] = (rightmost + 0.5, self.rng.gen_range(0.3..0.7));
             }
         }
 
         let crashed = self.bird_y <= 0.0
             || self.bird_y >= 1.0
-            || self.pipes.iter().any(|&(px, gy)| {
-                (px - BIRD_X).abs() < 0.05 && (self.bird_y - gy).abs() > GAP
-            });
+            || self
+                .pipes
+                .iter()
+                .any(|&(px, gy)| (px - BIRD_X).abs() < 0.05 && (self.bird_y - gy).abs() > GAP);
         if crashed {
             reward = -1.0;
         }
@@ -351,8 +348,8 @@ mod tests {
         let env = FlappyEnv::new(3);
         let screen = env.render(16);
         assert_eq!(screen.shape(), &[1, 1, 16, 16]);
-        assert!(screen.data().iter().any(|&v| v == 1.0), "bird pixel");
-        assert!(screen.data().iter().any(|&v| v == 0.7), "pipe pixels");
+        assert!(screen.data().contains(&1.0), "bird pixel");
+        assert!(screen.data().contains(&0.7), "pipe pixels");
     }
 
     #[test]
@@ -375,6 +372,9 @@ mod tests {
             .iter()
             .filter(|r| r.name.contains("winograd") || r.name.contains("implicit"))
             .count();
-        assert!(conv_launches >= 2 * app.steps_per_iteration, "{conv_launches}");
+        assert!(
+            conv_launches >= 2 * app.steps_per_iteration,
+            "{conv_launches}"
+        );
     }
 }

@@ -144,13 +144,7 @@ impl Seq2Seq {
             // Teacher forcing: BOS (0) then gold prefix.
             let inputs: Vec<usize> = rows
                 .iter()
-                .map(|&r| {
-                    if t == 0 {
-                        0
-                    } else {
-                        self.corpus[r].1[t - 1]
-                    }
-                })
+                .map(|&r| if t == 0 { 0 } else { self.corpus[r].1[t - 1] })
                 .collect();
             let targets: Vec<usize> = rows.iter().map(|&r| self.corpus[r].1[t]).collect();
 

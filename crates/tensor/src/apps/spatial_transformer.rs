@@ -219,10 +219,7 @@ mod tests {
         let mut gpu = Gpu::new(Device::rtx3080());
         let mut app = SpatialTransformer::new(MlScale::tiny(), 3);
         // With zero loc_fc2 weights the predicted theta equals the bias.
-        assert_eq!(
-            app.loc_fc2.bias.data(),
-            &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0]
-        );
+        assert_eq!(app.loc_fc2.bias.data(), &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
         let acc = app.accuracy(&mut gpu);
         assert!((0.0..=1.0).contains(&acc));
     }

@@ -48,16 +48,36 @@ pub fn celeba_like(n: usize, size: usize, seed: u64) -> Tensor {
 
 /// 5×7 digit glyphs (a classic segment font).
 const GLYPHS: [[u8; 7]; 10] = [
-    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110], // 0
-    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110], // 1
-    [0b01110, 0b10001, 0b00001, 0b00110, 0b01000, 0b10000, 0b11111], // 2
-    [0b01110, 0b10001, 0b00001, 0b00110, 0b00001, 0b10001, 0b01110], // 3
-    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010], // 4
-    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110], // 5
-    [0b01110, 0b10000, 0b11110, 0b10001, 0b10001, 0b10001, 0b01110], // 6
-    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000], // 7
-    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110], // 8
-    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00001, 0b01110], // 9
+    [
+        0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110,
+    ], // 0
+    [
+        0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110,
+    ], // 1
+    [
+        0b01110, 0b10001, 0b00001, 0b00110, 0b01000, 0b10000, 0b11111,
+    ], // 2
+    [
+        0b01110, 0b10001, 0b00001, 0b00110, 0b00001, 0b10001, 0b01110,
+    ], // 3
+    [
+        0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010,
+    ], // 4
+    [
+        0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110,
+    ], // 5
+    [
+        0b01110, 0b10000, 0b11110, 0b10001, 0b10001, 0b10001, 0b01110,
+    ], // 6
+    [
+        0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000,
+    ], // 7
+    [
+        0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110,
+    ], // 8
+    [
+        0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00001, 0b01110,
+    ], // 9
 ];
 
 /// MNIST-like digit images `[n, 1, size, size]` with labels. Digits are
@@ -85,14 +105,11 @@ pub fn mnist_like(n: usize, size: usize, seed: u64) -> (Tensor, Vec<usize>) {
                 let gx = (cos * fx + sin * fy) / scale + 2.5;
                 let gy = (-sin * fx + cos * fy) / scale + 3.5;
                 let (gxi, gyi) = (gx.floor() as isize, gy.floor() as isize);
-                let lit = gxi >= 0
-                    && gxi < 5
-                    && gyi >= 0
-                    && gyi < 7
+                let lit = (0..5).contains(&gxi)
+                    && (0..7).contains(&gyi)
                     && (GLYPHS[digit][gyi as usize] >> (4 - gxi as usize)) & 1 == 1;
                 let noise: f32 = rng.gen_range(0.0..0.08);
-                out.data_mut()[(img * size + y) * size + x] =
-                    if lit { 1.0 - noise } else { noise };
+                out.data_mut()[(img * size + y) * size + x] = if lit { 1.0 - noise } else { noise };
             }
         }
     }
@@ -111,8 +128,7 @@ pub fn content_image(size: usize, seed: u64) -> Tensor {
         for y in 0..size {
             for x in 0..size {
                 let grad = (x + y) as f32 / (2 * size) as f32;
-                let inside =
-                    ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt() < r;
+                let inside = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt() < r;
                 let v = if inside { 0.8 - grad * 0.3 } else { grad };
                 t.data_mut()[(c * size + y) * size + x] = v * (1.0 + c as f32 * 0.1);
             }
@@ -131,9 +147,7 @@ pub fn style_image(size: usize, seed: u64) -> Tensor {
         let phase = c as f32 * 1.3;
         for y in 0..size {
             for x in 0..size {
-                let v = ((x as f32 * freq + y as f32 * 0.5 * freq + phase).sin() * 0.5
-                    + 0.5)
-                    * 0.8
+                let v = ((x as f32 * freq + y as f32 * 0.5 * freq + phase).sin() * 0.5 + 0.5) * 0.8
                     + rng.gen_range(0.0..0.2);
                 t.data_mut()[(c * size + y) * size + x] = v;
             }
@@ -220,7 +234,12 @@ mod tests {
             let d = t.data();
             (1..d.len()).map(|i| (d[i] - d[i - 1]).abs()).sum::<f32>() / d.len() as f32
         };
-        assert!(roughness(&s) > roughness(&c), "{} vs {}", roughness(&s), roughness(&c));
+        assert!(
+            roughness(&s) > roughness(&c),
+            "{} vs {}",
+            roughness(&s),
+            roughness(&c)
+        );
     }
 
     #[test]

@@ -89,8 +89,7 @@ impl Graph {
                 for b in 0..n {
                     for ch in 0..c {
                         let base = (b * c + ch) * h * w;
-                        db.data_mut()[ch] +=
-                            gout.data()[base..base + h * w].iter().sum::<f32>();
+                        db.data_mut()[ch] += gout.data()[base..base + h * w].iter().sum::<f32>();
                     }
                 }
                 kernels::reduce(gpu, "bias_grad", gout.len());
@@ -100,7 +99,10 @@ impl Graph {
             Op::Relu { a } => {
                 let av = self.nodes[*a].value.clone();
                 kernels::elementwise(gpu, "relu_backward", gout.len(), 2, 1);
-                self.acc_grad(*a, zip_same(gout, &av, |g, x| if x > 0.0 { g } else { 0.0 }));
+                self.acc_grad(
+                    *a,
+                    zip_same(gout, &av, |g, x| if x > 0.0 { g } else { 0.0 }),
+                );
             }
             Op::LeakyRelu { a, slope } => {
                 let av = self.nodes[*a].value.clone();
@@ -309,8 +311,8 @@ impl Graph {
                     }
                     for &i in idxs {
                         let dy = gout.data()[i];
-                        dx.data_mut()[i] = gamma_c * istd / m
-                            * (m * dy - sum_dy - xhat.data()[i] * sum_dy_xhat);
+                        dx.data_mut()[i] =
+                            gamma_c * istd / m * (m * dy - sum_dy - xhat.data()[i] * sum_dy_xhat);
                     }
                 }
                 kernels::batchnorm_bwd(gpu, n, c, hw);

@@ -137,8 +137,8 @@ pub fn conv_wgrad(
                                 if ix < 0 || ix >= ww as isize {
                                     continue;
                                 }
-                                wd[((o * ic + c) * kh + ky) * kw + kx] += g
-                                    * xd[((b * ic + c) * h + iy as usize) * ww + ix as usize];
+                                wd[((o * ic + c) * kh + ky) * kw + kx] +=
+                                    g * xd[((b * ic + c) * h + iy as usize) * ww + ix as usize];
                             }
                         }
                     }

@@ -44,28 +44,97 @@ struct Node {
 
 #[derive(Debug, Clone)]
 enum Op {
-    MatMul { a: VarId, b: VarId },
-    Add { a: VarId, b: VarId },
-    Sub { a: VarId, b: VarId },
-    Mul { a: VarId, b: VarId },
-    Scale { a: VarId, factor: f32 },
-    AddBiasRows { a: VarId, bias: VarId },
-    AddBiasNchw { a: VarId, bias: VarId },
-    Relu { a: VarId },
-    LeakyRelu { a: VarId, slope: f32 },
-    Tanh { a: VarId },
-    Sigmoid { a: VarId },
-    Dropout { a: VarId, mask: Vec<f32> },
-    Reshape { a: VarId, old_shape: Vec<usize> },
-    Transpose2d { a: VarId },
-    SumRows { a: VarId },
-    SoftmaxRows { a: VarId, probs: Tensor },
-    MulColBroadcast { a: VarId, col: VarId },
-    ConcatCols { a: VarId, b: VarId, ca: usize, cb: usize },
-    SliceCols { a: VarId, start: usize, end: usize },
-    Conv2d { x: VarId, w: VarId, stride: usize, pad: usize },
-    ConvT2d { x: VarId, w: VarId, stride: usize, pad: usize },
-    MaxPool { x: VarId, k: usize, argmax: Vec<usize> },
+    MatMul {
+        a: VarId,
+        b: VarId,
+    },
+    Add {
+        a: VarId,
+        b: VarId,
+    },
+    Sub {
+        a: VarId,
+        b: VarId,
+    },
+    Mul {
+        a: VarId,
+        b: VarId,
+    },
+    Scale {
+        a: VarId,
+        factor: f32,
+    },
+    AddBiasRows {
+        a: VarId,
+        bias: VarId,
+    },
+    AddBiasNchw {
+        a: VarId,
+        bias: VarId,
+    },
+    Relu {
+        a: VarId,
+    },
+    LeakyRelu {
+        a: VarId,
+        slope: f32,
+    },
+    Tanh {
+        a: VarId,
+    },
+    Sigmoid {
+        a: VarId,
+    },
+    Dropout {
+        a: VarId,
+        mask: Vec<f32>,
+    },
+    Reshape {
+        a: VarId,
+        old_shape: Vec<usize>,
+    },
+    Transpose2d {
+        a: VarId,
+    },
+    SumRows {
+        a: VarId,
+    },
+    SoftmaxRows {
+        a: VarId,
+        probs: Tensor,
+    },
+    MulColBroadcast {
+        a: VarId,
+        col: VarId,
+    },
+    ConcatCols {
+        a: VarId,
+        b: VarId,
+        ca: usize,
+        cb: usize,
+    },
+    SliceCols {
+        a: VarId,
+        start: usize,
+        end: usize,
+    },
+    Conv2d {
+        x: VarId,
+        w: VarId,
+        stride: usize,
+        pad: usize,
+    },
+    ConvT2d {
+        x: VarId,
+        w: VarId,
+        stride: usize,
+        pad: usize,
+    },
+    MaxPool {
+        x: VarId,
+        k: usize,
+        argmax: Vec<usize>,
+    },
     Norm {
         x: VarId,
         gamma: VarId,
@@ -74,12 +143,32 @@ enum Op {
         xhat: Tensor,
         inv_std: Vec<f32>,
     },
-    SoftmaxCe { logits: VarId, probs: Tensor, targets: Vec<usize> },
-    BceLogits { logits: VarId, targets: Tensor },
-    Mse { a: VarId, b: VarId },
-    Mean { a: VarId },
-    Embedding { table: VarId, indices: Vec<usize> },
-    SpatialTransform { x: VarId, theta: VarId, oh: usize, ow: usize },
+    SoftmaxCe {
+        logits: VarId,
+        probs: Tensor,
+        targets: Vec<usize>,
+    },
+    BceLogits {
+        logits: VarId,
+        targets: Tensor,
+    },
+    Mse {
+        a: VarId,
+        b: VarId,
+    },
+    Mean {
+        a: VarId,
+    },
+    Embedding {
+        table: VarId,
+        indices: Vec<usize>,
+    },
+    SpatialTransform {
+        x: VarId,
+        theta: VarId,
+        oh: usize,
+        ow: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -298,7 +387,10 @@ impl Graph {
 
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&mut self, gpu: &mut Gpu, a: VarId, slope: f32) -> VarId {
-        let out = map_tensor(&self.nodes[a].value, |x| if x > 0.0 { x } else { slope * x });
+        let out = map_tensor(
+            &self.nodes[a].value,
+            |x| if x > 0.0 { x } else { slope * x },
+        );
         kernels::elementwise(gpu, "leaky_relu", out.len(), 1, 2);
         self.push_op(Op::LeakyRelu { a, slope }, out)
     }
@@ -429,7 +521,10 @@ impl Graph {
     pub fn slice_cols(&mut self, gpu: &mut Gpu, a: VarId, start: usize, end: usize) -> VarId {
         let av = &self.nodes[a].value;
         let (n, f) = (av.shape()[0], av.shape()[1]);
-        assert!(start < end && end <= f, "invalid column range {start}..{end} of {f}");
+        assert!(
+            start < end && end <= f,
+            "invalid column range {start}..{end} of {f}"
+        );
         let width = end - start;
         let mut out = Tensor::zeros(&[n, width]);
         for r in 0..n {
@@ -445,7 +540,14 @@ impl Graph {
     // ------------------------------------------------------------------
 
     /// 2-D convolution: `x[n,ic,h,w] ⊛ w[oc,ic,kh,kw]`.
-    pub fn conv2d(&mut self, gpu: &mut Gpu, x: VarId, w: VarId, stride: usize, pad: usize) -> VarId {
+    pub fn conv2d(
+        &mut self,
+        gpu: &mut Gpu,
+        x: VarId,
+        w: VarId,
+        stride: usize,
+        pad: usize,
+    ) -> VarId {
         let out = conv::conv_fwd(&self.nodes[x].value, &self.nodes[w].value, stride, pad);
         let s = self.conv_shape(x, w, &out);
         kernels::conv2d_fwd(gpu, &s);
@@ -893,7 +995,10 @@ mod tests {
     fn embedding_gathers_rows() {
         let mut g = Graph::new();
         let mut gp = gpu();
-        let table = g.param(Tensor::from_vec(&[3, 2], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]));
+        let table = g.param(Tensor::from_vec(
+            &[3, 2],
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        ));
         let e = g.embedding(&mut gp, table, &[2, 0]);
         assert_eq!(g.value(e).data(), &[4.0, 5.0, 0.0, 1.0]);
     }
@@ -902,12 +1007,12 @@ mod tests {
     fn identity_spatial_transform_reproduces_input() {
         let mut g = Graph::new();
         let mut gp = gpu();
-        let x = g.input(Tensor::from_vec(
-            &[1, 1, 2, 2],
-            vec![1.0, 2.0, 3.0, 4.0],
-        ));
+        let x = g.input(Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]));
         // Identity affine: [1 0 0; 0 1 0].
-        let theta = g.input(Tensor::from_vec(&[1, 6], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]));
+        let theta = g.input(Tensor::from_vec(
+            &[1, 6],
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+        ));
         let y = g.spatial_transform(&mut gp, x, theta, 2, 2);
         for (a, b) in g.value(y).data().iter().zip(g.value(x).data()) {
             assert!((a - b).abs() < 1e-5);
@@ -918,10 +1023,7 @@ mod tests {
     fn maxpool_picks_maxima() {
         let mut g = Graph::new();
         let mut gp = gpu();
-        let x = g.input(Tensor::from_vec(
-            &[1, 1, 2, 2],
-            vec![1.0, 5.0, 3.0, 2.0],
-        ));
+        let x = g.input(Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]));
         let y = g.maxpool2d(&mut gp, x, 2);
         assert_eq!(g.value(y).data(), &[5.0]);
     }

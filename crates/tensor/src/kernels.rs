@@ -254,7 +254,7 @@ pub fn conv2d_wgrad(gpu: &mut Gpu, s: &ConvShape) {
 pub fn elementwise(gpu: &mut Gpu, op: &str, n: usize, arity: usize, flops: u64) {
     let n64 = n as u64;
     let w = warps(n64);
-    let name = if n % 4 == 0 {
+    let name = if n.is_multiple_of(4) {
         format!("vectorized_elementwise_kernel_{op}")
     } else {
         format!("unrolled_elementwise_kernel_{op}")
@@ -300,7 +300,11 @@ pub fn reduce(gpu: &mut Gpu, what: &str, n: usize) {
                 .with_int(w * 2),
         )
         .stream(AccessStream::read(n64, 4, AccessPattern::Streaming))
-        .stream(AccessStream::write(n64 / 256 + 1, 4, AccessPattern::Streaming))
+        .stream(AccessStream::write(
+            n64 / 256 + 1,
+            4,
+            AccessPattern::Streaming,
+        ))
         .dependency_fraction(0.55)
         .build();
     gpu.launch(&kd);
@@ -350,7 +354,11 @@ pub fn batchnorm_fwd(gpu: &mut Gpu, n: usize, c: usize, hw: usize) {
                     .with_int(w),
             )
             .stream(AccessStream::read(total, 4, AccessPattern::Streaming))
-            .stream(AccessStream::write(c as u64 * 2, 4, AccessPattern::Streaming))
+            .stream(AccessStream::write(
+                c as u64 * 2,
+                4,
+                AccessPattern::Streaming,
+            ))
             .dependency_fraction(0.5)
             .build(),
     );
@@ -387,7 +395,11 @@ pub fn batchnorm_bwd(gpu: &mut Gpu, n: usize, c: usize, hw: usize) {
             )
             .stream(AccessStream::read(total, 4, AccessPattern::Streaming))
             .stream(AccessStream::read(total, 4, AccessPattern::Streaming))
-            .stream(AccessStream::write(c as u64 * 2, 4, AccessPattern::Streaming))
+            .stream(AccessStream::write(
+                c as u64 * 2,
+                4,
+                AccessPattern::Streaming,
+            ))
             .dependency_fraction(0.5)
             .build(),
     );
@@ -475,7 +487,11 @@ pub fn maxpool(gpu: &mut Gpu, n_out: usize, window: usize, backward: bool) {
                 .with_int(w * 4)
                 .with_branch(w * window as u64 / 2),
         )
-        .stream(AccessStream::read(total * window as u64, 4, AccessPattern::Streaming))
+        .stream(AccessStream::read(
+            total * window as u64,
+            4,
+            AccessPattern::Streaming,
+        ))
         .stream(AccessStream::write(total, 4, AccessPattern::Streaming))
         .build();
     gpu.launch(&kd);

@@ -59,7 +59,12 @@ impl Optimizer for Sgd {
         if v.len() != param.len() {
             *v = vec![0.0; param.len()];
         }
-        for ((p, &g), vel) in param.data_mut().iter_mut().zip(grad.data()).zip(v.iter_mut()) {
+        for ((p, &g), vel) in param
+            .data_mut()
+            .iter_mut()
+            .zip(grad.data())
+            .zip(v.iter_mut())
+        {
             *vel = self.momentum * *vel + g;
             *p -= self.lr * *vel;
         }
@@ -229,9 +234,6 @@ mod tests {
         let mut p = Tensor::zeros(&[64]);
         adam.begin_step();
         adam.update(&mut g, &mut p, &Tensor::full(&[64], 0.1));
-        assert!(g
-            .records()
-            .iter()
-            .any(|r| r.name.contains("adam")));
+        assert!(g.records().iter().any(|r| r.name.contains("adam")));
     }
 }

@@ -76,8 +76,11 @@ fn main() {
     let profile = Profile::from_records(gpu.records());
     let roofline = Roofline::for_device(gpu.device());
 
-    println!("Custom app: {} kernels, {:.3} ms GPU time", profile.kernel_count(),
-        profile.total_time_s() * 1e3);
+    println!(
+        "Custom app: {} kernels, {:.3} ms GPU time",
+        profile.kernel_count(),
+        profile.total_time_s() * 1e3
+    );
     let total = profile.total_time_s();
     let mut points = Vec::new();
     for k in profile.kernels() {
@@ -87,7 +90,9 @@ fn main() {
             100.0 * k.time_share(total),
             k.metrics.instruction_intensity,
             k.metrics.gips,
-            roofline.intensity_class(k.metrics.instruction_intensity).label(),
+            roofline
+                .intensity_class(k.metrics.instruction_intensity)
+                .label(),
         );
         points.push(RooflinePoint::from_metrics(
             k.name.clone(),

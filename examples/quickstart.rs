@@ -27,7 +27,9 @@ fn main() {
         "\nAggregate: {:.1} GIPS at instruction intensity {:.2} → {} / {}",
         aggregate.gips,
         aggregate.instruction_intensity,
-        roofline.intensity_class(aggregate.instruction_intensity).label(),
+        roofline
+            .intensity_class(aggregate.instruction_intensity)
+            .label(),
         roofline.boundedness_class(aggregate.gips).label(),
     );
     println!(

@@ -47,11 +47,7 @@ fn main() {
             roofline.intensity_class(rec.instruction_intensity).label(),
             roofline.boundedness_class(rec.gips).label(),
         );
-        points.push(RooflinePoint::from_metrics(
-            format!("f{flops}"),
-            &rec,
-            1.0,
-        ));
+        points.push(RooflinePoint::from_metrics(format!("f{flops}"), &rec, 1.0));
     }
 
     println!("\nSame 256-FLOP kernel, throttled by register pressure (occupancy):\n");

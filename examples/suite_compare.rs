@@ -24,13 +24,19 @@ fn describe(name: &str, profile: &Profile, roofline: &Roofline) {
             "  {:<36} {:>5.1}%  [{}]",
             k.name,
             100.0 * k.time_share(total),
-            roofline.intensity_class(k.metrics.instruction_intensity).label()
+            roofline
+                .intensity_class(k.metrics.instruction_intensity)
+                .label()
         );
     }
     let classes: std::collections::BTreeSet<&str> = profile
         .kernels()
         .iter()
-        .map(|k| roofline.intensity_class(k.metrics.instruction_intensity).label())
+        .map(|k| {
+            roofline
+                .intensity_class(k.metrics.instruction_intensity)
+                .label()
+        })
         .collect();
     println!(
         "  roofline classes present: {:?} — {}",

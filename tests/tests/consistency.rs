@@ -78,7 +78,13 @@ fn seq2seq_profiles_are_iteration_stable() {
 /// over kernels from steps 10–20 matches steps 20–30.
 #[test]
 fn md_steady_state_slices_are_representative() {
-    let mut engine = workloads::lammps_rhodopsin(MdScale { atoms: 400, steps: 0 }, 3);
+    let mut engine = workloads::lammps_rhodopsin(
+        MdScale {
+            atoms: 400,
+            steps: 0,
+        },
+        3,
+    );
     let mut gpu = gpu();
     // Warm up, then profile two consecutive windows with trace resets.
     let _ = engine.run(&mut gpu, 10);
@@ -112,7 +118,13 @@ fn md_steady_state_slices_are_representative() {
 fn seeds_change_data_not_structure() {
     let run = |seed: u64| -> Profile {
         let mut gpu = gpu();
-        let mut engine = workloads::lammps_colloid(MdScale { atoms: 400, steps: 10 }, seed);
+        let mut engine = workloads::lammps_colloid(
+            MdScale {
+                atoms: 400,
+                steps: 10,
+            },
+            seed,
+        );
         let _ = engine.run(&mut gpu, 10);
         Profile::from_records(gpu.records())
     };

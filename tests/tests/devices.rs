@@ -105,6 +105,10 @@ fn comparison_suites_are_deterministic() {
             "{}",
             b.name
         );
-        assert!((a.total_time_s() - c.total_time_s()).abs() < 1e-18, "{}", b.name);
+        assert!(
+            (a.total_time_s() - c.total_time_s()).abs() < 1e-18,
+            "{}",
+            b.name
+        );
     }
 }

@@ -50,10 +50,16 @@ fn obs_1_2_cactus_executes_many_more_kernels() {
     let cactus = cactus_profiles();
     let prt = prt_profiles();
 
-    let cactus_avg: f64 = cactus.iter().map(|(_, p)| p.kernel_count() as f64).sum::<f64>()
+    let cactus_avg: f64 = cactus
+        .iter()
+        .map(|(_, p)| p.kernel_count() as f64)
+        .sum::<f64>()
         / cactus.len() as f64;
-    let prt_avg: f64 =
-        prt.iter().map(|(_, p)| p.kernel_count() as f64).sum::<f64>() / prt.len() as f64;
+    let prt_avg: f64 = prt
+        .iter()
+        .map(|(_, p)| p.kernel_count() as f64)
+        .sum::<f64>()
+        / prt.len() as f64;
     assert!(
         cactus_avg > 3.0 * prt_avg,
         "cactus avg {cactus_avg:.1} vs PRT avg {prt_avg:.1}"
@@ -81,7 +87,10 @@ fn obs_3_input_sensitivity() {
     };
     let lmr = kernels("LMR");
     let lmc = kernels("LMC");
-    assert!(!lmr.is_subset(&lmc) && !lmc.is_subset(&lmr), "LAMMPS inputs");
+    assert!(
+        !lmr.is_subset(&lmc) && !lmc.is_subset(&lmr),
+        "LAMMPS inputs"
+    );
     let gst = kernels("GST");
     let gru = kernels("GRU");
     assert!(gru.is_subset(&gst) || !gst.is_subset(&gru), "BFS inputs");

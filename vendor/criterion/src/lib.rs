@@ -1,0 +1,309 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The workspace builds without registry access (see `vendor/README.md`),
+//! so this crate provides the slice of criterion's API that the Cactus
+//! benches use: [`Criterion`] with the `sample_size`/`measurement_time`
+//! builders, `bench_function`, `benchmark_group`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], [`BatchSize`], and the `criterion_group!` /
+//! `criterion_main!` macros (both the plain and the
+//! `name =`/`config =`/`targets =` forms).
+//!
+//! Measurement is deliberately simple: per-sample wall-clock timing with an
+//! adaptive inner-iteration count sized so one bench stays within its
+//! measurement-time budget. Reported numbers are min/mean/max over samples —
+//! no outlier analysis, no saved baselines, no plots. CLI handling matches
+//! what `cargo bench` needs: flags (such as the injected `--bench`) are
+//! ignored and the first free argument is a substring filter on bench ids.
+
+use std::time::{Duration, Instant};
+
+/// Hint for how `iter_batched` amortizes setup; the shim times one routine
+/// call per setup regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input, cheap to hold many of.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every routine call.
+    PerIteration,
+}
+
+/// Measurement settings shared by a `Criterion` and its groups.
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark records.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Set the wall-clock budget for each benchmark's measurement phase.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        assert!(!d.is_zero(), "measurement_time must be non-zero");
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Apply command-line arguments: flags are ignored (cargo injects
+    /// `--bench`), the first free argument becomes a substring filter.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                self.filter.get_or_insert(arg);
+                break;
+            }
+        }
+        self
+    }
+
+    /// Run one benchmark if it passes the filter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, self.filter.as_deref(), self.config, f);
+        self
+    }
+
+    /// Start a named group; benches inside report as `group/bench`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            config: self.config,
+        }
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Override the measurement budget for this group only.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        assert!(!d.is_zero(), "measurement_time must be non-zero");
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in the group if it passes the filter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.criterion.filter.as_deref(), self.config, f);
+        self
+    }
+
+    /// End the group. (The shim reports per-bench, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; records timed samples.
+pub struct Bencher {
+    config: Config,
+    /// Seconds per routine iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly. The per-sample inner iteration count is
+    /// sized from a warmup estimate so the whole bench fits the budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup = Instant::now();
+        std::hint::black_box(routine());
+        let estimate = warmup.elapsed().as_secs_f64().max(1e-9);
+
+        let budget = self.config.measurement_time.as_secs_f64();
+        let per_sample = budget / self.config.sample_size as f64;
+        let iters = ((per_sample / estimate) as u64).clamp(1, 10_000_000);
+
+        let deadline = Instant::now();
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+            if deadline.elapsed().as_secs_f64() > budget {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = self.config.measurement_time.as_secs_f64();
+        let deadline = Instant::now();
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64());
+            if deadline.elapsed().as_secs_f64() > budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, filter: Option<&str>, config: Config, mut f: F) {
+    if let Some(needle) = filter {
+        if !id.contains(needle) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        config,
+        samples: Vec::with_capacity(config.sample_size),
+    };
+    f(&mut bencher);
+    report(id, &bencher.samples);
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        samples.len(),
+    );
+}
+
+/// Render seconds with an auto-selected unit, criterion-style.
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} \u{b5}s", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Config {
+        Config {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn iter_records_samples() {
+        let mut b = Bencher {
+            config: fast_config(),
+            samples: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            config: fast_config(),
+            samples: Vec::new(),
+        };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut ran = false;
+        run_bench("group/alpha", Some("beta"), fast_config(), |_| ran = true);
+        assert!(!ran);
+        run_bench("group/alpha", Some("alph"), fast_config(), |b| {
+            ran = true;
+            b.iter(|| 1u32);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert_eq!(fmt_time(2.5), "2.5000 s");
+        assert_eq!(fmt_time(2.5e-3), "2.5000 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.5000 \u{b5}s");
+        assert_eq!(fmt_time(2.5e-9), "2.5000 ns");
+    }
+}

@@ -1,0 +1,338 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The workspace builds without registry access (see `vendor/README.md`),
+//! so this crate re-implements the slice of proptest's API that the Cactus
+//! property tests use: the [`Strategy`] trait with `prop_map`, range and
+//! tuple strategies, [`Just`], `prop::collection::vec`, `prop_oneof!`, the
+//! `proptest!` test macro with `#![proptest_config(..)]`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case panics with the generated inputs
+//!   formatted into the message instead of a minimized counterexample.
+//! * **Deterministic seeding** — each test function derives its RNG seed
+//!   from its module path and name (FNV-1a), so failures reproduce exactly
+//!   on re-run; there is no persistence file.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+use std::ops::Range;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration with an explicit case count.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Uniform choice between boxed alternative strategies
+/// (the expansion of [`prop_oneof!`]).
+pub struct Union<T> {
+    variants: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the alternatives; panics if empty.
+    #[must_use]
+    pub fn new(variants: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Self { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.variants.len());
+        self.variants[i].generate(rng)
+    }
+}
+
+/// The `prop::` module tree used by the tests.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy for `Vec`s whose elements come from `element` and whose
+        /// length is drawn from `size` (a fixed `usize` or a `Range<usize>`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Length specification for [`prop::collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Output of [`prop::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// FNV-1a of a string — the per-test seed derivation.
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fresh deterministic RNG for one test function.
+#[must_use]
+pub fn test_rng(test_path: &str) -> StdRng {
+    StdRng::seed_from_u64(fnv1a(test_path))
+}
+
+/// Boolean property assertion; panics with the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => {
+        assert_eq!($($args)+);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
+/// The property-test macro: runs each contained `fn` once per configured
+/// case, binding each `name in strategy` argument to a freshly generated
+/// value.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn rng() -> rand::rngs::StdRng {
+        super::test_rng("self-test")
+    }
+
+    #[test]
+    fn ranges_and_map_generate_in_bounds() {
+        let mut rng = rng();
+        let s = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_honors_size() {
+        let mut rng = rng();
+        let fixed = crate::prop::collection::vec(0.0f64..1.0, 5);
+        assert_eq!(Strategy::generate(&fixed, &mut rng).len(), 5);
+        let ranged = crate::prop::collection::vec(0i32..5, 2..7);
+        for _ in 0..50 {
+            let v = Strategy::generate(&ranged, &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = rng();
+        let s: crate::Union<u32> = prop_oneof![Just(1u32), Just(2u32), 10u32..20];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(Strategy::generate(&s, &mut rng).min(10));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_arguments(x in 0u64..100, v in prop::collection::vec(-1.0f64..1.0, 1..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(v.iter().all(|a| a.abs() <= 1.0), "out of range: {v:?}");
+        }
+    }
+}

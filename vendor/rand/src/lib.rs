@@ -1,0 +1,286 @@
+//! Offline stand-in for the crates.io `rand` crate.
+//!
+//! This workspace must build without registry access (see
+//! `vendor/README.md`), so the handful of `rand` 0.8 APIs the Cactus
+//! reproduction uses are re-implemented here and resolved via a path
+//! dependency under the same crate name:
+//!
+//! * [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`]
+//! * [`Rng::gen`] for `f32`/`f64`/`u32`/`u64`/`bool`
+//! * [`Rng::gen_range`] over half-open ranges of the integer and float
+//!   types the workloads draw from
+//! * [`Rng::gen_bool`]
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than the real crate's ChaCha12-based `StdRng`, but every consumer
+//! in this repository only relies on seeded determinism and uniformity, not
+//! on a specific stream. Integer ranges use Lemire's unbiased
+//! multiply-with-rejection method; floats use the standard 53-bit (24-bit)
+//! mantissa-fill construction.
+
+use std::ops::Range;
+
+/// Core source of randomness: everything else is derived from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of a type with a canonical "standard" distribution:
+    /// uniform in `[0, 1)` for floats, uniform over all values for integers.
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from the half-open range `low..high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_uniform(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait SampleStandard: Sized {
+    /// Draw one value from the type's standard distribution.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53 mantissa bits → uniform on [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Draw uniformly from `[low, high)`.
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Unbiased integer in `[0, span)` via Lemire's multiply-with-rejection.
+fn uniform_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Reject the low `2^64 mod span` fraction of products so every residue
+    // is equally likely.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let wide = u128::from(rng.next_u64()) * u128::from(span);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high - low) as u64;
+                low + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                low.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(i32 => u32, i64 => u64);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let unit = <$t as SampleStandard>::sample_standard(rng);
+                // Clamp guards against `low + span` rounding up to `high`.
+                let v = low + (high - low) * unit;
+                if v < high { v } else { <$t>::from_bits(high.to_bits() - 1) }
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the recommended seeding procedure for
+            // the xoshiro family.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(-3i32..17);
+            assert!((-3..17).contains(&i));
+            let u = rng.gen_range(5u64..6);
+            assert_eq!(u, 5);
+            let z = rng.gen_range(0usize..10);
+            assert!(z < 10);
+            let f = rng.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn mean_of_unit_samples_is_half() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        assert!((sum / f64::from(n) - 0.5).abs() < 0.01);
+    }
+}
