@@ -10,9 +10,12 @@ fn main() {
     std::fs::create_dir_all(dir).expect("create results/csv");
 
     header("Dumping per-kernel CSV data files");
+    let cactus = cactus_profiles_cached();
+    let prt = prt_profiles_cached();
+
     let mut cactus_doc = csv::kernel_header();
     cactus_doc.push('\n');
-    for p in cactus_profiles_cached() {
+    for p in &cactus {
         for row in csv::kernel_rows(&p.name, &p.profile) {
             cactus_doc.push_str(&row);
             cactus_doc.push('\n');
@@ -23,7 +26,7 @@ fn main() {
 
     let mut prt_doc = csv::kernel_header();
     prt_doc.push('\n');
-    for p in prt_profiles_cached() {
+    for p in &prt {
         for row in csv::kernel_rows(&p.name, &p.profile) {
             prt_doc.push_str(&row);
             prt_doc.push('\n');
@@ -31,4 +34,16 @@ fn main() {
     }
     std::fs::write(dir.join("prt_kernels.csv"), &prt_doc).expect("write");
     println!("prt_kernels.csv: {} lines", prt_doc.lines().count());
+
+    // Launch-memoization effectiveness per workload. Profiles that loaded
+    // from the store report `source=store` with empty counters (nothing was
+    // simulated); run with `--no-cache` for a fully simulated dump.
+    let mut memo_doc = csv::memo_header();
+    memo_doc.push('\n');
+    for p in cactus.iter().chain(prt.iter()) {
+        memo_doc.push_str(&csv::memo_row(&p.name, p.memo.as_ref()));
+        memo_doc.push('\n');
+    }
+    std::fs::write(dir.join("memo_stats.csv"), &memo_doc).expect("write");
+    println!("memo_stats.csv: {} lines", memo_doc.lines().count());
 }

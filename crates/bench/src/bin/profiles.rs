@@ -7,6 +7,7 @@
 
 use cactus_bench::store::{self, cactus_profiles_cached, prt_profiles_cached};
 use cactus_bench::{header, ProfiledWorkload};
+use cactus_profiler::report;
 
 fn main() {
     header("Profile store");
@@ -31,4 +32,13 @@ fn main() {
     report("cactus", &cactus);
     report("prt", &prt);
     println!("ready in {:.2} s", start.elapsed().as_secs_f64());
+
+    // Launch-memoization effectiveness for whatever was freshly simulated
+    // this run (store-loaded sets report `store`).
+    let memo_rows: Vec<(String, Option<cactus_gpu::engine::MemoStats>)> = cactus
+        .iter()
+        .chain(prt.iter())
+        .map(|p| (p.name.clone(), p.memo))
+        .collect();
+    println!("\n{}", report::render_memo_table(&memo_rows));
 }

@@ -25,6 +25,7 @@ pub mod store;
 
 use cactus_analysis::roofline::{Roofline, RooflinePoint};
 use cactus_core::{SuiteScale, Workload};
+use cactus_gpu::engine::MemoStats;
 use cactus_gpu::metrics::KernelMetrics;
 use cactus_gpu::{Device, Gpu};
 use cactus_profiler::{KernelStats, Profile};
@@ -39,6 +40,10 @@ pub struct ProfiledWorkload {
     pub suite: String,
     /// The aggregated profile.
     pub profile: Profile,
+    /// Launch-memoization counters from the simulation that produced the
+    /// profile; `None` when the profile was loaded from the store (no
+    /// simulation ran, so there is nothing to count).
+    pub memo: Option<MemoStats>,
 }
 
 impl ProfiledWorkload {
@@ -54,13 +59,16 @@ impl ProfiledWorkload {
 /// [`cactus_profiles_serial`].
 #[must_use]
 pub fn cactus_profiles() -> Vec<ProfiledWorkload> {
-    cactus_core::run_suite(SuiteScale::Profile)
+    cactus_core::run_suite_with_stats(SuiteScale::Profile)
         .into_iter()
-        .map(|(w, profile): (Workload, Profile)| ProfiledWorkload {
-            name: w.abbr.to_owned(),
-            suite: "Cactus".to_owned(),
-            profile,
-        })
+        .map(
+            |(w, profile, memo): (Workload, Profile, MemoStats)| ProfiledWorkload {
+                name: w.abbr.to_owned(),
+                suite: "Cactus".to_owned(),
+                profile,
+                memo: Some(memo),
+            },
+        )
         .collect()
 }
 
@@ -73,6 +81,7 @@ pub fn cactus_profiles_serial() -> Vec<ProfiledWorkload> {
             name: w.abbr.to_owned(),
             suite: "Cactus".to_owned(),
             profile,
+            memo: None,
         })
         .collect()
 }
@@ -101,6 +110,7 @@ fn profile_prt_benchmark(b: Benchmark) -> ProfiledWorkload {
         name: b.name.to_owned(),
         suite: b.suite.name().to_owned(),
         profile: Profile::from_records(gpu.records()),
+        memo: Some(gpu.memo_stats()),
     }
 }
 

@@ -207,6 +207,7 @@ fn parse_set(text: &str) -> Result<Vec<ProfiledWorkload>, String> {
             name: name.to_owned(),
             suite: suite.to_owned(),
             profile,
+            memo: None,
         });
     }
     if lines.next().is_some() {
@@ -238,6 +239,7 @@ mod tests {
                     name: name.to_owned(),
                     suite: "TestSuite".to_owned(),
                     profile: Profile::from_records(gpu.records()),
+                    memo: None,
                 }
             })
             .collect()
@@ -298,6 +300,57 @@ mod tests {
             .collect();
         std::fs::write(&path, truncated).expect("rewrite");
         assert!(load_set_in(&dir, "cactus").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two threads race `save` against `load` on the same set. Because the
+    /// writer goes write-then-rename (and rename is atomic within a
+    /// filesystem), a reader must only ever observe a complete, valid set —
+    /// never a torn or half-written one. The writer alternates between two
+    /// sets of different shapes so a torn mix of old and new bytes cannot
+    /// accidentally parse.
+    #[test]
+    fn concurrent_save_and_load_never_tear() {
+        let dir = tmp_store("race");
+        let full = sample_set();
+        let half = vec![full[0].clone()];
+        // Seed the store so every load should succeed.
+        save_set_in(&dir, "cactus", &full).expect("seed save");
+
+        const ROUNDS: usize = 200;
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in 0..ROUNDS {
+                    let set = if i % 2 == 0 { &half } else { &full };
+                    save_set_in(&dir, "cactus", set).expect("racing save");
+                }
+            });
+            let reader = scope.spawn(|| {
+                let mut seen = 0usize;
+                while seen < ROUNDS {
+                    // A None here would mean the reader caught a torn file
+                    // (the path exists for the whole race).
+                    let loaded = load_set_in(&dir, "cactus")
+                        .expect("reader observed a torn or missing profile set");
+                    match loaded.len() {
+                        1 => {
+                            assert_eq!(loaded[0].name, half[0].name);
+                            assert_eq!(loaded[0].profile, half[0].profile);
+                        }
+                        2 => {
+                            for (a, b) in loaded.iter().zip(&full) {
+                                assert_eq!(a.name, b.name);
+                                assert_eq!(a.profile, b.profile);
+                            }
+                        }
+                        n => panic!("loaded a set of unexpected size {n}"),
+                    }
+                    seen += 1;
+                }
+            });
+            writer.join().expect("writer thread");
+            reader.join().expect("reader thread");
+        });
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -28,6 +28,7 @@ pub mod workloads;
 pub use scale::SuiteScale;
 pub use workloads::{suite, Domain, Workload};
 
+use cactus_gpu::engine::MemoStats;
 use cactus_gpu::{Device, Gpu};
 use cactus_profiler::report::SummaryRow;
 use cactus_profiler::Profile;
@@ -62,11 +63,23 @@ pub fn run_on(gpu: &mut Gpu, abbr: &str, scale: SuiteScale) -> Profile {
 /// `CACTUS_THREADS`). The result is bit-identical to [`run_suite_serial`].
 #[must_use]
 pub fn run_suite(scale: SuiteScale) -> Vec<(Workload, Profile)> {
+    run_suite_with_stats(scale)
+        .into_iter()
+        .map(|(w, p, _)| (w, p))
+        .collect()
+}
+
+/// [`run_suite`], additionally reporting each workload's launch-memoization
+/// counters ([`cactus_gpu::engine::MemoStats`]) so cache effectiveness is
+/// observable in suite reports and CSV dumps.
+#[must_use]
+pub fn run_suite_with_stats(scale: SuiteScale) -> Vec<(Workload, Profile, MemoStats)> {
     cactus_gpu::par::parallel_map(suite(), |w| {
         let mut gpu = Gpu::new(Device::rtx3080());
         w.run(&mut gpu, scale);
         let p = Profile::from_records(gpu.records());
-        (w, p)
+        let stats = gpu.memo_stats();
+        (w, p, stats)
     })
 }
 
@@ -164,6 +177,18 @@ mod tests {
         };
         assert_ne!(kernels("LMR"), kernels("LMC"));
         assert_ne!(kernels("GST"), kernels("GRU"));
+    }
+
+    #[test]
+    fn run_suite_with_stats_reports_memo_counters() {
+        for (w, p, stats) in run_suite_with_stats(SuiteScale::Tiny) {
+            assert!(p.kernel_count() > 0, "{}", w.abbr);
+            // Every launch went through the memoized path, and distinct
+            // configurations (misses) can't exceed total launches.
+            assert!(stats.launches() > 0, "{}", w.abbr);
+            assert!(stats.misses >= 1, "{}", w.abbr);
+            assert!((0.0..=1.0).contains(&stats.hit_rate()), "{}", w.abbr);
+        }
     }
 
     #[test]

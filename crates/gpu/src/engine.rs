@@ -18,6 +18,47 @@ use crate::kernel::KernelDesc;
 use crate::metrics::KernelMetrics;
 use crate::timing::{self, Timing};
 
+/// Snapshot of a device's launch-memoization counters.
+///
+/// `hits + misses` equals the number of launches issued while memoization
+/// was enabled; `misses` is also the number of *distinct* kernel
+/// configurations simulated (each miss populates one cache entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Launches answered from the memo cache.
+    pub hits: u64,
+    /// Launches that ran the full simulation.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Total memoized-path launches.
+    #[must_use]
+    pub fn launches(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of launches answered from the cache (0 when none ran).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.launches();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise sum of two snapshots.
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
 /// Record of one executed kernel launch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaunchRecord {
@@ -210,6 +251,15 @@ impl Gpu {
     #[must_use]
     pub fn memo_misses(&self) -> u64 {
         self.memo_misses
+    }
+
+    /// Both memo counters as one snapshot.
+    #[must_use]
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.memo_hits,
+            misses: self.memo_misses,
+        }
     }
 
     /// Distinct launch fingerprints currently cached.

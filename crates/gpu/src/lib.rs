@@ -31,6 +31,8 @@
 //! * [`engine`] — the [`engine::Gpu`] device that executes launches and
 //!   records an execution trace, memoizing repeated launch configurations.
 //! * [`par`] — deterministic parallel fan-out used by the suite runners.
+//! * [`pool`] — a thread-safe checkout pool of engines whose memo caches
+//!   stay warm across requests (the substrate of the `cactus-serve` daemon).
 //! * [`tracefile`] — serialization of execution traces (the paper's
 //!   future-work "simulator-compatible instruction traces").
 //!
@@ -60,6 +62,7 @@ pub mod kernel;
 pub mod launch;
 pub mod metrics;
 pub mod par;
+pub mod pool;
 pub mod timing;
 pub mod tracefile;
 

@@ -13,14 +13,23 @@
 //! Thread count defaults to [`std::thread::available_parallelism`] and can
 //! be pinned with the `CACTUS_THREADS` environment variable (`1` forces the
 //! serial path; useful for benchmarking and debugging).
+//!
+//! `CACTUS_THREADS` parsing is deliberately forgiving: the value is
+//! trimmed, and anything that is not a *positive* integer — unset, empty,
+//! `0`, negative, non-numeric garbage, or a number too large for `usize` —
+//! falls back to the machine's available parallelism (itself falling back
+//! to 1 if the OS cannot report it). A huge-but-parseable value is honored
+//! as given; [`parallel_map_threads`] clamps the worker count to the item
+//! count, so over-asking never spawns idle threads.
 
 use std::sync::Mutex;
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "CACTUS_THREADS";
 
-/// Worker threads to use: `CACTUS_THREADS` if set to a positive integer,
-/// otherwise the machine's available parallelism.
+/// Worker threads to use: `CACTUS_THREADS` if set to a positive integer
+/// (after trimming), otherwise the machine's available parallelism. See the
+/// module docs for the exact fallback rules.
 #[must_use]
 pub fn max_threads() -> usize {
     if let Ok(value) = std::env::var(THREADS_ENV) {
@@ -146,5 +155,47 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    /// All `CACTUS_THREADS` edge cases in one test: the variable is process
+    /// global, so the cases run sequentially here rather than as separate
+    /// (concurrently scheduled) tests.
+    #[test]
+    fn max_threads_env_edge_cases() {
+        let fallback = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let saved = std::env::var(THREADS_ENV).ok();
+
+        // Not positive integers → fall back to available parallelism.
+        for garbage in [
+            "0",
+            "",
+            " ",
+            "-3",
+            "eight",
+            "3.5",
+            "0x10",
+            "99999999999999999999999",
+        ] {
+            std::env::set_var(THREADS_ENV, garbage);
+            assert_eq!(max_threads(), fallback, "CACTUS_THREADS={garbage:?}");
+        }
+
+        // Positive integers are honored, including surrounding whitespace
+        // and values far beyond the core count.
+        for (value, want) in [("1", 1), (" 8 ", 8), ("64", 64), ("1000000", 1_000_000)] {
+            std::env::set_var(THREADS_ENV, value);
+            assert_eq!(max_threads(), want, "CACTUS_THREADS={value:?}");
+        }
+
+        // A huge override still executes correctly: the per-call clamp
+        // bounds workers by the item count.
+        std::env::set_var(THREADS_ENV, "1000000");
+        let got = parallel_map(vec![1u64, 2, 3], |x| x * 10);
+        assert_eq!(got, vec![10, 20, 30]);
+
+        match saved {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
     }
 }

@@ -65,6 +65,31 @@ pub fn to_csv(workload: &str, profile: &Profile) -> String {
     out
 }
 
+/// CSV header for [`memo_row`]: per-workload launch-memoization counters.
+#[must_use]
+pub fn memo_header() -> String {
+    "workload,source,launches,memo_hits,memo_misses,memo_hit_rate".to_owned()
+}
+
+/// One CSV row of launch-memoization effectiveness for `workload`.
+/// `stats = None` means the profile came from the store without
+/// simulating; the counter columns are left empty and the source reads
+/// `store` instead of `simulated`.
+#[must_use]
+pub fn memo_row(workload: &str, stats: Option<&cactus_gpu::engine::MemoStats>) -> String {
+    match stats {
+        Some(s) => format!(
+            "{},simulated,{},{},{},{:.6}",
+            escape(workload),
+            s.launches(),
+            s.hits,
+            s.misses,
+            s.hit_rate()
+        ),
+        None => format!("{},store,,,,", escape(workload)),
+    }
+}
+
 fn escape(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
         format!("\"{}\"", s.replace('"', "\"\""))
@@ -122,6 +147,17 @@ mod tests {
             .map(|row| split_csv(row)[4].parse::<f64>().unwrap())
             .sum();
         assert!((total - 1.0).abs() < 1e-3, "shares sum to {total}");
+    }
+
+    #[test]
+    fn memo_rows_match_header_arity() {
+        let header_cols = memo_header().split(',').count();
+        let stats = cactus_gpu::engine::MemoStats { hits: 3, misses: 1 };
+        for row in [memo_row("GMS", Some(&stats)), memo_row("LMR", None)] {
+            assert_eq!(split_csv(&row).len(), header_cols, "{row}");
+        }
+        assert!(memo_row("GMS", Some(&stats)).contains(",simulated,4,3,1,0.750000"));
+        assert!(memo_row("LMR", None).contains(",store,,,,"));
     }
 
     /// Minimal RFC-4180 splitter for the tests.

@@ -1,0 +1,195 @@
+//! `loadgen` — a closed-loop load generator for `cactus-serve`.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--clients N] [--requests N] [--path PATH]
+//! ```
+//!
+//! Spawns `--clients` closed-loop clients (each sends its next request only
+//! after the previous response arrives), fanning `--requests` total
+//! requests over them, then prints throughput, a latency summary
+//! (p50/p90/p99), and a status histogram. `503` responses are counted
+//! separately so backpressure shows up as pushback, not as errors.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cactus_serve::client::{Client, ClientError};
+use cactus_serve::metrics::quantile;
+
+const USAGE: &str = "\
+usage: loadgen --addr HOST:PORT [options]
+
+  --addr HOST:PORT   server to load (required)
+  --clients N        concurrent closed-loop clients (default 4)
+  --requests N       total requests across all clients (default 200)
+  --path PATH        request path (default /v1/profile/rtx-3080/tiny/GMS)
+  --help             show this help
+";
+
+struct Args {
+    addr: SocketAddr,
+    clients: usize,
+    requests: u64,
+    path: String,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
+    let mut addr = None;
+    let mut clients = 4usize;
+    let mut requests = 200u64;
+    let mut path = "/v1/profile/rtx-3080/tiny/GMS".to_owned();
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            return Ok(None);
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag.as_str() {
+            "--addr" => {
+                addr = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--addr: invalid address {value:?}"))?,
+                );
+            }
+            "--clients" => {
+                clients = value
+                    .parse()
+                    .map_err(|_| format!("--clients: invalid number {value:?}"))?;
+            }
+            "--requests" => {
+                requests = value
+                    .parse()
+                    .map_err(|_| format!("--requests: invalid number {value:?}"))?;
+            }
+            "--path" => path = value,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    Ok(Some(Args {
+        addr,
+        clients: clients.max(1),
+        requests,
+        path,
+    }))
+}
+
+#[derive(Default)]
+struct Tally {
+    statuses: BTreeMap<u16, u64>,
+    latencies_us: Vec<u64>,
+    transport_errors: u64,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let remaining = Arc::new(AtomicU64::new(args.requests));
+    let tally = Arc::new(Mutex::new(Tally::default()));
+    let path = Arc::new(args.path);
+    let started = Instant::now();
+
+    let threads: Vec<_> = (0..args.clients)
+        .map(|_| {
+            let remaining = Arc::clone(&remaining);
+            let tally = Arc::clone(&tally);
+            let path = Arc::clone(&path);
+            let client = Client::new(args.addr).with_timeout(Duration::from_secs(60));
+            std::thread::spawn(move || loop {
+                // Claim one request slot; stop when the budget is spent.
+                if remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_err()
+                {
+                    break;
+                }
+                let start = Instant::now();
+                let outcome = client.get(&path);
+                let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let mut tally = tally.lock().expect("tally poisoned");
+                match outcome {
+                    Ok(reply) => {
+                        *tally.statuses.entry(reply.status).or_insert(0) += 1;
+                        tally.latencies_us.push(elapsed_us);
+                    }
+                    Err(ClientError::Io(_)) => tally.transport_errors += 1,
+                    Err(_) => *tally.statuses.entry(0).or_insert(0) += 1,
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+
+    let wall = started.elapsed();
+    let tally = Arc::try_unwrap(tally)
+        .map(|m| m.into_inner().expect("tally poisoned"))
+        .unwrap_or_else(|_| unreachable!("all clients joined"));
+
+    let completed: u64 = tally.statuses.values().sum();
+    let mut sorted = tally.latencies_us.clone();
+    sorted.sort_unstable();
+    println!(
+        "loadgen: {} requests in {:.3}s over {} clients against {}",
+        completed,
+        wall.as_secs_f64(),
+        args.clients,
+        args.addr
+    );
+    println!("  path: {path}");
+    if wall.as_secs_f64() > 0.0 {
+        println!(
+            "  throughput: {:.1} req/s",
+            completed as f64 / wall.as_secs_f64()
+        );
+    }
+    println!(
+        "  latency: p50 {} us, p90 {} us, p99 {} us",
+        quantile(&sorted, 0.50),
+        quantile(&sorted, 0.90),
+        quantile(&sorted, 0.99),
+    );
+    print!("  statuses:");
+    for (status, count) in &tally.statuses {
+        if *status == 0 {
+            print!(" parse-error={count}");
+        } else {
+            print!(" {status}={count}");
+        }
+    }
+    println!();
+    if tally.transport_errors > 0 {
+        println!("  transport errors: {}", tally.transport_errors);
+    }
+
+    // Non-2xx/503 statuses (or transport errors) make the run fail so CI
+    // can assert on exit code.
+    let hard_failures: u64 = tally
+        .statuses
+        .iter()
+        .filter(|(s, _)| !(200..300).contains(&i32::from(**s)) && **s != 503)
+        .map(|(_, c)| *c)
+        .sum();
+    if hard_failures > 0 || tally.transport_errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,215 @@
+//! Typed client for the daemon, used by the integration tests and the
+//! `loadgen` binary.
+//!
+//! One request per connection (`Connection: close`), mirroring the server.
+//! The profile endpoint's body is the bit-exact `cactus_profiler::store`
+//! serialization, so [`Client::profile`] hands back a fully typed
+//! [`Profile`] without a JSON layer.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cactus_profiler::store::read_profile;
+use cactus_profiler::Profile;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code.
+    pub status: u16,
+    /// Lowercased header name/value pairs, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// First header value with the given (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Retry-After` header, parsed to seconds.
+    #[must_use]
+    pub fn retry_after_s(&self) -> Option<u32> {
+        self.header("retry-after")?.trim().parse().ok()
+    }
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server answered, but not with a 200.
+    Status(u16, String),
+    /// A 200 body that did not parse as the expected type.
+    Parse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Status(code, body) => {
+                write!(f, "unexpected status {code}: {}", body.trim())
+            }
+            ClientError::Parse(msg) => write!(f, "unparseable body: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A client bound to one server address.
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` with a 30 s I/O timeout.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the connect/read/write timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Issue one `GET path` and parse the reply (whatever its status).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors and unparseable response heads.
+    pub fn get(&self, path: &str) -> Result<HttpReply, ClientError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nhost: {}\r\nconnection: close\r\n\r\n",
+            self.addr
+        )?;
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw)?;
+        parse_reply(&raw)
+    }
+
+    /// `GET /healthz`, true on `200 ok`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; a non-200 yields `Ok(false)`.
+    pub fn healthz(&self) -> Result<bool, ClientError> {
+        Ok(self.get("/healthz")?.status == 200)
+    }
+
+    /// `GET /metricsz` parsed into a name → value map.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-200 status.
+    pub fn metrics(&self) -> Result<HashMap<String, f64>, ClientError> {
+        let reply = self.get("/metricsz")?;
+        if reply.status != 200 {
+            return Err(ClientError::Status(reply.status, reply.body));
+        }
+        Ok(reply
+            .body
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .filter_map(|l| {
+                let (name, value) = l.rsplit_once(' ')?;
+                Some((name.to_owned(), value.parse().ok()?))
+            })
+            .collect())
+    }
+
+    /// Fetch one profile as a typed [`Profile`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, non-200 statuses (with the server's message), and
+    /// unparseable bodies.
+    pub fn profile(
+        &self,
+        device: &str,
+        scale: &str,
+        workload: &str,
+    ) -> Result<Profile, ClientError> {
+        let reply = self.get(&format!("/v1/profile/{device}/{scale}/{workload}"))?;
+        if reply.status != 200 {
+            return Err(ClientError::Status(reply.status, reply.body));
+        }
+        read_profile(&reply.body).map_err(|e| ClientError::Parse(e.to_string()))
+    }
+}
+
+/// Parse a full HTTP/1.1 reply (head + body; the connection was closed by
+/// the server, so the body is everything after the blank line).
+fn parse_reply(raw: &str) -> Result<HttpReply, ClientError> {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| ClientError::Parse("no header/body separator".to_owned()))?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ClientError::Parse("empty reply".to_owned()))?;
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Parse(format!("bad status line {status_line:?}")))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    Ok(HttpReply {
+        status,
+        headers,
+        body: body.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_reply_head_and_body() {
+        let raw = "HTTP/1.1 503 Service Unavailable\r\ncontent-type: text/plain\r\nretry-after: 2\r\n\r\nbusy\n";
+        let reply = parse_reply(raw).expect("parse");
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.header("Content-Type"), Some("text/plain"));
+        assert_eq!(reply.retry_after_s(), Some(2));
+        assert_eq!(reply.body, "busy\n");
+    }
+
+    #[test]
+    fn rejects_torn_replies() {
+        assert!(parse_reply("HTTP/1.1 200 OK\r\n").is_err());
+        assert!(parse_reply("garbage\r\n\r\nbody").is_err());
+    }
+}

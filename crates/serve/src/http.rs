@@ -1,0 +1,258 @@
+//! A deliberately small HTTP/1.1 implementation over std TCP streams.
+//!
+//! The daemon needs exactly one request shape — `GET <path>` with headers it
+//! can ignore — and writes one `Connection: close` response per connection,
+//! so this module implements that slice directly instead of pulling in a
+//! server framework (the workspace builds with no registry access). Request
+//! heads are capped at [`MAX_HEAD_BYTES`]; anything larger, non-UTF-8, or
+//! not HTTP-shaped surfaces as an [`HttpError`] which the server maps to a
+//! `400`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path, without the query string.
+    pub path: String,
+    /// Raw query string after `?`, if any.
+    pub query: Option<String>,
+}
+
+/// Why a request head could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket error (including read timeouts).
+    Io(std::io::Error),
+    /// The peer closed before sending a full head.
+    ClosedEarly,
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The request line was not `METHOD TARGET HTTP/1.x`.
+    Malformed(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::ClosedEarly => write!(f, "connection closed before a full request head"),
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::Malformed(line) => write!(f, "malformed request line {line:?}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read and parse one request head from `stream`. Headers are consumed and
+/// discarded (the API is GET-only; no request ever carries a meaningful
+/// body).
+///
+/// # Errors
+///
+/// See [`HttpError`].
+pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream.take(MAX_HEAD_BYTES as u64 + 1));
+    let mut line = String::new();
+    let mut consumed = 0usize;
+
+    let mut read_line = |line: &mut String| -> Result<(), HttpError> {
+        line.clear();
+        let n = reader.read_line(line)?;
+        if n == 0 {
+            return Err(HttpError::ClosedEarly);
+        }
+        consumed += n;
+        if consumed > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        Ok(())
+    };
+
+    read_line(&mut line)?;
+    let request_line = line.trim_end_matches(['\r', '\n']).to_owned();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if v.starts_with("HTTP/1.") => (m, t, v),
+        _ => return Err(HttpError::Malformed(request_line.clone())),
+    };
+    let _ = version;
+
+    // Drain headers up to the blank line.
+    loop {
+        read_line(&mut line)?;
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+        None => (target.to_owned(), None),
+    };
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+    })
+}
+
+/// One response, always written `Connection: close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+    /// Optional `Retry-After` header (seconds), used by 503 backpressure.
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A `200 OK` with the given body and content type.
+    #[must_use]
+    pub fn ok(body: impl Into<String>, content_type: &'static str) -> Self {
+        Self {
+            status: 200,
+            content_type,
+            body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// A plain-text error response.
+    #[must_use]
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        let mut body = message.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// The `503 Service Unavailable` backpressure response.
+    #[must_use]
+    pub fn busy(retry_after_s: u32) -> Self {
+        let mut r = Self::error(503, "server saturated, retry later");
+        r.retry_after = Some(retry_after_s);
+        r
+    }
+
+    /// The standard reason phrase for [`Response::status`].
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize head + body to `out` (one write syscall via buffering).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        out.write_all(head.as_bytes())?;
+        out.write_all(self.body.as_bytes())?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /v1/profile/a/b/c?x=1 HTTP/1.1\r\nHost: h\r\n\r\n";
+        let r = read_request(&raw[..]).expect("parse");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/profile/a/b/c");
+        assert_eq!(r.query.as_deref(), Some("x=1"));
+    }
+
+    #[test]
+    fn method_is_uppercased() {
+        let raw = b"get / HTTP/1.0\r\n\r\n";
+        assert_eq!(read_request(&raw[..]).expect("parse").method, "GET");
+    }
+
+    #[test]
+    fn rejects_garbage_and_early_close() {
+        assert!(matches!(
+            read_request(&b"NOT-HTTP\r\n\r\n"[..]),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&b""[..]),
+            Err(HttpError::ClosedEarly)
+        ));
+        assert!(matches!(
+            read_request(&b"GET / HTTP/1.1\r\nHost: h"[..]),
+            Err(HttpError::ClosedEarly)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(vec![b'a'; MAX_HEAD_BYTES]);
+        assert!(matches!(
+            read_request(&raw[..]),
+            Err(HttpError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut buf = Vec::new();
+        Response::ok("hello\n", "text/plain")
+            .write_to(&mut buf)
+            .expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 6\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello\n"));
+
+        let mut buf = Vec::new();
+        Response::busy(7).write_to(&mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 7\r\n"));
+    }
+}

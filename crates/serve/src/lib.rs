@@ -1,0 +1,41 @@
+//! `cactus-serve` — a concurrent profile-serving daemon over the Cactus
+//! simulation stack.
+//!
+//! The daemon answers HTTP/1.1 `GET`s for per-kernel metrics, suite
+//! profiles, roofline coordinates, and dominant-kernel reports for any
+//! `(device preset, scale, workload)` triple, resolving each request
+//! through a three-level hierarchy:
+//!
+//! 1. **Response cache** ([`cache`]) — an in-memory LRU of rendered bodies;
+//!    repeat requests never touch the simulator.
+//! 2. **Profile store** ([`service`] → `cactus_bench::store`) — previously
+//!    persisted profile sets are deserialized instead of re-simulated.
+//! 3. **Live simulation** ([`service`] → `cactus_gpu::pool::GpuPool`) — a
+//!    pool of memoizing engines runs the workload, with **single-flight
+//!    coalescing** ([`singleflight`]): N concurrent requests for the same
+//!    uncached triple cost exactly one simulation.
+//!
+//! The server ([`server`]) is std-only: a nonblocking accept loop feeds a
+//! bounded queue drained by a worker pool; a full queue answers
+//! `503 + Retry-After` immediately (explicit backpressure instead of
+//! unbounded queueing), and shutdown drains in-flight requests before
+//! threads exit. `/healthz` and `/metricsz` ([`metrics`]) expose liveness,
+//! request counts, latency quantiles, and every cache level's hit rates.
+//!
+//! Two binaries ship with the crate: `cactus-serve` (the daemon, with
+//! signal-driven graceful shutdown via [`signal`]) and `loadgen` (a
+//! closed-loop load generator reporting throughput and latency through the
+//! typed [`client`]).
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod routes;
+pub mod server;
+pub mod service;
+pub mod signal;
+pub mod singleflight;
+
+pub use client::Client;
+pub use server::{ServeConfig, Server};

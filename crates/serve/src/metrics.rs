@@ -1,0 +1,134 @@
+//! Request counters and latency quantiles behind `/metricsz`.
+//!
+//! Counters are relaxed atomics (monotonic, read-mostly); latencies go into
+//! a fixed-size ring of recent samples so quantiles reflect current
+//! behaviour without unbounded memory. The `/metricsz` rendering is a flat
+//! `name value` text format (one metric per line, `#`-prefixed comments),
+//! parseable by the typed client and human-readable with `curl`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Latency samples kept for quantile estimation.
+const LATENCY_RING: usize = 4096;
+
+#[derive(Debug, Default)]
+struct Ring {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+/// Thread-safe request/latency counters for one server.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted and handed to a worker.
+    pub requests: AtomicU64,
+    /// Responses with a 2xx status.
+    pub responses_ok: AtomicU64,
+    /// Responses with a 4xx status.
+    pub responses_client_error: AtomicU64,
+    /// 503 backpressure responses (accept-queue full).
+    pub responses_busy: AtomicU64,
+    /// Responses with a 5xx status other than 503.
+    pub responses_error: AtomicU64,
+    /// Connections currently waiting in the accept queue.
+    pub queue_depth: AtomicU64,
+    latencies_us: Mutex<Ring>,
+}
+
+impl ServerMetrics {
+    /// Record the handling latency of one request, in microseconds.
+    pub fn record_latency_us(&self, us: u64) {
+        let mut ring = self.latencies_us.lock().expect("latency ring poisoned");
+        if ring.samples.len() < LATENCY_RING {
+            ring.samples.push(us);
+        } else {
+            let at = ring.next;
+            ring.samples[at] = us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_RING;
+    }
+
+    /// Tally one written response under the right status-class counter.
+    pub fn count_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_ok,
+            503 => &self.responses_busy,
+            400..=499 => &self.responses_client_error,
+            _ => &self.responses_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Latency quantiles (p50, p90, p99) over the retained samples, in
+    /// microseconds; zeros when nothing was recorded yet.
+    #[must_use]
+    pub fn latency_quantiles_us(&self) -> (u64, u64, u64) {
+        let mut samples = self
+            .latencies_us
+            .lock()
+            .expect("latency ring poisoned")
+            .samples
+            .clone();
+        samples.sort_unstable();
+        (
+            quantile(&samples, 0.50),
+            quantile(&samples, 0.90),
+            quantile(&samples, 0.99),
+        )
+    }
+}
+
+/// Nearest-rank quantile over an already-sorted slice (0 when empty).
+#[must_use]
+pub fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_over_known_samples() {
+        let m = ServerMetrics::default();
+        assert_eq!(m.latency_quantiles_us(), (0, 0, 0));
+        for us in 1..=100 {
+            m.record_latency_us(us);
+        }
+        let (p50, p90, p99) = m.latency_quantiles_us();
+        assert!((45..=55).contains(&p50), "p50 = {p50}");
+        assert!((85..=95).contains(&p90), "p90 = {p90}");
+        assert!((95..=100).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn ring_caps_retained_samples() {
+        let m = ServerMetrics::default();
+        for _ in 0..(LATENCY_RING + 100) {
+            m.record_latency_us(7);
+        }
+        assert_eq!(m.latency_quantiles_us(), (7, 7, 7));
+    }
+
+    #[test]
+    fn status_classes_route_to_counters() {
+        let m = ServerMetrics::default();
+        for status in [200, 200, 404, 503, 500] {
+            m.count_status(status);
+        }
+        assert_eq!(m.responses_ok.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_client_error.load(Ordering::Relaxed), 1);
+        assert_eq!(m.responses_busy.load(Ordering::Relaxed), 1);
+        assert_eq!(m.responses_error.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn quantile_of_singleton() {
+        assert_eq!(quantile(&[42], 0.99), 42);
+    }
+}

@@ -1,0 +1,218 @@
+//! URL routing and response rendering.
+//!
+//! Every `/v1/...` endpoint resolves its `(device, scale, workload)` triple,
+//! consults the response cache under a canonical key, and falls through to
+//! [`ProfileService::profile`] (store, then coalesced simulation) on a miss.
+//! Bodies are text: the profile endpoint serves the bit-exact
+//! [`cactus_profiler::store`] serialization (so the typed client parses it
+//! with `read_profile`), the rest serve CSV.
+
+use cactus_analysis::roofline::Roofline;
+use cactus_profiler::{csv, store as profile_store};
+
+use crate::cache::CachedResponse;
+use crate::http::{Request, Response};
+use crate::server::ServerState;
+use crate::service::{ProfileService, Triple, DEVICE_SLUGS, SCALE_SLUGS};
+
+/// Content type of CSV bodies.
+const CSV: &str = "text/csv; charset=utf-8";
+/// Content type of plain-text bodies (health, profiles, metrics).
+const TEXT: &str = "text/plain; charset=utf-8";
+
+/// Route one parsed request to a response.
+#[must_use]
+pub fn respond(state: &ServerState, req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::error(405, format!("method {} not allowed; use GET", req.method));
+    }
+    match req.path.as_str() {
+        "/healthz" => Response::ok("ok\n", TEXT),
+        "/metricsz" => Response::ok(state.render_metrics(), TEXT),
+        "/v1/workloads" => cached(state, "workloads", CSV, workloads_catalog),
+        _ => route_triple(state, req),
+    }
+}
+
+/// The `/v1/<endpoint>/<device>/<scale>/<workload>` family.
+fn route_triple(state: &ServerState, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    let (endpoint, device, scale, workload) = match segments.as_slice() {
+        ["v1", endpoint, device, scale, workload] => (*endpoint, *device, *scale, *workload),
+        _ => {
+            return Response::error(
+                404,
+                "unknown route; try /healthz, /metricsz, /v1/workloads, or \
+                 /v1/{profile|kernels|roofline|dominant}/<device>/<scale>/<workload>",
+            )
+        }
+    };
+    if !matches!(endpoint, "profile" | "kernels" | "roofline" | "dominant") {
+        return Response::error(
+            404,
+            format!(
+                "unknown endpoint {endpoint:?}; expected profile, kernels, roofline, or dominant"
+            ),
+        );
+    }
+    let triple = match Triple::resolve(device, scale, workload) {
+        Ok(t) => t,
+        Err(msg) => return Response::error(404, msg),
+    };
+
+    // The dominance threshold is the one endpoint parameter; normalize it
+    // into the cache key so distinct thresholds cache separately.
+    let threshold = match threshold_from_query(req.query.as_deref()) {
+        Ok(t) => t,
+        Err(msg) => return Response::error(400, msg),
+    };
+    let key = if endpoint == "dominant" {
+        format!("{endpoint}/{}?t={threshold:.3}", triple.key())
+    } else {
+        format!("{endpoint}/{}", triple.key())
+    };
+
+    if let Some(hit) = state.cache.get(&key) {
+        return hit.to_response();
+    }
+    let (profile, _source) = match state.service.profile(&triple) {
+        Ok(p) => p,
+        Err(msg) => return Response::error(500, format!("simulation failed: {msg}")),
+    };
+
+    let (body, content_type) = match endpoint {
+        "profile" => (profile_store::write_profile(&profile), TEXT),
+        "kernels" => (csv::to_csv(triple.workload.name(), &profile), CSV),
+        "roofline" => (roofline_csv(&triple, &profile), CSV),
+        _ => (
+            dominant_csv(triple.workload.name(), &profile, threshold),
+            CSV,
+        ),
+    };
+    let cached_value = state.cache.put(&key, CachedResponse { content_type, body });
+    cached_value.to_response()
+}
+
+/// Run `render` unless `key` is already cached; cache the result.
+fn cached(
+    state: &ServerState,
+    key: &str,
+    content_type: &'static str,
+    render: impl FnOnce() -> String,
+) -> Response {
+    if let Some(hit) = state.cache.get(key) {
+        return hit.to_response();
+    }
+    state
+        .cache
+        .put(
+            key,
+            CachedResponse {
+                content_type,
+                body: render(),
+            },
+        )
+        .to_response()
+}
+
+fn threshold_from_query(query: Option<&str>) -> Result<f64, String> {
+    let Some(query) = query else { return Ok(0.7) };
+    for pair in query.split('&') {
+        if let Some(value) = pair.strip_prefix("threshold=") {
+            return match value.parse::<f64>() {
+                Ok(t) if (0.0..=1.0).contains(&t) => Ok(t),
+                _ => Err(format!(
+                    "threshold must be a number in [0, 1], got {value:?}"
+                )),
+            };
+        }
+    }
+    Ok(0.7)
+}
+
+/// The catalog: every servable workload plus the device and scale slugs.
+fn workloads_catalog() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# devices: {}\n", DEVICE_SLUGS.join(" ")));
+    out.push_str(&format!("# scales: {}\n", SCALE_SLUGS.join(" ")));
+    out.push_str("suite,workload\n");
+    for w in cactus_core::suite() {
+        out.push_str(&format!("Cactus,{}\n", w.abbr));
+    }
+    for b in cactus_suites::all() {
+        out.push_str(&format!("{},{}\n", b.suite.name(), b.name));
+    }
+    out
+}
+
+/// Per-kernel roofline coordinates and classifications on the requested
+/// device's roofline.
+fn roofline_csv(triple: &Triple, profile: &cactus_profiler::Profile) -> String {
+    let roofline = Roofline::for_device(&triple.device);
+    let total = profile.total_time_s();
+    let mut out =
+        String::from("kernel,instruction_intensity,gips,time_share,intensity_class,boundedness\n");
+    for k in profile.kernels() {
+        out.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{},{}\n",
+            csv_escape(&k.name),
+            k.metrics.instruction_intensity,
+            k.metrics.gips,
+            k.time_share(total),
+            roofline
+                .intensity_class(k.metrics.instruction_intensity)
+                .label(),
+            roofline.boundedness_class(k.metrics.gips).label(),
+        ));
+    }
+    out
+}
+
+/// The dominant-kernel report: the smallest top-ranked set covering
+/// `threshold` of GPU time.
+fn dominant_csv(workload: &str, profile: &cactus_profiler::Profile, threshold: f64) -> String {
+    let total = profile.total_time_s();
+    let mut out =
+        String::from("workload,kernel,invocations,total_time_s,time_share,cumulative_share\n");
+    let mut cumulative = 0.0;
+    for k in profile.dominant_kernels(threshold) {
+        cumulative += k.time_share(total);
+        out.push_str(&format!(
+            "{},{},{},{:e},{:.6},{:.6}\n",
+            csv_escape(workload),
+            csv_escape(&k.name),
+            k.invocations,
+            k.total_time_s,
+            k.time_share(total),
+            cumulative,
+        ));
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Expose the service for `/metricsz` rendering in [`ServerState`].
+pub(crate) fn service_metrics_lines(service: &ProfileService) -> String {
+    let memo = service.engine_memo_stats();
+    format!(
+        "cactus_serve_store_hits_total {}\n\
+         cactus_serve_simulations_total {}\n\
+         cactus_serve_engines {}\n\
+         cactus_serve_engine_memo_hits_total {}\n\
+         cactus_serve_engine_memo_misses_total {}\n\
+         cactus_serve_engine_memo_hit_rate {:.6}\n",
+        service.store_hits(),
+        service.simulations(),
+        service.engines(),
+        memo.hits,
+        memo.misses,
+        memo.hit_rate(),
+    )
+}

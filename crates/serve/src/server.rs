@@ -1,0 +1,300 @@
+//! The daemon: accept loop, bounded queue, worker pool, backpressure, and
+//! graceful shutdown.
+//!
+//! ```text
+//! accept thread ──try_send──► bounded queue ──recv──► worker pool (N threads)
+//!      │                        (cap = Q)                 │
+//!      └── queue full: write `503 Retry-After` ───────────┴── handle():
+//!                                                  LRU → store → single-flight sim
+//! ```
+//!
+//! The accept loop never blocks on a slow client: a connection either
+//! enqueues or is answered `503` immediately, so saturation degrades into
+//! fast, explicit pushback instead of unbounded queueing. Shutdown is
+//! graceful by construction — the accept thread exits and drops the queue
+//! sender, each worker drains what was already queued, finishes its
+//! in-flight request, and exits on the closed channel; [`Server::join`]
+//! returns once every response has been written.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cache::ResponseCache;
+use crate::http::{self, Response};
+use crate::metrics::ServerMetrics;
+use crate::routes;
+use crate::service::ProfileService;
+
+/// How long the accept loop sleeps between polls when idle. Accepted
+/// connections are processed back to back; this only bounds the latency of
+/// the first request after an idle period.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before the server
+    /// starts answering `503`.
+    pub queue: usize,
+    /// Response-cache capacity (entries); 0 disables response caching.
+    pub cache_capacity: usize,
+    /// `Retry-After` seconds advertised on `503`.
+    pub retry_after_s: u32,
+    /// Per-connection read timeout (slow or silent clients).
+    pub read_timeout: Duration,
+    /// Profile-store directory override (`None` = the workspace default,
+    /// honouring `CACTUS_PROFILE_STORE`).
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue: 64,
+            cache_capacity: 256,
+            retry_after_s: 1,
+            read_timeout: Duration::from_secs(5),
+            store_dir: None,
+        }
+    }
+}
+
+/// State shared by the accept thread and every worker.
+pub struct ServerState {
+    /// Store + simulation levels of the hierarchy.
+    pub service: ProfileService,
+    /// The LRU response cache (first level).
+    pub cache: ResponseCache,
+    /// Request counters and latency ring.
+    pub metrics: ServerMetrics,
+    config: ServeConfig,
+}
+
+impl ServerState {
+    /// Render the `/metricsz` body.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        let m = &self.metrics;
+        let (p50, p90, p99) = m.latency_quantiles_us();
+        let mut out = String::from("# cactus-serve\n");
+        for (name, value) in [
+            ("requests_total", m.requests.load(Ordering::Relaxed)),
+            ("responses_ok_total", m.responses_ok.load(Ordering::Relaxed)),
+            (
+                "responses_client_error_total",
+                m.responses_client_error.load(Ordering::Relaxed),
+            ),
+            (
+                "responses_busy_total",
+                m.responses_busy.load(Ordering::Relaxed),
+            ),
+            (
+                "responses_error_total",
+                m.responses_error.load(Ordering::Relaxed),
+            ),
+            ("queue_depth", m.queue_depth.load(Ordering::Relaxed)),
+            ("queue_capacity", self.config.queue as u64),
+            ("workers", self.config.workers as u64),
+            ("cache_hits_total", self.cache.hits()),
+            ("cache_misses_total", self.cache.misses()),
+            ("cache_entries", self.cache.len() as u64),
+            ("latency_p50_us", p50),
+            ("latency_p90_us", p90),
+            ("latency_p99_us", p99),
+        ] {
+            out.push_str(&format!("cactus_serve_{name} {value}\n"));
+        }
+        out.push_str(&routes::service_metrics_lines(&self.service));
+        out
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server; call
+/// [`Server::shutdown`] then [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and accept thread, and return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let state = Arc::new(ServerState {
+            service: ProfileService::new(config.store_dir.clone()),
+            cache: ResponseCache::new(config.cache_capacity),
+            metrics: ServerMetrics::default(),
+            config: config.clone(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let rx = Arc::clone(&rx);
+                let read_timeout = config.read_timeout;
+                std::thread::spawn(move || worker_loop(&state, &rx, read_timeout))
+            })
+            .collect();
+
+        let accept = {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &state, &shutdown))
+        };
+
+        Ok(Self {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            workers,
+            state,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (tests and benches read counters through this).
+    #[must_use]
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Begin graceful shutdown: stop accepting, let workers drain.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Shut down (if not already requested) and wait until every queued and
+    /// in-flight request has been answered and all threads exited.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Drop every cached response and pooled engine (benches use this to
+    /// re-measure cold paths on a running server).
+    pub fn reset_caches(&self) {
+        self.state.cache.clear();
+        self.state.service.reset();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<TcpStream>,
+    state: &ServerState,
+    shutdown: &AtomicBool,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        reject_busy(state, stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Dropping `tx` here closes the queue: workers drain what is already
+    // enqueued, then exit on the closed channel.
+}
+
+/// Answer `503 + Retry-After` without occupying a worker.
+fn reject_busy(state: &ServerState, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    // Drain the request head before answering: closing with unread bytes in
+    // the receive buffer sends an RST that can discard the in-flight 503.
+    let mut stream = stream;
+    let mut buf = [0u8; 1024];
+    loop {
+        match io::Read::read(&mut stream, &mut buf) {
+            Ok(n) if n > 0 => {
+                if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    let response = Response::busy(state.config.retry_after_s);
+    state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    state.metrics.count_status(response.status);
+    let _ = response.write_to(&mut stream);
+}
+
+fn worker_loop(state: &ServerState, rx: &Mutex<Receiver<TcpStream>>, read_timeout: Duration) {
+    loop {
+        let next = rx.lock().expect("queue receiver poisoned").recv();
+        let Ok(stream) = next else { break };
+        state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        handle_connection(state, stream, read_timeout);
+    }
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream, read_timeout: Duration) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let start = Instant::now();
+    state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+
+    let response = match http::read_request(&stream) {
+        Ok(request) => {
+            // A panicking handler must not kill the worker thread; convert
+            // it into a 500 and keep serving.
+            std::panic::catch_unwind(AssertUnwindSafe(|| routes::respond(state, &request)))
+                .unwrap_or_else(|_| Response::error(500, "internal error: handler panicked"))
+        }
+        Err(e) => Response::error(400, format!("bad request: {e}")),
+    };
+
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+    state.metrics.count_status(response.status);
+    let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state.metrics.record_latency_us(elapsed_us);
+}

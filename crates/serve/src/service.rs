@@ -1,0 +1,382 @@
+//! The profile service: resolves (device preset, scale, workload) triples
+//! to [`Profile`]s through the two lower levels of the serving hierarchy —
+//! the on-disk profile store, then live simulation coalesced by
+//! single-flight and executed on pooled memoizing engines.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cactus_bench::store;
+use cactus_core::{workloads, SuiteScale, Workload};
+use cactus_gpu::engine::MemoStats;
+use cactus_gpu::pool::GpuPool;
+use cactus_gpu::Device;
+use cactus_profiler::Profile;
+use cactus_suites::Benchmark;
+
+use crate::singleflight::SingleFlight;
+
+/// The device presets the service exposes, as URL slugs.
+pub const DEVICE_SLUGS: [&str; 4] = ["rtx-3080", "rtx-2080-ti", "a100", "gtx-1080"];
+
+/// The scale presets the service exposes, as URL slugs.
+pub const SCALE_SLUGS: [&str; 3] = ["tiny", "small", "profile"];
+
+/// Look up a device preset by its URL slug (case-insensitive).
+#[must_use]
+pub fn device_by_slug(slug: &str) -> Option<Device> {
+    match slug.to_ascii_lowercase().as_str() {
+        "rtx-3080" => Some(Device::rtx3080()),
+        "rtx-2080-ti" => Some(Device::rtx2080ti()),
+        "a100" => Some(Device::a100()),
+        "gtx-1080" => Some(Device::gtx1080()),
+        _ => None,
+    }
+}
+
+/// Look up a suite scale by its URL slug (case-insensitive).
+#[must_use]
+pub fn scale_by_slug(slug: &str) -> Option<SuiteScale> {
+    match slug.to_ascii_lowercase().as_str() {
+        "tiny" => Some(SuiteScale::Tiny),
+        "small" => Some(SuiteScale::Small),
+        "profile" => Some(SuiteScale::Profile),
+        _ => None,
+    }
+}
+
+fn scale_slug(scale: SuiteScale) -> &'static str {
+    match scale {
+        SuiteScale::Tiny => "tiny",
+        SuiteScale::Small => "small",
+        SuiteScale::Profile => "profile",
+    }
+}
+
+/// A servable workload: a Cactus suite member or a PRT comparison
+/// benchmark.
+pub enum ServableWorkload {
+    /// One of the ten Cactus workloads (keyed by abbreviation).
+    Cactus(Workload),
+    /// One Parboil/Rodinia/Tango benchmark (keyed by name).
+    Prt(Benchmark),
+}
+
+impl ServableWorkload {
+    /// Canonical name: the Cactus abbreviation or the PRT benchmark name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServableWorkload::Cactus(w) => w.abbr,
+            ServableWorkload::Prt(b) => b.name,
+        }
+    }
+
+    /// The store set file this workload would live in.
+    fn store_set(&self) -> &'static str {
+        match self {
+            ServableWorkload::Cactus(_) => "cactus",
+            ServableWorkload::Prt(_) => "prt",
+        }
+    }
+}
+
+/// Resolve a workload by name: Cactus abbreviations match
+/// case-insensitively (`gms` → `GMS`), PRT benchmarks by exact name.
+#[must_use]
+pub fn workload_by_name(name: &str) -> Option<ServableWorkload> {
+    if let Some(w) = workloads::by_abbr(&name.to_ascii_uppercase()) {
+        return Some(ServableWorkload::Cactus(w));
+    }
+    cactus_suites::by_name(name).map(ServableWorkload::Prt)
+}
+
+/// A fully resolved, canonicalized request triple.
+pub struct Triple {
+    /// Device preset slug (canonical lowercase form).
+    pub device_slug: String,
+    /// The resolved device.
+    pub device: Device,
+    /// The resolved scale.
+    pub scale: SuiteScale,
+    /// The resolved workload.
+    pub workload: ServableWorkload,
+}
+
+impl Triple {
+    /// Resolve raw path segments into a triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the unknown segment and the
+    /// valid options.
+    pub fn resolve(device: &str, scale: &str, workload: &str) -> Result<Self, String> {
+        let device_slug = device.to_ascii_lowercase();
+        let resolved_device = device_by_slug(&device_slug).ok_or_else(|| {
+            format!(
+                "unknown device {device:?}; expected one of {}",
+                DEVICE_SLUGS.join(", ")
+            )
+        })?;
+        let resolved_scale = scale_by_slug(scale).ok_or_else(|| {
+            format!(
+                "unknown scale {scale:?}; expected one of {}",
+                SCALE_SLUGS.join(", ")
+            )
+        })?;
+        let resolved_workload = workload_by_name(workload).ok_or_else(|| {
+            format!("unknown workload {workload:?}; see /v1/workloads for the catalog")
+        })?;
+        Ok(Self {
+            device_slug,
+            device: resolved_device,
+            scale: resolved_scale,
+            workload: resolved_workload,
+        })
+    }
+
+    /// Canonical `device/scale/workload` key, shared by the response cache
+    /// and the single-flight group.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.device_slug,
+            scale_slug(self.scale),
+            self.workload.name()
+        )
+    }
+}
+
+/// How a profile request was ultimately satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileSource {
+    /// Loaded from the on-disk profile store.
+    Store,
+    /// Simulated live on a pooled engine.
+    Simulated,
+    /// Coalesced onto a concurrent identical request (no own work).
+    Coalesced,
+}
+
+/// The store + simulation levels of the serving hierarchy, shared across
+/// worker threads.
+pub struct ProfileService {
+    pools: Vec<(&'static str, GpuPool)>,
+    /// In-flight lookups; the value carries whether the store satisfied it.
+    flight: SingleFlight<(Arc<Profile>, bool)>,
+    store_dir: PathBuf,
+    store_hits: AtomicU64,
+    simulations: AtomicU64,
+}
+
+impl ProfileService {
+    /// A service reading the profile store from `store_dir` (defaults to
+    /// [`store::store_dir`] when `None`).
+    #[must_use]
+    pub fn new(store_dir: Option<PathBuf>) -> Self {
+        let pools = DEVICE_SLUGS
+            .iter()
+            .map(|&slug| {
+                (
+                    slug,
+                    GpuPool::new(device_by_slug(slug).expect("preset slug")),
+                )
+            })
+            .collect();
+        Self {
+            pools,
+            flight: SingleFlight::new(),
+            store_dir: store_dir.unwrap_or_else(store::store_dir),
+            store_hits: AtomicU64::new(0),
+            simulations: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolve one triple to a profile: profile store first, then live
+    /// simulation. Concurrent calls for the same triple coalesce into one
+    /// lookup/simulation via single-flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns the leader's failure message (e.g. a panic during
+    /// simulation) verbatim for every coalesced caller.
+    pub fn profile(&self, triple: &Triple) -> Result<(Arc<Profile>, ProfileSource), String> {
+        let key = triple.key();
+        let (result, leader) = self.flight.run(&key, || {
+            if let Some(profile) = self.load_from_store(triple) {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::new(profile), true));
+            }
+            self.simulations.fetch_add(1, Ordering::Relaxed);
+            Ok((Arc::new(self.simulate(triple)), false))
+        });
+        let (profile, from_store) = result?;
+        let source = match (leader, from_store) {
+            (false, _) => ProfileSource::Coalesced,
+            (true, true) => ProfileSource::Store,
+            (true, false) => ProfileSource::Simulated,
+        };
+        Ok((profile, source))
+    }
+
+    /// The store is only keyed for RTX 3080 profile-scale sets (see
+    /// `cactus_bench::store`); anything else always simulates.
+    fn load_from_store(&self, triple: &Triple) -> Option<Profile> {
+        if triple.scale != SuiteScale::Profile || triple.device_slug != "rtx-3080" {
+            return None;
+        }
+        let set = store::load_set_in(&self.store_dir, triple.workload.store_set())?;
+        set.into_iter()
+            .find(|p| p.name == triple.workload.name())
+            .map(|p| p.profile)
+    }
+
+    fn simulate(&self, triple: &Triple) -> Profile {
+        let pool = self.pool(&triple.device_slug);
+        let mut gpu = pool.checkout();
+        match &triple.workload {
+            ServableWorkload::Cactus(w) => w.run(&mut gpu, triple.scale),
+            ServableWorkload::Prt(b) => {
+                // The comparison suites define only tiny and profile scales;
+                // small maps to tiny.
+                let scale = match triple.scale {
+                    SuiteScale::Profile => cactus_suites::Scale::Profile,
+                    SuiteScale::Tiny | SuiteScale::Small => cactus_suites::Scale::Tiny,
+                };
+                b.run(&mut gpu, scale);
+            }
+        }
+        Profile::from_records(gpu.records())
+    }
+
+    fn pool(&self, device_slug: &str) -> &GpuPool {
+        &self
+            .pools
+            .iter()
+            .find(|(slug, _)| *slug == device_slug)
+            .expect("triple resolved against DEVICE_SLUGS")
+            .1
+    }
+
+    /// Profiles answered from the on-disk store.
+    #[must_use]
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Profiles computed by live simulation (coalesced requests count once).
+    #[must_use]
+    pub fn simulations(&self) -> u64 {
+        self.simulations.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated launch-memo counters across every engine pool (completed
+    /// checkouts only).
+    #[must_use]
+    pub fn engine_memo_stats(&self) -> MemoStats {
+        self.pools
+            .iter()
+            .fold(MemoStats::default(), |acc, (_, pool)| {
+                acc.merged(&pool.memo_stats())
+            })
+    }
+
+    /// Total engines created across all pools.
+    #[must_use]
+    pub fn engines(&self) -> u64 {
+        self.pools.iter().map(|(_, pool)| pool.engines()).sum()
+    }
+
+    /// Drop every pooled engine (and its memo cache) and zero the service
+    /// counters. Used by benches to measure cold paths.
+    pub fn reset(&self) {
+        for (_, pool) in &self.pools {
+            pool.reset();
+        }
+        self.store_hits.store(0, Ordering::Relaxed);
+        self.simulations.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slug_resolution_round_trips() {
+        for slug in DEVICE_SLUGS {
+            assert!(device_by_slug(slug).is_some(), "{slug}");
+        }
+        for slug in SCALE_SLUGS {
+            assert!(scale_by_slug(slug).is_some(), "{slug}");
+        }
+        assert!(device_by_slug("RTX-3080").is_some(), "case-insensitive");
+        assert!(device_by_slug("h100").is_none());
+        assert!(scale_by_slug("huge").is_none());
+    }
+
+    #[test]
+    fn workload_resolution_covers_both_catalogs() {
+        assert_eq!(workload_by_name("gms").expect("cactus").name(), "GMS");
+        let prt = cactus_suites::all();
+        let first = prt.first().expect("non-empty catalog");
+        assert_eq!(
+            workload_by_name(first.name).expect("prt").name(),
+            first.name
+        );
+        assert!(workload_by_name("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn triple_key_is_canonical() {
+        let t = Triple::resolve("RTX-3080", "TINY", "gms").expect("resolve");
+        assert_eq!(t.key(), "rtx-3080/tiny/GMS");
+        assert!(Triple::resolve("h100", "tiny", "GMS").is_err());
+        assert!(Triple::resolve("rtx-3080", "huge", "GMS").is_err());
+        assert!(Triple::resolve("rtx-3080", "tiny", "nope").is_err());
+    }
+
+    #[test]
+    fn simulation_matches_direct_run_and_counts_once() {
+        let svc = ProfileService::new(Some(std::env::temp_dir().join("cactus-serve-no-store")));
+        let t = Triple::resolve("rtx-3080", "tiny", "GMS").expect("resolve");
+        let (p, source) = svc.profile(&t).expect("profile");
+        assert_eq!(source, ProfileSource::Simulated);
+        assert_eq!(*p, cactus_core::run("GMS", SuiteScale::Tiny));
+        assert_eq!(svc.simulations(), 1);
+        assert_eq!(svc.store_hits(), 0);
+        assert!(svc.engine_memo_stats().launches() > 0);
+
+        // A second call is a fresh flight (no response cache at this layer)
+        // but reuses the pooled engine's warm memo cache.
+        let (_, _) = svc.profile(&t).expect("profile again");
+        assert_eq!(svc.simulations(), 2);
+        assert_eq!(svc.engines(), 1, "engine was reused, not recreated");
+    }
+
+    #[test]
+    fn store_level_is_consulted_before_simulation() {
+        let dir = std::env::temp_dir().join(format!("cactus-serve-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Populate the store with a tiny-simulated stand-in set; the store
+        // only keys rtx-3080/profile, which is what we request back.
+        let set: Vec<cactus_bench::ProfiledWorkload> = vec![cactus_bench::ProfiledWorkload {
+            name: "GMS".to_owned(),
+            suite: "Cactus".to_owned(),
+            profile: cactus_core::run("GMS", SuiteScale::Tiny),
+            memo: None,
+        }];
+        store::save_set_in(&dir, "cactus", &set).expect("seed store");
+
+        let svc = ProfileService::new(Some(dir.clone()));
+        let t = Triple::resolve("rtx-3080", "profile", "GMS").expect("resolve");
+        let (p, source) = svc.profile(&t).expect("profile");
+        assert_eq!(source, ProfileSource::Store);
+        assert_eq!(*p, set[0].profile);
+        assert_eq!(svc.store_hits(), 1);
+        assert_eq!(svc.simulations(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,305 @@
+//! End-to-end tests over a live loopback server: routing, typed round-trips,
+//! the single-flight acceptance criterion, backpressure, store integration,
+//! and graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use cactus_bench::store::save_set_in;
+use cactus_bench::ProfiledWorkload;
+use cactus_core::SuiteScale;
+use cactus_serve::client::ClientError;
+use cactus_serve::{Client, ServeConfig, Server};
+
+/// A server on an ephemeral port with a unique empty store directory.
+fn start(workers: usize, queue: usize) -> (Server, Client, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "cactus-serve-it-{}-{workers}-{queue}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeConfig {
+        workers,
+        queue,
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral loopback server");
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(120));
+    (server, client, dir)
+}
+
+fn metric(client: &Client, name: &str) -> f64 {
+    client
+        .metrics()
+        .expect("metrics")
+        .get(name)
+        .copied()
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+}
+
+#[test]
+fn healthz_metrics_and_unknown_routes() {
+    let (server, client, dir) = start(2, 16);
+
+    assert!(client.healthz().expect("healthz"));
+    assert!(metric(&client, "cactus_serve_requests_total") >= 1.0);
+
+    // Unknown paths and bad triples are 404 with a hint; bad methods 405.
+    assert_eq!(client.get("/nope").expect("404").status, 404);
+    assert_eq!(
+        client
+            .get("/v1/profile/rtx-9999/tiny/GMS")
+            .expect("bad device")
+            .status,
+        404
+    );
+    assert_eq!(
+        client
+            .get("/v1/profile/rtx-3080/tiny/NOPE")
+            .expect("bad workload")
+            .status,
+        404
+    );
+    assert_eq!(
+        client
+            .get("/v1/dominant/rtx-3080/tiny/GMS?threshold=7")
+            .expect("bad threshold")
+            .status,
+        400
+    );
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write!(stream, "POST /healthz HTTP/1.1\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    let _ = stream.read_to_string(&mut raw);
+    assert!(raw.starts_with("HTTP/1.1 405"), "got {raw:?}");
+
+    // The catalog lists both suites.
+    let catalog = client.get("/v1/workloads").expect("catalog");
+    assert_eq!(catalog.status, 200);
+    assert!(catalog.body.contains("Cactus,GMS"));
+    assert!(catalog.body.contains("Parboil"));
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_round_trip_matches_local_simulation() {
+    let (server, client, dir) = start(2, 16);
+
+    let served = client
+        .profile("rtx-3080", "tiny", "GMS")
+        .expect("served profile");
+    let local = cactus_core::run("GMS", SuiteScale::Tiny);
+    assert_eq!(
+        served, local,
+        "served profile must equal a local simulation"
+    );
+
+    // CSV endpoints agree on the kernel set.
+    let kernels = client
+        .get("/v1/kernels/rtx-3080/tiny/GMS")
+        .expect("kernels");
+    assert_eq!(kernels.status, 200);
+    assert_eq!(
+        kernels.body.lines().count() - 1,
+        local.kernels().len(),
+        "one CSV row per kernel"
+    );
+    let roofline = client
+        .get("/v1/roofline/rtx-3080/tiny/GMS")
+        .expect("roofline");
+    assert_eq!(roofline.status, 200);
+    assert!(roofline.body.starts_with("kernel,instruction_intensity"));
+    let dominant = client
+        .get("/v1/dominant/rtx-3080/tiny/GMS?threshold=0.5")
+        .expect("dominant");
+    assert_eq!(dominant.status, 200);
+    assert!(
+        dominant.body.lines().count() >= 2,
+        "at least one dominant kernel"
+    );
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance criterion: 8 concurrent clients requesting the same
+/// uncached triple produce exactly one simulation and byte-identical
+/// bodies; a second wave is served entirely from the response cache.
+#[test]
+fn single_flight_coalesces_concurrent_identical_requests() {
+    let (server, client, dir) = start(8, 64);
+    let addr = server.addr();
+
+    assert_eq!(metric(&client, "cactus_serve_simulations_total"), 0.0);
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let client = Client::new(addr).with_timeout(Duration::from_secs(240));
+                let reply = client
+                    .get("/v1/profile/rtx-3080/tiny/GMS")
+                    .expect("coalesced request");
+                assert_eq!(reply.status, 200);
+                reply.body
+            })
+        })
+        .collect();
+    let bodies: Vec<String> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    assert!(
+        bodies[0].contains("kernel"),
+        "profile body: {:?}",
+        &bodies[0][..60]
+    );
+    for body in &bodies[1..] {
+        assert_eq!(
+            body, &bodies[0],
+            "all coalesced bodies must be byte-identical"
+        );
+    }
+    assert_eq!(
+        metric(&client, "cactus_serve_simulations_total"),
+        1.0,
+        "8 concurrent identical requests must cost exactly 1 simulation"
+    );
+
+    // Second wave: answered from the LRU, still exactly one simulation.
+    let hits_before = metric(&client, "cactus_serve_cache_hits_total");
+    for _ in 0..3 {
+        let reply = client
+            .get("/v1/profile/rtx-3080/tiny/GMS")
+            .expect("cached request");
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body, bodies[0]);
+    }
+    assert_eq!(metric(&client, "cactus_serve_simulations_total"), 1.0);
+    assert!(metric(&client, "cactus_serve_cache_hits_total") >= hits_before + 3.0);
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A saturated worker pool answers `503 + Retry-After` immediately rather
+/// than hanging: one worker and a one-slot queue are pinned down by idle
+/// connections (the worker blocks in its read timeout), so the next
+/// connection must be rejected by the accept thread.
+#[test]
+fn saturated_pool_returns_503_with_retry_after() {
+    let dir = std::env::temp_dir().join(format!("cactus-serve-it-busy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue: 1,
+        retry_after_s: 2,
+        read_timeout: Duration::from_secs(20),
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Pin down the worker and fill the queue with connections that send
+    // nothing: the worker blocks reading the first, the second waits in the
+    // queue.
+    let idle: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+    // Give the accept thread time to enqueue both.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let client = Client::new(addr).with_timeout(Duration::from_secs(5));
+    let mut saw_busy = false;
+    for _ in 0..10 {
+        match client.get("/healthz") {
+            Ok(reply) if reply.status == 503 => {
+                assert_eq!(reply.retry_after_s(), Some(2), "503 must carry Retry-After");
+                saw_busy = true;
+                break;
+            }
+            Ok(_) | Err(ClientError::Io(_)) => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("unexpected client error: {e}"),
+        }
+    }
+    assert!(saw_busy, "a saturated server must answer 503, not hang");
+
+    drop(idle);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shutdown drains: a request already in flight when shutdown is requested
+/// still gets its response before `join()` returns.
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let (server, _client, dir) = start(2, 16);
+    let addr = server.addr();
+
+    let in_flight = std::thread::spawn(move || {
+        let client = Client::new(addr).with_timeout(Duration::from_secs(240));
+        client
+            .get("/v1/profile/rtx-3080/tiny/DCG")
+            .expect("in-flight request")
+    });
+    // Let the request reach a worker, then request shutdown while the
+    // simulation is (plausibly) still running.
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+    server.join();
+
+    let reply = in_flight.join().expect("client thread");
+    assert_eq!(
+        reply.status, 200,
+        "in-flight request must complete during drain"
+    );
+
+    // The listener is closed: new connections are refused.
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_secs(2)).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Profile-scale requests for rtx-3080 are served from the profile store
+/// when a set exists, without simulating.
+#[test]
+fn store_backed_profiles_skip_simulation() {
+    let dir = std::env::temp_dir().join(format!("cactus-serve-it-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let seeded = cactus_core::run("GMS", SuiteScale::Tiny);
+    save_set_in(
+        &dir,
+        "cactus",
+        &[ProfiledWorkload {
+            name: "GMS".to_owned(),
+            suite: "Cactus".to_owned(),
+            profile: seeded.clone(),
+            memo: None,
+        }],
+    )
+    .expect("seed store");
+
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(120));
+
+    let served = client
+        .profile("rtx-3080", "profile", "GMS")
+        .expect("store-backed profile");
+    assert_eq!(served, seeded, "store round-trip must be bit-exact");
+    assert_eq!(metric(&client, "cactus_serve_simulations_total"), 0.0);
+    assert_eq!(metric(&client, "cactus_serve_store_hits_total"), 1.0);
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
