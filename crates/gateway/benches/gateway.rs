@@ -1,0 +1,210 @@
+//! Gateway proxy benchmarks: does hedging actually cut tail latency?
+//!
+//! The fixture is a two-backend fleet of raw stub servers: the routing
+//! primary for the benched key is **bimodal** (fast, but every 10th request
+//! stalls ~25 ms — a shard with an occasional slow path), its ring
+//! neighbour is steadily fast. Two gateways front the same pair, one with
+//! hedging enabled (2 ms floor) and one without; the bench sweeps the same
+//! key through both and reports p50/p99 plus hedge launches and wins.
+//!
+//! Expected shape: unhedged p99 ≈ the stall (~25 ms) because 1-in-10
+//! requests eats it in full; hedged p99 ≈ hedge threshold + the fast
+//! neighbour's response time (a few ms). Mean latency barely moves — the
+//! win is purely in the tail, which is the point of hedging.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cactus_gateway::server::routing_key;
+use cactus_gateway::{Gateway, GatewayConfig, HashRing, RoutePolicy};
+use cactus_serve::metrics::quantile;
+use cactus_serve::Connection;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// A raw stub backend answering every `GET` with `200 stub`, optionally
+/// stalling every `slow_every`-th request.
+struct Stub {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Stub {
+    fn spawn(slow_every: Option<u64>, stall: Duration) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("stub bind");
+        listener.set_nonblocking(true).expect("stub nonblocking");
+        let addr = listener.local_addr().expect("stub addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let hits = Arc::new(AtomicU64::new(0));
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let hits = Arc::clone(&hits);
+                            // One thread per connection so an abandoned
+                            // hedge loser can't serialize later requests.
+                            std::thread::spawn(move || {
+                                serve_stub(stream, &hits, slow_every, stall);
+                            });
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                    }
+                }
+            })
+        };
+        Self {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_stub(mut stream: TcpStream, hits: &AtomicU64, slow_every: Option<u64>, stall: Duration) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 2048];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(n) if n > 0 => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            _ => return,
+        }
+    }
+    let n = hits.fetch_add(1, Ordering::Relaxed);
+    if slow_every.is_some_and(|every| n.is_multiple_of(every)) {
+        std::thread::sleep(stall);
+    }
+    let body = "stub\n";
+    // Single write_all so Nagle + delayed-ACK can't stall the reply.
+    let wire = format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(wire.as_bytes());
+}
+
+/// Find a request path whose consistent-hash primary is backend 0 (the
+/// bimodal stub), using the same ring the gateway builds.
+fn path_routed_to_primary(addrs: &[SocketAddr]) -> String {
+    let labels: Vec<String> = addrs.iter().map(ToString::to_string).collect();
+    let ring = HashRing::new(&labels);
+    (0..10_000)
+        .map(|i| format!("/bench/key-{i}"))
+        .find(|path| ring.primary(&routing_key(path)) == 0)
+        .expect("some key routes to backend 0")
+}
+
+fn gateway_config(hedge: bool) -> GatewayConfig {
+    GatewayConfig {
+        workers: 4,
+        queue: 64,
+        // Passive health only: probes would add jitter to the measurement.
+        probe_interval: None,
+        backend_timeout: Duration::from_secs(5),
+        policy: RoutePolicy {
+            hedge,
+            hedge_floor: Duration::from_millis(2),
+            ..RoutePolicy::default()
+        },
+        ..GatewayConfig::default()
+    }
+}
+
+const STALL: Duration = Duration::from_millis(25);
+const SLOW_EVERY: u64 = 10;
+const SWEEP: usize = 300;
+
+fn sweep(conn: &mut Connection, path: &str, n: usize) -> Vec<u64> {
+    let mut latencies = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        let reply = conn.get(path).expect("gateway reply");
+        assert_eq!(reply.status, 200, "body: {}", reply.body);
+        latencies.push(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    latencies.sort_unstable();
+    latencies
+}
+
+fn bench_hedging(c: &mut Criterion) {
+    let bimodal = Stub::spawn(Some(SLOW_EVERY), STALL);
+    let fast = Stub::spawn(None, STALL);
+    let addrs = vec![bimodal.addr, fast.addr];
+    let path = path_routed_to_primary(&addrs);
+
+    let hedged = Gateway::start(gateway_config(true), addrs.clone()).expect("hedged gateway");
+    let unhedged = Gateway::start(gateway_config(false), addrs.clone()).expect("unhedged gateway");
+
+    let timeout = Duration::from_secs(10);
+    let mut hedged_conn = Connection::new(hedged.addr(), timeout);
+    let mut unhedged_conn = Connection::new(unhedged.addr(), timeout);
+
+    // Warm the primary's latency window so the hedge threshold reflects its
+    // typical (fast) behaviour rather than the floor default alone.
+    let _ = sweep(&mut hedged_conn, &path, 50);
+    let _ = sweep(&mut unhedged_conn, &path, 50);
+
+    let hedged_lat = sweep(&mut hedged_conn, &path, SWEEP);
+    let unhedged_lat = sweep(&mut unhedged_conn, &path, SWEEP);
+    let hedges = hedged.router().metrics.hedges.load(Ordering::Relaxed);
+    let hedge_wins = hedged.router().metrics.hedge_wins.load(Ordering::Relaxed);
+
+    println!("--- hedging tail-latency comparison ({SWEEP} requests, 1-in-{SLOW_EVERY} stalls {STALL:?}) ---");
+    println!(
+        "unhedged: p50 {:>6} us  p99 {:>6} us",
+        quantile(&unhedged_lat, 0.50),
+        quantile(&unhedged_lat, 0.99),
+    );
+    println!(
+        "hedged:   p50 {:>6} us  p99 {:>6} us  ({hedges} hedges, {hedge_wins} wins)",
+        quantile(&hedged_lat, 0.50),
+        quantile(&hedged_lat, 0.99),
+    );
+    assert!(
+        quantile(&hedged_lat, 0.99) < quantile(&unhedged_lat, 0.99),
+        "hedging should cut p99: hedged {} us vs unhedged {} us",
+        quantile(&hedged_lat, 0.99),
+        quantile(&unhedged_lat, 0.99),
+    );
+
+    let mut group = c.benchmark_group("gateway");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("proxied_get_hedged", |b| {
+        b.iter(|| hedged_conn.get(&path).expect("reply"));
+    });
+    group.bench_function("proxied_get_unhedged", |b| {
+        b.iter(|| unhedged_conn.get(&path).expect("reply"));
+    });
+    group.finish();
+
+    drop(hedged_conn);
+    drop(unhedged_conn);
+    hedged.join();
+    unhedged.join();
+    bimodal.stop();
+    fast.stop();
+}
+
+criterion_group!(benches, bench_hedging);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! The `cactus-gateway` daemon.
+//!
+//! ```text
+//! cactus-gateway [--addr HOST:PORT]
+//!                (--backend HOST:PORT ... | --fleet N [--store-dir PATH])
+//!                [--workers N] [--queue N] [--no-hedge]
+//!                [--hedge-floor-ms MS] [--eject-after N] [--cooldown-ms MS]
+//!                [--health-interval-ms MS] [--port-file PATH]
+//! ```
+//!
+//! Fronts either an externally-managed fleet (repeated `--backend`) or an
+//! in-process supervised one (`--fleet N` spawns N `cactus-serve` backends
+//! on ephemeral ports). Optionally writes the gateway's bound port to
+//! `--port-file`, then routes until `SIGINT`/`SIGTERM`; shutdown drains the
+//! gateway first (every accepted request is answered), then the supervised
+//! backends, and exits 0.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cactus_gateway::{Gateway, GatewayConfig, Supervisor};
+use cactus_serve::{signal, ServeConfig};
+
+const USAGE: &str = "\
+usage: cactus-gateway [options]
+
+  --addr HOST:PORT          bind address (default 127.0.0.1:7080; port 0 = ephemeral)
+  --backend HOST:PORT       backend to route to; repeat for a fleet
+  --fleet N                 spawn N in-process cactus-serve backends instead
+  --store-dir PATH          profile-store directory for --fleet backends
+  --workers N               gateway worker threads (default 8)
+  --queue N                 accepted connections allowed to wait (default 128)
+  --no-hedge                disable hedged requests
+  --hedge-floor-ms MS       minimum hedge delay (default 20)
+  --eject-after N           consecutive failures before ejection (default 2)
+  --cooldown-ms MS          ejection cooldown before half-open (default 1000)
+  --health-interval-ms MS   active /healthz probe interval, 0 = passive only
+                            (default 500)
+  --port-file PATH          write the bound port here once listening
+  --help                    show this help
+";
+
+struct Args {
+    config: GatewayConfig,
+    backends: Vec<SocketAddr>,
+    fleet: usize,
+    store_dir: Option<String>,
+    port_file: Option<String>,
+}
+
+enum Parsed {
+    Run(Box<Args>),
+    Help,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut parsed = Args {
+        config: GatewayConfig {
+            addr: "127.0.0.1:7080".to_owned(),
+            ..GatewayConfig::default()
+        },
+        backends: Vec::new(),
+        fleet: 0,
+        store_dir: None,
+        port_file: None,
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            return Ok(Parsed::Help);
+        }
+        if flag == "--no-hedge" {
+            parsed.config.policy.hedge = false;
+            continue;
+        }
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => parsed.config.addr = value()?,
+            "--backend" => parsed.backends.push(
+                value()?
+                    .parse()
+                    .map_err(|_| "--backend: invalid address".to_string())?,
+            ),
+            "--fleet" => parsed.fleet = parse_num(&flag, &value()?)?,
+            "--store-dir" => parsed.store_dir = Some(value()?),
+            "--workers" => parsed.config.workers = parse_num(&flag, &value()?)?,
+            "--queue" => parsed.config.queue = parse_num(&flag, &value()?)?,
+            "--hedge-floor-ms" => {
+                parsed.config.policy.hedge_floor =
+                    Duration::from_millis(parse_num(&flag, &value()?)?);
+            }
+            "--eject-after" => parsed.config.eject_after = parse_num(&flag, &value()?)?,
+            "--cooldown-ms" => {
+                parsed.config.cooldown = Duration::from_millis(parse_num(&flag, &value()?)?);
+            }
+            "--health-interval-ms" => {
+                let ms: u64 = parse_num(&flag, &value()?)?;
+                parsed.config.probe_interval = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--port-file" => parsed.port_file = Some(value()?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if parsed.backends.is_empty() && parsed.fleet == 0 {
+        return Err("need --backend (repeatable) or --fleet N".to_owned());
+    }
+    if !parsed.backends.is_empty() && parsed.fleet > 0 {
+        return Err("--backend and --fleet are mutually exclusive".to_owned());
+    }
+    Ok(Parsed::Run(Box::new(parsed)))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .trim()
+        .parse()
+        .map_err(|_| format!("{flag}: invalid number {value:?}"))
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(Parsed::Run(args)) => run(*args),
+        Ok(Parsed::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("cactus-gateway: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> ExitCode {
+    signal::install_handlers();
+
+    // Supervised fleet first, so its addresses exist before the ring forms.
+    let mut supervisor = None;
+    let backends = if args.fleet > 0 {
+        let base = ServeConfig {
+            store_dir: args.store_dir.as_ref().map(Into::into),
+            ..ServeConfig::default()
+        };
+        match Supervisor::spawn_fleet(args.fleet, &base) {
+            Ok(fleet) => {
+                let addrs = fleet.addrs();
+                for (i, addr) in addrs.iter().enumerate() {
+                    eprintln!("cactus-gateway: backend[{i}] listening on http://{addr}/");
+                }
+                supervisor = Some(fleet);
+                addrs
+            }
+            Err(e) => {
+                eprintln!("cactus-gateway: fleet spawn failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        args.backends
+    };
+
+    let gateway = match Gateway::start(args.config, backends) {
+        Ok(gateway) => gateway,
+        Err(e) => {
+            eprintln!("cactus-gateway: bind failed: {e}");
+            if let Some(mut fleet) = supervisor {
+                fleet.shutdown_all();
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = gateway.addr();
+    eprintln!("cactus-gateway: routing on http://{addr}/ (try /healthz, /metricsz)");
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("cactus-gateway: cannot write port file {path}: {e}");
+            gateway.join();
+            if let Some(mut fleet) = supervisor {
+                fleet.shutdown_all();
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("cactus-gateway: shutdown requested, draining in-flight requests");
+    // Drain the gateway before the backends so every accepted request can
+    // still be forwarded somewhere.
+    gateway.join();
+    if let Some(mut fleet) = supervisor {
+        fleet.shutdown_all();
+    }
+    eprintln!("cactus-gateway: drained, exiting");
+    ExitCode::SUCCESS
+}

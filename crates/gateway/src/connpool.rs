@@ -1,0 +1,136 @@
+//! Keep-alive connection pooling, one idle stack per backend.
+//!
+//! Workers check a [`cactus_serve::Connection`] out, run one or more
+//! exchanges on it, and check it back in. Connections that went bad (or
+//! that the server closed) are simply dropped on check-in; `Connection`
+//! itself re-dials lazily, so a checked-out handle is always usable. The
+//! pool is bounded per backend so a burst doesn't strand hundreds of idle
+//! sockets.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use cactus_serve::Connection;
+
+/// Per-backend stacks of idle keep-alive connections.
+#[derive(Debug)]
+pub struct ConnPool {
+    addrs: Vec<SocketAddr>,
+    idle: Vec<Mutex<Vec<Connection>>>,
+    timeout: Duration,
+    max_idle: usize,
+    dials: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl ConnPool {
+    /// A pool over `addrs`, keeping at most `max_idle` idle connections per
+    /// backend; `timeout` applies to connect/read/write on each connection.
+    #[must_use]
+    pub fn new(addrs: Vec<SocketAddr>, timeout: Duration, max_idle: usize) -> Self {
+        let idle = addrs.iter().map(|_| Mutex::new(Vec::new())).collect();
+        Self {
+            addrs,
+            idle,
+            timeout,
+            max_idle: max_idle.max(1),
+            dials: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// The address of backend `i`.
+    #[must_use]
+    pub fn addr(&self, i: usize) -> SocketAddr {
+        self.addrs[i]
+    }
+
+    /// Number of backends.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when the pool fronts no backends.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Take an idle connection to backend `i`, or a fresh (lazily dialing)
+    /// one if none is pooled.
+    #[must_use]
+    pub fn checkout(&self, i: usize) -> Connection {
+        if let Some(conn) = self.idle[i].lock().expect("pool lock poisoned").pop() {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            return conn;
+        }
+        self.dials.fetch_add(1, Ordering::Relaxed);
+        Connection::new(self.addrs[i], self.timeout)
+    }
+
+    /// Return a connection to backend `i`'s idle stack. Dead connections
+    /// and overflow beyond `max_idle` are dropped (the socket closes).
+    pub fn checkin(&self, i: usize, conn: Connection) {
+        if !conn.is_connected() {
+            return;
+        }
+        let mut idle = self.idle[i].lock().expect("pool lock poisoned");
+        if idle.len() < self.max_idle {
+            idle.push(conn);
+        }
+    }
+
+    /// Drop every pooled connection to backend `i` (e.g. after ejection, so
+    /// recovery trials start from fresh sockets).
+    pub fn evict(&self, i: usize) {
+        self.idle[i].lock().expect("pool lock poisoned").clear();
+    }
+
+    /// Checkouts satisfied by a fresh connection handle.
+    #[must_use]
+    pub fn dials(&self) -> u64 {
+        self.dials.load(Ordering::Relaxed)
+    }
+
+    /// Checkouts satisfied from the idle stack.
+    #[must_use]
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(max_idle: usize) -> ConnPool {
+        ConnPool::new(
+            vec!["127.0.0.1:9".parse().expect("addr")],
+            Duration::from_millis(50),
+            max_idle,
+        )
+    }
+
+    #[test]
+    fn checkout_without_idle_counts_a_dial() {
+        let p = pool(4);
+        let c = p.checkout(0);
+        assert_eq!(p.dials(), 1);
+        assert_eq!(p.reuses(), 0);
+        // Never dialed, so it is not connected and check-in drops it.
+        p.checkin(0, c);
+        let _ = p.checkout(0);
+        assert_eq!(p.dials(), 2, "dead connection was not pooled");
+    }
+
+    #[test]
+    fn evict_clears_idle_stack() {
+        let p = pool(4);
+        p.evict(0); // empty evict is a no-op
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! Gateway observability: counters, per-backend route accounting, and the
+//! sliding latency windows that feed the hedging policy.
+//!
+//! Rendered at `/metricsz` in the same flat `name value` text format as
+//! `cactus-serve`, so one scraper handles the whole stack. The invariant a
+//! scraper can assert: `cactus_gateway_requests_forwarded_total` equals the
+//! sum of all `cactus_gateway_backend_<i>_routed_total`.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use cactus_serve::metrics::quantile;
+
+use crate::connpool::ConnPool;
+use crate::health::{HealthState, HealthTracker};
+
+/// Samples kept per sliding latency window.
+pub const LATENCY_WINDOW: usize = 512;
+
+/// A fixed-size sliding window of microsecond latencies; old samples are
+/// overwritten, quantiles are computed over whatever is present.
+#[derive(Debug)]
+pub struct LatencyRing {
+    samples: Mutex<(Vec<u64>, usize)>,
+}
+
+impl Default for LatencyRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyRing {
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            samples: Mutex::new((Vec::with_capacity(LATENCY_WINDOW), 0)),
+        }
+    }
+
+    /// Record one latency sample in microseconds.
+    pub fn record(&self, us: u64) {
+        let mut guard = self.samples.lock().expect("latency ring poisoned");
+        let (samples, next) = &mut *guard;
+        if samples.len() < LATENCY_WINDOW {
+            samples.push(us);
+        } else {
+            samples[*next] = us;
+            *next = (*next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of the current window, in microseconds;
+    /// `None` while the window is empty.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let guard = self.samples.lock().expect("latency ring poisoned");
+        if guard.0.is_empty() {
+            return None;
+        }
+        let mut sorted = guard.0.clone();
+        sorted.sort_unstable();
+        Some(quantile(&sorted, q))
+    }
+
+    /// Number of samples currently in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.lock().expect("latency ring poisoned").0.len()
+    }
+
+    /// True when no sample has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-backend route accounting.
+#[derive(Debug, Default)]
+pub struct BackendMetrics {
+    /// Requests whose winning response came from this backend.
+    pub routed: AtomicU64,
+    /// Transport-level failures attempting this backend.
+    pub failures: AtomicU64,
+    /// Latencies of successful exchanges with this backend.
+    pub latency: LatencyRing,
+}
+
+/// All gateway-level counters, shared across workers.
+#[derive(Debug)]
+pub struct GatewayMetrics {
+    /// Requests accepted by the gateway listener.
+    pub requests: AtomicU64,
+    /// Responses by class: 2xx, 4xx, 5xx.
+    pub responses_2xx: AtomicU64,
+    pub responses_4xx: AtomicU64,
+    pub responses_5xx: AtomicU64,
+    /// Requests forwarded to some backend and answered (any status).
+    pub forwarded: AtomicU64,
+    /// Attempts re-routed to another ring candidate after a retryable
+    /// failure.
+    pub retries: AtomicU64,
+    /// Hedge requests launched.
+    pub hedges: AtomicU64,
+    /// Hedge requests whose response won the race.
+    pub hedge_wins: AtomicU64,
+    /// End-to-end gateway latency (request read to response written).
+    pub latency: LatencyRing,
+    /// Per-backend accounting, indexed by ring position.
+    pub backends: Vec<BackendMetrics>,
+}
+
+impl GatewayMetrics {
+    #[must_use]
+    pub fn new(backends: usize) -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            latency: LatencyRing::new(),
+            backends: (0..backends).map(|_| BackendMetrics::default()).collect(),
+        }
+    }
+
+    /// Bump the response-class counter for `status`.
+    pub fn count_response(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn state_code(state: HealthState) -> u8 {
+    match state {
+        HealthState::Healthy => 0,
+        HealthState::Ejected => 1,
+        HealthState::HalfOpen => 2,
+    }
+}
+
+/// Render the `/metricsz` body.
+#[must_use]
+pub fn render_metrics(
+    metrics: &GatewayMetrics,
+    health: &HealthTracker,
+    pool: &ConnPool,
+    addrs: &[SocketAddr],
+) -> String {
+    let mut out = String::with_capacity(1024);
+    let r = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    out.push_str(&format!(
+        "cactus_gateway_requests_total {}\n",
+        r(&metrics.requests)
+    ));
+    out.push_str(&format!(
+        "cactus_gateway_requests_forwarded_total {}\n",
+        r(&metrics.forwarded)
+    ));
+    out.push_str(&format!(
+        "cactus_gateway_responses_2xx_total {}\n",
+        r(&metrics.responses_2xx)
+    ));
+    out.push_str(&format!(
+        "cactus_gateway_responses_4xx_total {}\n",
+        r(&metrics.responses_4xx)
+    ));
+    out.push_str(&format!(
+        "cactus_gateway_responses_5xx_total {}\n",
+        r(&metrics.responses_5xx)
+    ));
+    out.push_str(&format!(
+        "cactus_gateway_retries_total {}\n",
+        r(&metrics.retries)
+    ));
+    out.push_str(&format!(
+        "cactus_gateway_hedges_total {}\n",
+        r(&metrics.hedges)
+    ));
+    out.push_str(&format!(
+        "cactus_gateway_hedge_wins_total {}\n",
+        r(&metrics.hedge_wins)
+    ));
+    out.push_str(&format!(
+        "cactus_gateway_ejections_total {}\n",
+        health.ejections()
+    ));
+    out.push_str(&format!(
+        "cactus_gateway_pool_dials_total {}\n",
+        pool.dials()
+    ));
+    out.push_str(&format!(
+        "cactus_gateway_pool_reuses_total {}\n",
+        pool.reuses()
+    ));
+    for q in [0.50, 0.90, 0.99] {
+        out.push_str(&format!(
+            "cactus_gateway_latency_p{:02}_us {}\n",
+            (q * 100.0) as u32,
+            metrics.latency.quantile_us(q).unwrap_or(0)
+        ));
+    }
+    for (i, b) in metrics.backends.iter().enumerate() {
+        // `# ` lines are comments in the flat format; they map index -> addr.
+        out.push_str(&format!("# backend {i} = {}\n", addrs[i]));
+        out.push_str(&format!(
+            "cactus_gateway_backend_{i}_routed_total {}\n",
+            r(&b.routed)
+        ));
+        out.push_str(&format!(
+            "cactus_gateway_backend_{i}_failures_total {}\n",
+            r(&b.failures)
+        ));
+        out.push_str(&format!(
+            "cactus_gateway_backend_{i}_state {}\n",
+            state_code(health.state(i))
+        ));
+        out.push_str(&format!(
+            "cactus_gateway_backend_{i}_latency_p90_us {}\n",
+            b.latency.quantile_us(0.90).unwrap_or(0)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn latency_ring_slides() {
+        let ring = LatencyRing::new();
+        assert!(ring.quantile_us(0.5).is_none());
+        for i in 0..(LATENCY_WINDOW as u64 + 10) {
+            ring.record(i);
+        }
+        assert_eq!(ring.len(), LATENCY_WINDOW);
+        // Oldest samples (0..10) were overwritten, so the minimum survives
+        // the slide.
+        let p0 = ring.quantile_us(0.0).expect("non-empty");
+        assert!(p0 >= 10, "old samples evicted, min is {p0}");
+    }
+
+    #[test]
+    fn forwarded_equals_sum_of_routed_in_render() {
+        let m = GatewayMetrics::new(2);
+        m.forwarded.fetch_add(3, Ordering::Relaxed);
+        m.backends[0].routed.fetch_add(2, Ordering::Relaxed);
+        m.backends[1].routed.fetch_add(1, Ordering::Relaxed);
+        m.count_response(200);
+        m.count_response(502);
+        let health = HealthTracker::new(2, 2, Duration::from_secs(1));
+        let addrs: Vec<SocketAddr> = vec![
+            "127.0.0.1:7001".parse().expect("addr"),
+            "127.0.0.1:7002".parse().expect("addr"),
+        ];
+        let pool = ConnPool::new(addrs.clone(), Duration::from_secs(1), 4);
+        let body = render_metrics(&m, &health, &pool, &addrs);
+        assert!(body.contains("cactus_gateway_requests_forwarded_total 3"));
+        assert!(body.contains("cactus_gateway_backend_0_routed_total 2"));
+        assert!(body.contains("cactus_gateway_backend_1_routed_total 1"));
+        assert!(body.contains("cactus_gateway_responses_2xx_total 1"));
+        assert!(body.contains("cactus_gateway_responses_5xx_total 1"));
+        assert!(body.contains("# backend 0 = 127.0.0.1:7001"));
+    }
+}

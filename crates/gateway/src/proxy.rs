@@ -1,0 +1,387 @@
+//! The forwarding engine: candidate selection, retries with jittered
+//! backoff, and latency-triggered hedging.
+//!
+//! Every request resolves to a routing key; the ring orders the fleet into
+//! a failover list for that key (primary first). The proxy then:
+//!
+//! 1. **Filters by health** — ejected backends sink to the end of the list
+//!    as a last resort (if every backend is ejected, trying one anyway beats
+//!    a guaranteed 502, and doubles as an extra recovery probe).
+//! 2. **Hedges the first attempt** — if the primary has not answered within
+//!    a threshold derived from its own recent latency window (p-quantile
+//!    clamped to a floor/cap), a second identical request races it on the
+//!    next candidate. First response wins; the loser is abandoned.
+//! 3. **Retries retryable outcomes** — transport errors (which also feed the
+//!    ejection tracker) and `503` backpressure move to the next candidate
+//!    after a jittered exponential backoff. Any other status is the
+//!    backend's answer and is forwarded verbatim.
+//!
+//! Retries are only safe because the data plane is GET-only (idempotent);
+//! the gateway rejects other methods before reaching this module.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cactus_serve::client::{ClientError, HttpReply};
+
+use crate::connpool::ConnPool;
+use crate::health::HealthTracker;
+use crate::metrics::GatewayMetrics;
+use crate::ring::{hash_str, HashRing};
+
+/// Retry/hedge tuning; embedded in the gateway config.
+#[derive(Debug, Clone)]
+pub struct RoutePolicy {
+    /// Total backend attempts per request (first try + retries).
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Ceiling on any single backoff delay.
+    pub backoff_cap: Duration,
+    /// Master switch for hedged requests.
+    pub hedge: bool,
+    /// Latency quantile of the primary's window that arms the hedge timer.
+    pub hedge_quantile: f64,
+    /// Minimum hedge delay (also the default while the window is empty).
+    pub hedge_floor: Duration,
+    /// Maximum hedge delay.
+    pub hedge_cap: Duration,
+}
+
+impl Default for RoutePolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+            hedge: true,
+            hedge_quantile: 0.9,
+            hedge_floor: Duration::from_millis(20),
+            hedge_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What the proxy hands back to the connection handler.
+#[derive(Debug)]
+pub struct Forwarded {
+    pub status: u16,
+    pub content_type: String,
+    pub body: String,
+}
+
+/// The shared routing state: ring + health + pool + counters.
+#[derive(Debug)]
+pub struct Router {
+    ring: HashRing,
+    pub health: Arc<HealthTracker>,
+    pub pool: Arc<ConnPool>,
+    pub metrics: Arc<GatewayMetrics>,
+    policy: RoutePolicy,
+}
+
+enum Attempt {
+    /// A backend answered; forward its reply.
+    Reply(HttpReply),
+    /// Backend saturated (503): retryable, no health penalty.
+    Saturated(HttpReply),
+    /// Transport or parse failure: retryable, counts toward ejection.
+    Failed,
+}
+
+impl Router {
+    #[must_use]
+    pub fn new(
+        ring: HashRing,
+        health: Arc<HealthTracker>,
+        pool: Arc<ConnPool>,
+        metrics: Arc<GatewayMetrics>,
+        policy: RoutePolicy,
+    ) -> Self {
+        Self {
+            ring,
+            health,
+            pool,
+            metrics,
+            policy,
+        }
+    }
+
+    /// The ring's failover order for `key`, with currently-ejected backends
+    /// moved to the back (kept as last resorts rather than dropped).
+    #[must_use]
+    pub fn candidates(&self, key: &str) -> Vec<usize> {
+        let order = self.ring.candidates(key);
+        let (up, down): (Vec<usize>, Vec<usize>) =
+            order.into_iter().partition(|&i| self.health.available(i));
+        let mut all = up;
+        all.extend(down);
+        all
+    }
+
+    /// Forward `GET path` for routing key `key` through the fleet,
+    /// applying hedging and retries. Always produces a response: the
+    /// backend's verbatim reply, or a synthesized `502` when every attempt
+    /// failed.
+    pub fn forward(self: &Arc<Self>, path: &str, key: &str) -> Forwarded {
+        let candidates = self.candidates(key);
+        if candidates.is_empty() {
+            return synth(502, "no backends configured\n");
+        }
+        let mut rng = hash_str(key) | 1;
+        let mut last_saturated: Option<HttpReply> = None;
+        let attempts = (self.policy.max_attempts as usize).max(1);
+        for attempt in 0..attempts {
+            let target = candidates[attempt % candidates.len()];
+            if attempt > 0 {
+                self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.backoff(attempt, &mut rng));
+            }
+            let outcome = if attempt == 0 && self.policy.hedge && candidates.len() > 1 {
+                self.hedged_attempt(path, target, candidates[1])
+            } else {
+                let r = self.try_backend(target, path);
+                (r, target)
+            };
+            match outcome {
+                (Attempt::Reply(reply), winner) => {
+                    self.metrics.forwarded.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.backends[winner]
+                        .routed
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Forwarded {
+                        status: reply.status,
+                        content_type: reply
+                            .header("content-type")
+                            .unwrap_or("text/plain; charset=utf-8")
+                            .to_owned(),
+                        body: reply.body,
+                    };
+                }
+                (Attempt::Saturated(reply), _) => last_saturated = Some(reply),
+                (Attempt::Failed, _) => {}
+            }
+        }
+        // Attempts exhausted. A live-but-saturated fleet forwards its own
+        // backpressure signal; a dead fleet gets a synthesized 502.
+        if let Some(reply) = last_saturated {
+            self.metrics.forwarded.fetch_add(1, Ordering::Relaxed);
+            Forwarded {
+                status: reply.status,
+                content_type: reply
+                    .header("content-type")
+                    .unwrap_or("text/plain; charset=utf-8")
+                    .to_owned(),
+                body: reply.body,
+            }
+        } else {
+            synth(502, "all backends failed\n")
+        }
+    }
+
+    /// Race the primary against a delayed hedge on `hedge_target`. Returns
+    /// the winning outcome and which backend produced it.
+    fn hedged_attempt(
+        self: &Arc<Self>,
+        path: &str,
+        primary: usize,
+        hedge_target: usize,
+    ) -> (Attempt, usize) {
+        let (tx, rx) = mpsc::channel::<(usize, Attempt)>();
+        let spawn = |target: usize, tx: mpsc::Sender<(usize, Attempt)>| {
+            let router = Arc::clone(self);
+            let path = path.to_owned();
+            std::thread::spawn(move || {
+                let outcome = router.try_backend(target, &path);
+                let _ = tx.send((target, outcome));
+            });
+        };
+        spawn(primary, tx.clone());
+        match rx.recv_timeout(self.hedge_threshold(primary)) {
+            Ok((who, outcome)) => (outcome, who),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Primary is slow: launch the hedge and take whichever
+                // answers first with a usable reply.
+                self.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                spawn(hedge_target, tx.clone());
+                drop(tx);
+                let mut first_bad: Option<(usize, Attempt)> = None;
+                while let Ok((who, outcome)) = rx.recv() {
+                    match outcome {
+                        Attempt::Reply(_) => {
+                            if who == hedge_target {
+                                self.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                            }
+                            return (outcome, who);
+                        }
+                        other => {
+                            if first_bad.is_none() {
+                                first_bad = Some((who, other));
+                            }
+                        }
+                    }
+                }
+                let (who, outcome) = first_bad.expect("both racers reported");
+                (outcome, who)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => (Attempt::Failed, primary),
+        }
+    }
+
+    /// One exchange with backend `i`, pooling the connection and feeding
+    /// the health tracker and latency window.
+    fn try_backend(&self, i: usize, path: &str) -> Attempt {
+        let mut conn = self.pool.checkout(i);
+        let started = Instant::now();
+        let result = conn.get(path);
+        match result {
+            Ok(reply) => {
+                let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.metrics.backends[i].latency.record(us);
+                self.health.report_success(i);
+                self.pool.checkin(i, conn);
+                if reply.status == 503 {
+                    Attempt::Saturated(reply)
+                } else {
+                    Attempt::Reply(reply)
+                }
+            }
+            Err(ClientError::Io(_) | ClientError::Parse(_)) => {
+                self.metrics.backends[i]
+                    .failures
+                    .fetch_add(1, Ordering::Relaxed);
+                self.health.report_failure(i);
+                if !self.health.available(i) {
+                    // Ejection invalidates pooled sockets; recovery trials
+                    // should start from fresh dials.
+                    self.pool.evict(i);
+                }
+                Attempt::Failed
+            }
+            Err(ClientError::Status(..)) => {
+                // Connection::get never yields Status, but stay total.
+                Attempt::Failed
+            }
+        }
+    }
+
+    /// How long to wait on the primary before launching the hedge: the
+    /// configured quantile of the primary's own latency window, clamped to
+    /// `[hedge_floor, hedge_cap]`; the floor alone while the window is cold.
+    fn hedge_threshold(&self, primary: usize) -> Duration {
+        let observed = self.metrics.backends[primary]
+            .latency
+            .quantile_us(self.policy.hedge_quantile)
+            .map_or(self.policy.hedge_floor, Duration::from_micros);
+        observed.clamp(self.policy.hedge_floor, self.policy.hedge_cap)
+    }
+
+    /// Jittered exponential backoff before retry `attempt` (1-based):
+    /// uniform over `(0, base * 2^(attempt-1)]`, capped.
+    fn backoff(&self, attempt: usize, rng: &mut u64) -> Duration {
+        let exp = u32::try_from(attempt.saturating_sub(1)).unwrap_or(u32::MAX);
+        let ceiling = self
+            .policy
+            .backoff_base
+            .saturating_mul(2u32.saturating_pow(exp))
+            .min(self.policy.backoff_cap);
+        let ceiling_us = u64::try_from(ceiling.as_micros()).unwrap_or(u64::MAX);
+        Duration::from_micros(xorshift(rng) % ceiling_us.max(1))
+    }
+}
+
+fn synth(status: u16, body: &str) -> Forwarded {
+    Forwarded {
+        status,
+        content_type: "text/plain; charset=utf-8".to_owned(),
+        body: body.to_owned(),
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::HealthState;
+    use std::net::SocketAddr;
+
+    fn router(addrs: Vec<SocketAddr>, policy: RoutePolicy) -> Arc<Router> {
+        let labels: Vec<String> = addrs.iter().map(ToString::to_string).collect();
+        let n = addrs.len();
+        Arc::new(Router::new(
+            HashRing::new(&labels),
+            Arc::new(HealthTracker::new(n, 2, Duration::from_secs(60))),
+            Arc::new(ConnPool::new(addrs, Duration::from_millis(50), 4)),
+            Arc::new(GatewayMetrics::new(n)),
+            policy,
+        ))
+    }
+
+    /// Low loopback ports with nothing listening: connects fail fast with
+    /// ECONNREFUSED, standing in for dead backends.
+    fn dead_addrs(n: usize) -> Vec<SocketAddr> {
+        (0..n)
+            .map(|i| format!("127.0.0.1:{}", 1 + i).parse().expect("addr"))
+            .collect()
+    }
+
+    #[test]
+    fn all_dead_backends_synthesize_502_and_eject() {
+        let r = router(
+            dead_addrs(2),
+            RoutePolicy {
+                hedge: false,
+                backoff_base: Duration::from_micros(100),
+                backoff_cap: Duration::from_micros(200),
+                ..RoutePolicy::default()
+            },
+        );
+        let out = r.forward("/v1/workloads", "v1/workloads");
+        assert_eq!(out.status, 502);
+        assert_eq!(r.metrics.retries.load(Ordering::Relaxed), 2);
+        // 3 attempts over 2 backends: one backend saw 2 failures -> ejected.
+        assert_eq!(r.health.ejections(), 1);
+        let ejected = (0..2)
+            .filter(|&i| r.health.state(i) == HealthState::Ejected)
+            .count();
+        assert_eq!(ejected, 1);
+    }
+
+    #[test]
+    fn candidates_push_ejected_backends_to_the_back() {
+        let r = router(dead_addrs(3), RoutePolicy::default());
+        let key = "profile/rtx-3080/tiny/GMS";
+        let order = r.candidates(key);
+        let primary = order[0];
+        r.health.report_failure(primary);
+        r.health.report_failure(primary);
+        assert_eq!(r.health.state(primary), HealthState::Ejected);
+        let reordered = r.candidates(key);
+        assert_eq!(
+            *reordered.last().expect("non-empty"),
+            primary,
+            "ejected primary demoted to last resort"
+        );
+        assert_eq!(reordered.len(), 3, "no candidate dropped");
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_jittered() {
+        let r = router(dead_addrs(1), RoutePolicy::default());
+        let mut rng = 42u64;
+        for attempt in 1..6 {
+            let d = r.backoff(attempt, &mut rng);
+            assert!(d <= r.policy.backoff_cap, "attempt {attempt}: {d:?}");
+        }
+    }
+}

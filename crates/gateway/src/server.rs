@@ -1,0 +1,490 @@
+//! The gateway daemon: listener, worker pool, health thread, and the glue
+//! between incoming connections and the [`Router`](crate::proxy::Router).
+//!
+//! ```text
+//!                    ┌────────────── health thread ───────────────┐
+//!                    │ tick(): Ejected → HalfOpen after cooldown  │
+//!                    │ active probes: GET /healthz per backend    │
+//!                    └───────────────────┬────────────────────────┘
+//!                                        ▼
+//! accept ──try_send──► bounded queue ──► workers ──► Router::forward
+//!    │                                     │           ring → health →
+//!    └── full: 503 Retry-After ◄───────────┘           pool → hedge/retry
+//! ```
+//!
+//! The listener/queue/worker skeleton deliberately mirrors `cactus-serve`'s
+//! server (same backpressure and graceful-drain semantics); what differs is
+//! the work each request does — a proxied exchange instead of a local
+//! simulation. The gateway serves its own `/healthz` and `/metricsz`
+//! locally; every other `GET` is forwarded.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cactus_serve::http::{self, HttpError};
+use cactus_serve::net;
+use cactus_serve::server::KEEP_ALIVE_MAX;
+use cactus_serve::Client;
+
+use crate::connpool::ConnPool;
+use crate::health::{HealthState, HealthTracker};
+use crate::metrics::{render_metrics, GatewayMetrics};
+use crate::proxy::{Forwarded, RoutePolicy, Router};
+use crate::ring::HashRing;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+const HEALTH_TICK: Duration = Duration::from_millis(50);
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads proxying requests.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before the gateway
+    /// answers `503`.
+    pub queue: usize,
+    /// Client-side read timeout (also the keep-alive idle timeout).
+    pub read_timeout: Duration,
+    /// Per-exchange timeout toward a backend (connect + request + reply).
+    /// Cold profile simulations can be slow; keep this generous.
+    pub backend_timeout: Duration,
+    /// Consecutive failures before a backend is ejected.
+    pub eject_after: u32,
+    /// How long an ejected backend sits out before a half-open trial.
+    pub cooldown: Duration,
+    /// Interval between active `/healthz` probes; `None` disables probing
+    /// (health is then driven purely by data-path outcomes).
+    pub probe_interval: Option<Duration>,
+    /// Timeout for one active probe.
+    pub probe_timeout: Duration,
+    /// Idle keep-alive connections pooled per backend.
+    pub max_idle_conns: usize,
+    /// `Retry-After` seconds advertised on a local `503`.
+    pub retry_after_s: u32,
+    /// Retry and hedging policy.
+    pub policy: RoutePolicy,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 8,
+            queue: 128,
+            read_timeout: Duration::from_secs(5),
+            backend_timeout: Duration::from_secs(60),
+            eject_after: 2,
+            cooldown: Duration::from_secs(1),
+            probe_interval: Some(Duration::from_millis(500)),
+            probe_timeout: Duration::from_millis(500),
+            max_idle_conns: 8,
+            retry_after_s: 1,
+            policy: RoutePolicy::default(),
+        }
+    }
+}
+
+/// A running gateway. Call [`Gateway::shutdown`] then [`Gateway::join`] to
+/// stop it; dropping the handle alone does not.
+pub struct Gateway {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    health_thread: Option<JoinHandle<()>>,
+    router: Arc<Router>,
+    backend_addrs: Vec<SocketAddr>,
+}
+
+impl Gateway {
+    /// Bind the listener, build the ring over `backends`, and spawn the
+    /// worker pool and health thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; rejects an empty backend list.
+    pub fn start(config: GatewayConfig, backends: Vec<SocketAddr>) -> io::Result<Self> {
+        if backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "gateway needs at least one backend",
+            ));
+        }
+        let listener = net::bind_reusable(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        // Ring labels are the backend address strings: stable across
+        // restarts of the same fleet layout, independent of list order.
+        let labels: Vec<String> = backends.iter().map(ToString::to_string).collect();
+        let health = Arc::new(HealthTracker::new(
+            backends.len(),
+            config.eject_after,
+            config.cooldown,
+        ));
+        let pool = Arc::new(ConnPool::new(
+            backends.clone(),
+            config.backend_timeout,
+            config.max_idle_conns,
+        ));
+        let metrics = Arc::new(GatewayMetrics::new(backends.len()));
+        let router = Arc::new(Router::new(
+            HashRing::new(&labels),
+            Arc::clone(&health),
+            pool,
+            metrics,
+            config.policy.clone(),
+        ));
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let router = Arc::clone(&router);
+                let rx = Arc::clone(&rx);
+                let shutdown = Arc::clone(&shutdown);
+                let config = config.clone();
+                let backend_addrs = backends.clone();
+                std::thread::spawn(move || {
+                    worker_loop(&router, &rx, &config, &backend_addrs, &shutdown);
+                })
+            })
+            .collect();
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let router = Arc::clone(&router);
+            let retry_after_s = config.retry_after_s;
+            std::thread::spawn(move || {
+                accept_loop(&listener, &tx, &router, retry_after_s, &shutdown)
+            })
+        };
+
+        let health_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let health = Arc::clone(&health);
+            let probe_interval = config.probe_interval;
+            let probe_timeout = config.probe_timeout;
+            let backend_addrs = backends.clone();
+            std::thread::spawn(move || {
+                health_loop(
+                    &health,
+                    &backend_addrs,
+                    probe_interval,
+                    probe_timeout,
+                    &shutdown,
+                );
+            })
+        };
+
+        Ok(Self {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            workers,
+            health_thread: Some(health_thread),
+            router,
+            backend_addrs: backends,
+        })
+    }
+
+    /// The bound listener address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared routing state (tests read health and counters through it).
+    #[must_use]
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// The fleet addresses the ring was built over, in ring-index order.
+    #[must_use]
+    pub fn backend_addrs(&self) -> &[SocketAddr] {
+        &self.backend_addrs
+    }
+
+    /// Begin graceful shutdown: stop accepting, let workers drain.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Shut down (if not already requested) and wait for every queued and
+    /// in-flight request to be answered and all threads to exit.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(health) = self.health_thread.take() {
+            let _ = health.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<TcpStream>,
+    router: &Router,
+    retry_after_s: u32,
+    shutdown: &AtomicBool,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(stream)) => reject_busy(router, stream, retry_after_s),
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Dropping `tx` closes the queue; workers drain and exit.
+}
+
+/// Answer `503 + Retry-After` without occupying a worker.
+fn reject_busy(router: &Router, mut stream: TcpStream, retry_after_s: u32) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    // Drain the request head so closing does not RST away the 503.
+    let mut buf = [0u8; 1024];
+    loop {
+        match io::Read::read(&mut stream, &mut buf) {
+            Ok(n) if n > 0 => {
+                if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    router.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    router.metrics.count_response(503);
+    let body = "gateway saturated\n";
+    let wire = format!(
+        "HTTP/1.1 503 {}\r\ncontent-type: text/plain; charset=utf-8\r\ncontent-length: {}\r\nretry-after: {}\r\nconnection: close\r\n\r\n{}",
+        http::reason_phrase(503),
+        body.len(),
+        retry_after_s,
+        body
+    );
+    let _ = stream.write_all(wire.as_bytes());
+}
+
+fn worker_loop(
+    router: &Arc<Router>,
+    rx: &Mutex<Receiver<TcpStream>>,
+    config: &GatewayConfig,
+    backend_addrs: &[SocketAddr],
+    shutdown: &AtomicBool,
+) {
+    loop {
+        let next = rx.lock().expect("queue receiver poisoned").recv();
+        let Ok(stream) = next else { break };
+        handle_connection(router, &stream, config, backend_addrs, shutdown);
+    }
+}
+
+/// Serve sequential keep-alive requests from one client connection.
+fn handle_connection(
+    router: &Arc<Router>,
+    stream: &TcpStream,
+    config: &GatewayConfig,
+    backend_addrs: &[SocketAddr],
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+
+    let mut reader = BufReader::new(stream);
+    let mut served = 0usize;
+    loop {
+        let request = http::read_request(&mut reader);
+        let start = Instant::now();
+        let (response, client_close) = match request {
+            Ok(request) => {
+                router.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                // Re-assemble the full target so query strings survive the
+                // trip to the backend.
+                let target = match &request.query {
+                    Some(q) => format!("{}?{q}", request.path),
+                    None => request.path.clone(),
+                };
+                let response = respond(router, backend_addrs, &request.method, &target);
+                (response, request.wants_close())
+            }
+            Err(HttpError::ClosedEarly | HttpError::Io(_)) => return,
+            Err(e) => {
+                router.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                router.metrics.count_response(400);
+                let mut out = stream;
+                let _ = write_response(
+                    &mut out,
+                    &Forwarded {
+                        status: 400,
+                        content_type: "text/plain; charset=utf-8".to_owned(),
+                        body: format!("bad request: {e}\n"),
+                    },
+                    false,
+                );
+                return;
+            }
+        };
+
+        served += 1;
+        let keep_alive =
+            !client_close && served < KEEP_ALIVE_MAX && !shutdown.load(Ordering::SeqCst);
+        let mut out = stream;
+        let write_result = write_response(&mut out, &response, keep_alive);
+        let _ = out.flush();
+        router.metrics.count_response(response.status);
+        let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        router.metrics.latency.record(elapsed_us);
+        if !keep_alive || write_result.is_err() {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request: local endpoints (`/healthz`, `/metricsz`) are
+/// answered by the gateway itself; everything else is forwarded.
+fn respond(
+    router: &Arc<Router>,
+    backend_addrs: &[SocketAddr],
+    method: &str,
+    target: &str,
+) -> Forwarded {
+    if method != "GET" {
+        return Forwarded {
+            status: 405,
+            content_type: "text/plain; charset=utf-8".to_owned(),
+            body: "only GET is supported\n".to_owned(),
+        };
+    }
+    match target {
+        "/healthz" => Forwarded {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".to_owned(),
+            body: "ok\n".to_owned(),
+        },
+        "/metricsz" => Forwarded {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".to_owned(),
+            body: render_metrics(&router.metrics, &router.health, &router.pool, backend_addrs),
+        },
+        _ => router.forward(target, &routing_key(target)),
+    }
+}
+
+/// The shard key for a request path. Profile endpoints
+/// (`/v1/<endpoint>/<device>/<scale>/<workload>`) key on the full tuple so
+/// every view of one profile lands on the same shard cache; anything else
+/// keys on the whole path.
+#[must_use]
+pub fn routing_key(target: &str) -> String {
+    let path = target.split('?').next().unwrap_or(target);
+    let parts: Vec<&str> = path.trim_matches('/').split('/').collect();
+    if parts.len() == 5 && parts[0] == "v1" {
+        parts[1..].join("/")
+    } else {
+        path.trim_matches('/').to_owned()
+    }
+}
+
+/// Write a forwarded (or locally produced) response in the same wire shape
+/// `cactus-serve` uses. The gateway keeps its own writer because forwarded
+/// bodies carry the backend's content type verbatim.
+fn write_response<W: Write>(out: &mut W, response: &Forwarded, keep_alive: bool) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // One write_all: fragment-per-write on a raw socket triggers Nagle +
+    // delayed-ACK stalls (~40 ms) on the peer.
+    let wire = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
+        response.status,
+        http::reason_phrase(response.status),
+        response.content_type,
+        response.body.len(),
+        connection,
+        response.body
+    );
+    out.write_all(wire.as_bytes())
+}
+
+/// The health thread: promote cooled-down ejections to half-open, and
+/// (optionally) actively probe routable backends so failures are noticed
+/// even when no traffic is flowing.
+fn health_loop(
+    health: &HealthTracker,
+    backend_addrs: &[SocketAddr],
+    probe_interval: Option<Duration>,
+    probe_timeout: Duration,
+    shutdown: &AtomicBool,
+) {
+    let mut last_probe = Instant::now();
+    while !shutdown.load(Ordering::SeqCst) {
+        health.tick();
+        if let Some(interval) = probe_interval {
+            if last_probe.elapsed() >= interval {
+                last_probe = Instant::now();
+                for (i, &addr) in backend_addrs.iter().enumerate() {
+                    // Ejected backends sit out their cooldown; probing them
+                    // early would tell us nothing tick() doesn't.
+                    if health.state(i) == HealthState::Ejected {
+                        continue;
+                    }
+                    let probe = Client::new(addr)
+                        .with_timeout(probe_timeout)
+                        .get("/healthz");
+                    match probe {
+                        Ok(reply) if reply.status == 200 => health.report_success(i),
+                        _ => health.report_failure(i),
+                    }
+                }
+            }
+        }
+        std::thread::sleep(HEALTH_TICK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_key_extracts_profile_tuple() {
+        assert_eq!(
+            routing_key("/v1/profile/rtx-3080/tiny/GMS"),
+            "profile/rtx-3080/tiny/GMS"
+        );
+        assert_eq!(
+            routing_key("/v1/kernels/a100/small/PRT"),
+            "kernels/a100/small/PRT"
+        );
+        assert_eq!(routing_key("/v1/workloads"), "v1/workloads");
+        assert_eq!(routing_key("/other/path"), "other/path");
+    }
+
+    #[test]
+    fn gateway_requires_backends() {
+        let err = Gateway::start(GatewayConfig::default(), Vec::new());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! In-process fleet management: spawn, kill, and restart `cactus-serve`
+//! backends behind the gateway.
+//!
+//! Each slot remembers its [`ServeConfig`] with the bound address **pinned**
+//! after the first start (an ephemeral `:0` bind is resolved once, then
+//! written back into the config), so a restarted backend reappears at the
+//! same address the ring hashed it to. Rebinding a just-killed port works
+//! because the serve listener sets `SO_REUSEADDR`; without it, lingering
+//! TIME_WAIT sockets would make every restart race a kernel timer.
+//!
+//! The supervisor is how the failover story gets exercised end to end: the
+//! integration suite kills a live backend mid-run (clients must see zero
+//! errors thanks to ejection + re-routing) and restarts it (the half-open
+//! trial must re-admit it).
+
+use std::io;
+use std::net::SocketAddr;
+
+use cactus_serve::{ServeConfig, Server};
+
+struct Slot {
+    config: ServeConfig,
+    server: Option<Server>,
+}
+
+/// A fixed set of supervised backend slots.
+pub struct Supervisor {
+    slots: Vec<Slot>,
+}
+
+impl Supervisor {
+    /// Start `n` backends from `base` (its `addr` is used as-is for the
+    /// first slot only if it names port 0; every slot binds ephemerally and
+    /// then pins the resolved address).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first bind failure; already-started backends are shut
+    /// down before returning.
+    pub fn spawn_fleet(n: usize, base: &ServeConfig) -> io::Result<Self> {
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut config = base.clone();
+            config.addr = "127.0.0.1:0".to_owned();
+            match Server::start(config.clone()) {
+                Ok(server) => {
+                    // Pin the resolved port so a restart reuses it.
+                    config.addr = server.addr().to_string();
+                    slots.push(Slot {
+                        config,
+                        server: Some(server),
+                    });
+                }
+                Err(e) => {
+                    for slot in slots {
+                        if let Some(server) = slot.server {
+                            server.join();
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Self { slots })
+    }
+
+    /// Number of slots (running or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the supervisor manages no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Every slot's pinned address, in slot order (stable across restarts).
+    #[must_use]
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.slots
+            .iter()
+            .map(|s| s.config.addr.parse().expect("pinned addr is valid"))
+            .collect()
+    }
+
+    /// Whether slot `i` currently has a running server.
+    #[must_use]
+    pub fn running(&self, i: usize) -> bool {
+        self.slots[i].server.is_some()
+    }
+
+    /// Borrow slot `i`'s running server, if any.
+    #[must_use]
+    pub fn server(&self, i: usize) -> Option<&Server> {
+        self.slots[i].server.as_ref()
+    }
+
+    /// Gracefully stop slot `i` (drains in-flight requests, then joins all
+    /// of its threads). No-op if already stopped.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(server) = self.slots[i].server.take() {
+            server.join();
+        }
+    }
+
+    /// Restart slot `i` on its pinned address. No-op if already running.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (the slot stays stopped).
+    pub fn restart(&mut self, i: usize) -> io::Result<()> {
+        if self.slots[i].server.is_none() {
+            self.slots[i].server = Some(Server::start(self.slots[i].config.clone())?);
+        }
+        Ok(())
+    }
+
+    /// Stop every running backend, draining each.
+    pub fn shutdown_all(&mut self) {
+        // Signal all first so they drain concurrently, then join.
+        for slot in &self.slots {
+            if let Some(server) = &slot.server {
+                server.shutdown();
+            }
+        }
+        for slot in &mut self.slots {
+            if let Some(server) = slot.server.take() {
+                server.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactus_serve::Client;
+    use std::time::Duration;
+
+    fn base() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            queue: 8,
+            store_dir: Some(std::env::temp_dir().join("cactus-supervisor-test-store")),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_spawns_on_distinct_ports_and_answers_health() {
+        let mut fleet = Supervisor::spawn_fleet(2, &base()).expect("spawn");
+        let addrs = fleet.addrs();
+        assert_eq!(addrs.len(), 2);
+        assert_ne!(addrs[0], addrs[1]);
+        for &addr in &addrs {
+            let reply = Client::new(addr)
+                .with_timeout(Duration::from_secs(5))
+                .get("/healthz")
+                .expect("healthz");
+            assert_eq!(reply.status, 200);
+        }
+        fleet.shutdown_all();
+        assert!(!fleet.running(0) && !fleet.running(1));
+    }
+
+    #[test]
+    fn kill_and_restart_reuse_the_pinned_port() {
+        let mut fleet = Supervisor::spawn_fleet(1, &base()).expect("spawn");
+        let addr = fleet.addrs()[0];
+        fleet.kill(0);
+        assert!(!fleet.running(0));
+        assert!(
+            Client::new(addr)
+                .with_timeout(Duration::from_millis(500))
+                .get("/healthz")
+                .is_err(),
+            "killed backend must stop answering"
+        );
+        fleet.restart(0).expect("rebind pinned port");
+        assert_eq!(fleet.addrs()[0], addr, "address pinned across restart");
+        let reply = Client::new(addr)
+            .with_timeout(Duration::from_secs(5))
+            .get("/healthz")
+            .expect("healthz after restart");
+        assert_eq!(reply.status, 200);
+        fleet.shutdown_all();
+    }
+}

@@ -1,14 +1,19 @@
-//! `loadgen` — a closed-loop load generator for `cactus-serve`.
+//! `loadgen` — a closed-loop load generator for `cactus-serve` and
+//! `cactus-gateway`.
 //!
 //! ```text
-//! loadgen --addr HOST:PORT [--clients N] [--requests N] [--path PATH]
+//! loadgen --target HOST:PORT [--target HOST:PORT ...] [--clients N]
+//!         [--requests N] [--path PATH]
 //! ```
 //!
 //! Spawns `--clients` closed-loop clients (each sends its next request only
-//! after the previous response arrives), fanning `--requests` total
-//! requests over them, then prints throughput, a latency summary
-//! (p50/p90/p99), and a status histogram. `503` responses are counted
-//! separately so backpressure shows up as pushback, not as errors.
+//! after the previous response arrives) over keep-alive connections,
+//! fanning `--requests` total requests round-robin across every `--target`
+//! (`--addr` is an alias for one target), then prints throughput, a latency
+//! summary (p50/p90/p99), a status histogram, and the per-target request
+//! distribution — so the same binary drives one daemon, a fleet, or the
+//! gateway in front of it. `503` responses are counted separately so
+//! backpressure shows up as pushback, not as errors.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -17,13 +22,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use cactus_serve::client::{Client, ClientError};
+use cactus_serve::client::ClientError;
 use cactus_serve::metrics::quantile;
+use cactus_serve::Connection;
 
 const USAGE: &str = "\
-usage: loadgen --addr HOST:PORT [options]
+usage: loadgen --target HOST:PORT [--target HOST:PORT ...] [options]
 
-  --addr HOST:PORT   server to load (required)
+  --target HOST:PORT server to load; repeat for several targets
+                     (requests round-robin across all of them)
+  --addr HOST:PORT   alias for --target (kept for compatibility)
   --clients N        concurrent closed-loop clients (default 4)
   --requests N       total requests across all clients (default 200)
   --path PATH        request path (default /v1/profile/rtx-3080/tiny/GMS)
@@ -31,14 +39,14 @@ usage: loadgen --addr HOST:PORT [options]
 ";
 
 struct Args {
-    addr: SocketAddr,
+    targets: Vec<SocketAddr>,
     clients: usize,
     requests: u64,
     path: String,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
-    let mut addr = None;
+    let mut targets = Vec::new();
     let mut clients = 4usize;
     let mut requests = 200u64;
     let mut path = "/v1/profile/rtx-3080/tiny/GMS".to_owned();
@@ -50,11 +58,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
             .next()
             .ok_or_else(|| format!("{flag} requires a value"))?;
         match flag.as_str() {
-            "--addr" => {
-                addr = Some(
+            "--target" | "--addr" => {
+                targets.push(
                     value
                         .parse()
-                        .map_err(|_| format!("--addr: invalid address {value:?}"))?,
+                        .map_err(|_| format!("{flag}: invalid address {value:?}"))?,
                 );
             }
             "--clients" => {
@@ -71,9 +79,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    let addr = addr.ok_or("--addr is required")?;
+    if targets.is_empty() {
+        return Err("at least one --target (or --addr) is required".to_owned());
+    }
     Ok(Some(Args {
-        addr,
+        targets,
         clients: clients.max(1),
         requests,
         path,
@@ -84,6 +94,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
 struct Tally {
     statuses: BTreeMap<u16, u64>,
     latencies_us: Vec<u64>,
+    per_target: Vec<u64>,
     transport_errors: u64,
 }
 
@@ -101,36 +112,50 @@ fn main() -> ExitCode {
         }
     };
 
-    let remaining = Arc::new(AtomicU64::new(args.requests));
-    let tally = Arc::new(Mutex::new(Tally::default()));
+    let issued = Arc::new(AtomicU64::new(0));
+    let tally = Arc::new(Mutex::new(Tally {
+        per_target: vec![0; args.targets.len()],
+        ..Tally::default()
+    }));
     let path = Arc::new(args.path);
+    let targets = Arc::new(args.targets);
+    let budget = args.requests;
     let started = Instant::now();
 
     let threads: Vec<_> = (0..args.clients)
         .map(|_| {
-            let remaining = Arc::clone(&remaining);
+            let issued = Arc::clone(&issued);
             let tally = Arc::clone(&tally);
             let path = Arc::clone(&path);
-            let client = Client::new(args.addr).with_timeout(Duration::from_secs(60));
-            std::thread::spawn(move || loop {
-                // Claim one request slot; stop when the budget is spent.
-                if remaining
-                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
-                    .is_err()
-                {
-                    break;
-                }
-                let start = Instant::now();
-                let outcome = client.get(&path);
-                let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-                let mut tally = tally.lock().expect("tally poisoned");
-                match outcome {
-                    Ok(reply) => {
-                        *tally.statuses.entry(reply.status).or_insert(0) += 1;
-                        tally.latencies_us.push(elapsed_us);
+            let targets = Arc::clone(&targets);
+            std::thread::spawn(move || {
+                // One keep-alive connection per target, reused across this
+                // client's whole run.
+                let mut conns: Vec<Connection> = targets
+                    .iter()
+                    .map(|&addr| Connection::new(addr, Duration::from_secs(60)))
+                    .collect();
+                loop {
+                    // Claim one global request slot; its index picks the
+                    // target round-robin so the distribution is exact.
+                    let slot = issued.fetch_add(1, Ordering::Relaxed);
+                    if slot >= budget {
+                        break;
                     }
-                    Err(ClientError::Io(_)) => tally.transport_errors += 1,
-                    Err(_) => *tally.statuses.entry(0).or_insert(0) += 1,
+                    let target = usize::try_from(slot).unwrap_or(usize::MAX) % targets.len();
+                    let start = Instant::now();
+                    let outcome = conns[target].get(&path);
+                    let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    let mut tally = tally.lock().expect("tally poisoned");
+                    tally.per_target[target] += 1;
+                    match outcome {
+                        Ok(reply) => {
+                            *tally.statuses.entry(reply.status).or_insert(0) += 1;
+                            tally.latencies_us.push(elapsed_us);
+                        }
+                        Err(ClientError::Io(_)) => tally.transport_errors += 1,
+                        Err(_) => *tally.statuses.entry(0).or_insert(0) += 1,
+                    }
                 }
             })
         })
@@ -145,14 +170,15 @@ fn main() -> ExitCode {
         .unwrap_or_else(|_| unreachable!("all clients joined"));
 
     let completed: u64 = tally.statuses.values().sum();
+    let attempted: u64 = tally.per_target.iter().sum();
     let mut sorted = tally.latencies_us.clone();
     sorted.sort_unstable();
     println!(
-        "loadgen: {} requests in {:.3}s over {} clients against {}",
+        "loadgen: {} requests in {:.3}s over {} clients against {} target(s)",
         completed,
         wall.as_secs_f64(),
         args.clients,
-        args.addr
+        targets.len()
     );
     println!("  path: {path}");
     if wall.as_secs_f64() > 0.0 {
@@ -176,6 +202,15 @@ fn main() -> ExitCode {
         }
     }
     println!();
+    println!("  per-target distribution:");
+    for (i, (addr, count)) in targets.iter().zip(&tally.per_target).enumerate() {
+        let share = if attempted > 0 {
+            100.0 * *count as f64 / attempted as f64
+        } else {
+            0.0
+        };
+        println!("    target[{i}] {addr}: {count} requests ({share:.1}%)");
+    }
     if tally.transport_errors > 0 {
         println!("  transport errors: {}", tally.transport_errors);
     }

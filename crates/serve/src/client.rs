@@ -1,13 +1,17 @@
-//! Typed client for the daemon, used by the integration tests and the
-//! `loadgen` binary.
+//! Typed client for the daemon, used by the integration tests, the
+//! `loadgen` binary, and the gateway's backend connection pool.
 //!
-//! One request per connection (`Connection: close`), mirroring the server.
-//! The profile endpoint's body is the bit-exact `cactus_profiler::store`
+//! Two transports share one reply parser: [`Client`] opens a fresh
+//! connection per request (`Connection: close`), while [`Connection`] keeps
+//! one `TcpStream` alive across sequential requests, honoring the server's
+//! `Connection: close` and transparently redialing once when a pooled
+//! stream turns out to have been reaped by the server's idle timeout. The
+//! profile endpoint's body is the bit-exact `cactus_profiler::store`
 //! serialization, so [`Client::profile`] hands back a fully typed
 //! [`Profile`] without a JSON layer.
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -40,6 +44,13 @@ impl HttpReply {
     #[must_use]
     pub fn retry_after_s(&self) -> Option<u32> {
         self.header("retry-after")?.trim().parse().ok()
+    }
+
+    /// Whether the server will close the connection after this reply.
+    #[must_use]
+    pub fn connection_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 }
 
@@ -98,6 +109,12 @@ impl Client {
         self
     }
 
+    /// A keep-alive connection to the same address and timeout.
+    #[must_use]
+    pub fn connection(&self) -> Connection {
+        Connection::new(self.addr, self.timeout)
+    }
+
     /// Issue one `GET path` and parse the reply (whatever its status).
     ///
     /// # Errors
@@ -105,16 +122,18 @@ impl Client {
     /// Socket errors and unparseable response heads.
     pub fn get(&self, path: &str) -> Result<HttpReply, ClientError> {
         let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
-        write!(
-            stream,
+        // One write_all per request head: fragment-per-write on a raw
+        // socket triggers Nagle + delayed-ACK stalls (~40 ms) on the peer.
+        let head = format!(
             "GET {path} HTTP/1.1\r\nhost: {}\r\nconnection: close\r\n\r\n",
             self.addr
-        )?;
-        let mut raw = String::new();
-        stream.read_to_string(&mut raw)?;
-        parse_reply(&raw)
+        );
+        stream.write_all(head.as_bytes())?;
+        let mut reader = BufReader::new(stream);
+        read_reply(&mut reader)
     }
 
     /// `GET /healthz`, true on `200 ok`.
@@ -136,15 +155,7 @@ impl Client {
         if reply.status != 200 {
             return Err(ClientError::Status(reply.status, reply.body));
         }
-        Ok(reply
-            .body
-            .lines()
-            .filter(|l| !l.starts_with('#'))
-            .filter_map(|l| {
-                let (name, value) = l.rsplit_once(' ')?;
-                Some((name.to_owned(), value.parse().ok()?))
-            })
-            .collect())
+        Ok(parse_metrics(&reply.body))
     }
 
     /// Fetch one profile as a typed [`Profile`].
@@ -167,29 +178,182 @@ impl Client {
     }
 }
 
-/// Parse a full HTTP/1.1 reply (head + body; the connection was closed by
-/// the server, so the body is everything after the blank line).
-fn parse_reply(raw: &str) -> Result<HttpReply, ClientError> {
-    let (head, body) = raw
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| ClientError::Parse("no header/body separator".to_owned()))?;
-    let mut lines = head.lines();
-    let status_line = lines
-        .next()
-        .ok_or_else(|| ClientError::Parse("empty reply".to_owned()))?;
-    let status = status_line
+/// Parse a flat `name value` metrics body (`#` comment lines skipped).
+#[must_use]
+pub fn parse_metrics(body: &str) -> HashMap<String, f64> {
+    body.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, value) = l.rsplit_once(' ')?;
+            Some((name.to_owned(), value.parse().ok()?))
+        })
+        .collect()
+}
+
+/// A keep-alive connection: one `TcpStream` reused across sequential
+/// requests.
+///
+/// The stream dials lazily on the first request. After each reply the
+/// connection stays open unless the server answered `Connection: close`, in
+/// which case the next request redials. A request that fails on a *reused*
+/// stream (the server may have reaped it between requests) is retried once
+/// on a fresh dial; failures on fresh streams surface immediately, so a
+/// dead server is never masked.
+#[derive(Debug)]
+pub struct Connection {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<BufReader<TcpStream>>,
+    dials: u64,
+    reuses: u64,
+}
+
+impl Connection {
+    /// A lazily-dialed keep-alive connection to `addr`.
+    #[must_use]
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        Self {
+            addr,
+            timeout,
+            stream: None,
+            dials: 0,
+            reuses: 0,
+        }
+    }
+
+    /// The remote address this connection dials.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a live stream is currently held (i.e. the next request will
+    /// reuse it instead of dialing).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// TCP connections dialed over this connection's lifetime.
+    #[must_use]
+    pub fn dials(&self) -> u64 {
+        self.dials
+    }
+
+    /// Requests that reused an already-open stream.
+    #[must_use]
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Issue one `GET path`, reusing the open stream when possible.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors (after the one stale-stream retry) and unparseable
+    /// response heads.
+    pub fn get(&mut self, path: &str) -> Result<HttpReply, ClientError> {
+        let reused = self.stream.is_some();
+        match self.try_get(path) {
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                // A reused stream may have been closed server-side between
+                // requests; retry exactly once on a fresh dial.
+                self.stream = None;
+                if reused {
+                    self.try_get(path)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    fn try_get(&mut self, path: &str) -> Result<HttpReply, ClientError> {
+        let reused = self.stream.is_some();
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            self.stream = Some(BufReader::new(stream));
+            self.dials += 1;
+        }
+        let reader = self.stream.as_mut().expect("stream just ensured");
+        // Single write_all, same Nagle/delayed-ACK reasoning as Client::get.
+        let head = format!(
+            "GET {path} HTTP/1.1\r\nhost: {}\r\nconnection: keep-alive\r\n\r\n",
+            self.addr
+        );
+        reader.get_mut().write_all(head.as_bytes())?;
+        reader.get_mut().flush()?;
+        let reply = read_reply(reader);
+        match &reply {
+            Ok(r) if !r.connection_close() => {
+                if reused {
+                    self.reuses += 1;
+                }
+            }
+            _ => self.stream = None,
+        }
+        reply
+    }
+}
+
+/// Read one full reply (status line, headers, body) from a buffered stream,
+/// leaving the reader positioned after the body so the stream can carry the
+/// next keep-alive exchange. The body length comes from `Content-Length`;
+/// without one the body is everything until EOF (close-delimited).
+fn read_reply<R: BufRead>(reader: &mut R) -> Result<HttpReply, ClientError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before a status line",
+        )));
+    }
+    let status_line = line.trim_end_matches(['\r', '\n']).to_owned();
+    let status: u16 = status_line
         .split_ascii_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ClientError::Parse(format!("bad status line {status_line:?}")))?;
-    let headers = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_owned()))
-        .collect();
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Parse("reply head truncated".to_owned()));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((n, v)) = trimmed.split_once(':') {
+            headers.push((n.trim().to_ascii_lowercase(), v.trim().to_owned()));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8(buf).map_err(|_| ClientError::Parse("non-UTF-8 body".to_owned()))?
+        }
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
     Ok(HttpReply {
         status,
         headers,
-        body: body.to_owned(),
+        body,
     })
 }
 
@@ -200,16 +364,37 @@ mod tests {
     #[test]
     fn parses_reply_head_and_body() {
         let raw = "HTTP/1.1 503 Service Unavailable\r\ncontent-type: text/plain\r\nretry-after: 2\r\n\r\nbusy\n";
-        let reply = parse_reply(raw).expect("parse");
+        let reply = read_reply(&mut raw.as_bytes()).expect("parse");
         assert_eq!(reply.status, 503);
         assert_eq!(reply.header("Content-Type"), Some("text/plain"));
         assert_eq!(reply.retry_after_s(), Some(2));
         assert_eq!(reply.body, "busy\n");
+        assert!(!reply.connection_close());
+    }
+
+    #[test]
+    fn content_length_bounds_the_body_for_keep_alive() {
+        let raw = "HTTP/1.1 200 OK\r\ncontent-length: 3\r\nconnection: keep-alive\r\n\r\nabcHTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: close\r\n\r\nxy";
+        let mut reader = raw.as_bytes();
+        let first = read_reply(&mut reader).expect("first");
+        assert_eq!(first.body, "abc");
+        assert!(!first.connection_close());
+        let second = read_reply(&mut reader).expect("second");
+        assert_eq!(second.body, "xy");
+        assert!(second.connection_close());
     }
 
     #[test]
     fn rejects_torn_replies() {
-        assert!(parse_reply("HTTP/1.1 200 OK\r\n").is_err());
-        assert!(parse_reply("garbage\r\n\r\nbody").is_err());
+        assert!(read_reply(&mut "HTTP/1.1 200 OK\r\n".as_bytes()).is_err());
+        assert!(read_reply(&mut "garbage\r\n\r\nbody".as_bytes()).is_err());
+        assert!(read_reply(&mut "".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metrics_parse_skips_comments() {
+        let parsed = parse_metrics("# header\na_total 3\nweird line\nb_rate 0.5\n");
+        assert_eq!(parsed.get("a_total"), Some(&3.0));
+        assert_eq!(parsed.get("b_rate"), Some(&0.5));
     }
 }

@@ -1,14 +1,22 @@
 //! A deliberately small HTTP/1.1 implementation over std TCP streams.
 //!
-//! The daemon needs exactly one request shape — `GET <path>` with headers it
-//! can ignore — and writes one `Connection: close` response per connection,
-//! so this module implements that slice directly instead of pulling in a
-//! server framework (the workspace builds with no registry access). Request
-//! heads are capped at [`MAX_HEAD_BYTES`]; anything larger, non-UTF-8, or
-//! not HTTP-shaped surfaces as an [`HttpError`] which the server maps to a
+//! The daemon needs exactly one request shape — `GET <path>` with a handful
+//! of headers it may consult — and writes one response per request, so this
+//! module implements that slice directly instead of pulling in a server
+//! framework (the workspace builds with no registry access). Request heads
+//! are capped at [`MAX_HEAD_BYTES`]; anything larger, non-UTF-8, or not
+//! HTTP-shaped surfaces as an [`HttpError`] which the server maps to a
 //! `400`.
+//!
+//! Parsing is strict where laxness would be exploitable: the request line
+//! must be exactly `METHOD SP TARGET SP HTTP/1.x` with single spaces and no
+//! tabs (whitespace smuggling in the target is rejected), and header lines
+//! split on the *first* `:` only, so values containing `:` (URLs, IPv6
+//! literals, timestamps) survive intact. [`read_request`] takes any
+//! [`BufRead`], which lets a server read several sequential requests from
+//! one keep-alive connection without losing buffered bytes between them.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, Write};
 
 /// Upper bound on the request head (request line + headers), in bytes.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
@@ -22,6 +30,29 @@ pub struct Request {
     pub path: String,
     /// Raw query string after `?`, if any.
     pub query: Option<String>,
+    /// Header name/value pairs in wire order, names lowercased, values
+    /// trimmed of surrounding whitespace.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First header value with the given (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to be closed after this
+    /// response (`Connection: close`).
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 /// Why a request head could not be parsed.
@@ -33,7 +64,7 @@ pub enum HttpError {
     ClosedEarly,
     /// The head exceeded [`MAX_HEAD_BYTES`].
     HeadTooLarge,
-    /// The request line was not `METHOD TARGET HTTP/1.x`.
+    /// The request line or a header line was not well-formed.
     Malformed(String),
 }
 
@@ -54,46 +85,67 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Read and parse one request head from `stream`. Headers are consumed and
-/// discarded (the API is GET-only; no request ever carries a meaningful
-/// body).
+/// Read one `\n`-terminated line into `line`, charging its length against
+/// `budget`. EOF before the terminator is [`HttpError::ClosedEarly`].
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    line: &mut Vec<u8>,
+    budget: &mut usize,
+) -> Result<(), HttpError> {
+    line.clear();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Err(HttpError::ClosedEarly);
+        }
+        let (taken, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(at) => (at + 1, true),
+            None => (buf.len(), false),
+        };
+        if taken > *budget {
+            return Err(HttpError::HeadTooLarge);
+        }
+        *budget -= taken;
+        line.extend_from_slice(&buf[..taken]);
+        reader.consume(taken);
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+/// Decode a head line as UTF-8 and strip the trailing `\r\n`/`\n`.
+fn decode_line(raw: &[u8]) -> Result<String, HttpError> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 bytes in request head".to_owned()))?;
+    Ok(text.trim_end_matches(['\r', '\n']).to_owned())
+}
+
+/// Read and parse one request head from `reader`. The reader is positioned
+/// exactly past the head's terminating blank line on success, so a
+/// keep-alive server can call this again on the same reader for the next
+/// request. (The API is GET-only; no request ever carries a meaningful
+/// body.)
 ///
 /// # Errors
 ///
 /// See [`HttpError`].
-pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream.take(MAX_HEAD_BYTES as u64 + 1));
-    let mut line = String::new();
-    let mut consumed = 0usize;
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let mut raw = Vec::new();
 
-    let mut read_line = |line: &mut String| -> Result<(), HttpError> {
-        line.clear();
-        let n = reader.read_line(line)?;
-        if n == 0 {
-            return Err(HttpError::ClosedEarly);
-        }
-        consumed += n;
-        if consumed > MAX_HEAD_BYTES {
-            return Err(HttpError::HeadTooLarge);
-        }
-        Ok(())
-    };
+    read_line_bounded(reader, &mut raw, &mut budget)?;
+    let request_line = decode_line(&raw)?;
+    let (method, target) = parse_request_line(&request_line)?;
 
-    read_line(&mut line)?;
-    let request_line = line.trim_end_matches(['\r', '\n']).to_owned();
-    let mut parts = request_line.split_ascii_whitespace();
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v), None) if v.starts_with("HTTP/1.") => (m, t, v),
-        _ => return Err(HttpError::Malformed(request_line.clone())),
-    };
-    let _ = version;
-
-    // Drain headers up to the blank line.
+    let mut headers = Vec::new();
     loop {
-        read_line(&mut line)?;
-        if line == "\r\n" || line == "\n" {
+        read_line_bounded(reader, &mut raw, &mut budget)?;
+        if raw == b"\r\n" || raw == b"\n" {
             break;
         }
+        let line = decode_line(&raw)?;
+        headers.push(parse_header_line(&line)?);
     }
 
     let (path, query) = match target.split_once('?') {
@@ -104,10 +156,42 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
         method: method.to_ascii_uppercase(),
         path,
         query,
+        headers,
     })
 }
 
-/// One response, always written `Connection: close`.
+/// Strict request-line parse: exactly `METHOD SP TARGET SP HTTP/1.x`, single
+/// spaces, no tabs or other embedded whitespace (so a target can never smuggle
+/// a second token past a lax downstream parser).
+fn parse_request_line(line: &str) -> Result<(&str, &str), HttpError> {
+    let malformed = || HttpError::Malformed(line.to_owned());
+    if line.contains(|c: char| c.is_ascii_whitespace() && c != ' ') {
+        return Err(malformed());
+    }
+    let mut parts = line.split(' ');
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(target), Some(version), None)
+            if !method.is_empty() && !target.is_empty() && version.starts_with("HTTP/1.") =>
+        {
+            Ok((method, target))
+        }
+        _ => Err(malformed()),
+    }
+}
+
+/// Split one header line on the first `:` — values keep any further colons
+/// (URLs, IPv6 literals). Names must be non-empty and whitespace-free;
+/// obsolete line folding (a line starting with whitespace) is rejected.
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let malformed = || HttpError::Malformed(line.to_owned());
+    let (name, value) = line.split_once(':').ok_or_else(malformed)?;
+    if name.is_empty() || name.contains(|c: char| c.is_ascii_whitespace()) {
+        return Err(malformed());
+    }
+    Ok((name.to_ascii_lowercase(), value.trim().to_owned()))
+}
+
+/// One response; the `Connection` header is chosen at write time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
@@ -158,25 +242,29 @@ impl Response {
     /// The standard reason phrase for [`Response::status`].
     #[must_use]
     pub fn reason(&self) -> &'static str {
-        match self.status {
-            200 => "OK",
-            400 => "Bad Request",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            500 => "Internal Server Error",
-            503 => "Service Unavailable",
-            _ => "Unknown",
-        }
+        reason_phrase(self.status)
     }
 
-    /// Serialize head + body to `out` (one write syscall via buffering).
+    /// Serialize head + body to `out` with `connection: close` (one request
+    /// per connection).
     ///
     /// # Errors
     ///
     /// Propagates socket write errors.
     pub fn write_to<W: Write>(&self, out: &mut W) -> std::io::Result<()> {
+        self.write_conn(out, false)
+    }
+
+    /// Serialize head + body to `out`, advertising `keep-alive` or `close`
+    /// (one write syscall via buffering).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_conn<W: Write>(&self, out: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
             self.status,
             self.reason(),
             self.content_type,
@@ -186,9 +274,28 @@ impl Response {
             head.push_str(&format!("retry-after: {secs}\r\n"));
         }
         head.push_str("\r\n");
+        // Head + body in one write_all: a separate small body write after
+        // the head can stall ~40 ms in Nagle + delayed-ACK on a raw socket.
+        head.push_str(&self.body);
         out.write_all(head.as_bytes())?;
-        out.write_all(self.body.as_bytes())?;
         out.flush()
+    }
+}
+
+/// The standard reason phrase for a status code (shared with the gateway,
+/// which forwards backend statuses it never constructs itself).
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
     }
 }
 
@@ -196,45 +303,101 @@ impl Response {
 mod tests {
     use super::*;
 
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut &raw[..])
+    }
+
     #[test]
-    fn parses_get_with_query() {
-        let raw = b"GET /v1/profile/a/b/c?x=1 HTTP/1.1\r\nHost: h\r\n\r\n";
-        let r = read_request(&raw[..]).expect("parse");
+    fn parses_get_with_query_and_headers() {
+        let raw =
+            b"GET /v1/profile/a/b/c?x=1 HTTP/1.1\r\nHost: h\r\nX-Ref: http://e:8080/p\r\n\r\n";
+        let r = parse(raw).expect("parse");
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/v1/profile/a/b/c");
         assert_eq!(r.query.as_deref(), Some("x=1"));
+        assert_eq!(r.header("host"), Some("h"));
+        // Values containing ':' survive the first-colon split.
+        assert_eq!(r.header("X-Ref"), Some("http://e:8080/p"));
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn connection_close_is_detected() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n";
+        assert!(parse(raw).expect("parse").wants_close());
     }
 
     #[test]
     fn method_is_uppercased() {
         let raw = b"get / HTTP/1.0\r\n\r\n";
-        assert_eq!(read_request(&raw[..]).expect("parse").method, "GET");
+        assert_eq!(parse(raw).expect("parse").method, "GET");
     }
 
     #[test]
     fn rejects_garbage_and_early_close() {
         assert!(matches!(
-            read_request(&b"NOT-HTTP\r\n\r\n"[..]),
+            parse(b"NOT-HTTP\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
+        assert!(matches!(parse(b""), Err(HttpError::ClosedEarly)));
         assert!(matches!(
-            read_request(&b""[..]),
+            parse(b"GET / HTTP/1.1\r\nHost: h"),
             Err(HttpError::ClosedEarly)
         ));
-        assert!(matches!(
-            read_request(&b"GET / HTTP/1.1\r\nHost: h"[..]),
-            Err(HttpError::ClosedEarly)
-        ));
+    }
+
+    #[test]
+    fn rejects_whitespace_abuse_in_request_line() {
+        for raw in [
+            &b"GET  / HTTP/1.1\r\n\r\n"[..],      // double space
+            &b"GET /a /b HTTP/1.1\r\n\r\n"[..],   // embedded space in target
+            &b"GET\t/ HTTP/1.1\r\n\r\n"[..],      // tab separator
+            &b"GET /\tx HTTP/1.1\r\n\r\n"[..],    // tab inside target
+            &b" GET / HTTP/1.1\r\n\r\n"[..],      // leading space
+            &b"GET / HTTP/1.1 extra\r\n\r\n"[..], // trailing token
+            &b"GET / SMTP/1.1\r\n\r\n"[..],       // wrong protocol
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::Malformed(_))),
+                "should reject {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        for raw in [
+            &b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbad name: v\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\n: empty-name\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::Malformed(_))),
+                "should reject {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
     }
 
     #[test]
     fn rejects_oversized_head() {
         let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
         raw.extend(vec![b'a'; MAX_HEAD_BYTES]);
-        assert!(matches!(
-            read_request(&raw[..]),
-            Err(HttpError::HeadTooLarge)
-        ));
+        assert!(matches!(parse(&raw), Err(HttpError::HeadTooLarge)));
+    }
+
+    #[test]
+    fn sequential_requests_parse_from_one_reader() {
+        let raw = b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = &raw[..];
+        let first = read_request(&mut reader).expect("first");
+        assert_eq!(first.path, "/a");
+        assert!(!first.wants_close());
+        let second = read_request(&mut reader).expect("second");
+        assert_eq!(second.path, "/b");
+        assert!(second.wants_close());
     }
 
     #[test]
@@ -248,6 +411,13 @@ mod tests {
         assert!(text.contains("content-length: 6\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\nhello\n"));
+
+        let mut buf = Vec::new();
+        Response::ok("hi\n", "text/plain")
+            .write_conn(&mut buf, true)
+            .expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.contains("connection: keep-alive\r\n"));
 
         let mut buf = Vec::new();
         Response::busy(7).write_to(&mut buf).expect("write");

@@ -31,11 +31,12 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod net;
 pub mod routes;
 pub mod server;
 pub mod service;
 pub mod signal;
 pub mod singleflight;
 
-pub use client::Client;
+pub use client::{Client, Connection};
 pub use server::{ServeConfig, Server};

@@ -21,8 +21,13 @@ struct Ring {
 /// Thread-safe request/latency counters for one server.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    /// Connections accepted and handed to a worker.
+    /// Requests parsed and handled (a keep-alive connection contributes one
+    /// per request it carries).
     pub requests: AtomicU64,
+    /// Connections accepted (including `503`-rejected ones).
+    pub connections: AtomicU64,
+    /// Requests served over an already-open keep-alive connection.
+    pub keepalive_reuses: AtomicU64,
     /// Responses with a 2xx status.
     pub responses_ok: AtomicU64,
     /// Responses with a 4xx status.

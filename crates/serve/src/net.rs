@@ -1,0 +1,126 @@
+//! Listener binding with `SO_REUSEADDR`.
+//!
+//! `std::net::TcpListener::bind` does not set `SO_REUSEADDR`, so rebinding
+//! a port whose previous listener just closed fails with `EADDRINUSE` while
+//! accepted connections from the old process linger in `TIME_WAIT`. The
+//! gateway's `Supervisor` restarts backends on *pinned* ports (the hash
+//! ring addresses them by `host:port`), so it needs the flag. In the same
+//! spirit as [`crate::signal`], the Linux path declares the four socket
+//! calls `extern "C"` against the C library `std` already links instead of
+//! pulling in a libc crate; other platforms fall back to the std bind.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+
+/// Bind a TCP listener on `addr` with `SO_REUSEADDR` set (IPv4 on Linux;
+/// falls back to `TcpListener::bind` elsewhere or for IPv6).
+///
+/// # Errors
+///
+/// Address resolution and socket/bind/listen failures.
+pub fn bind_reusable(addr: &str) -> io::Result<TcpListener> {
+    let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+    match resolved {
+        #[cfg(target_os = "linux")]
+        SocketAddr::V4(v4) => linux::bind_v4_reusable(v4),
+        _ => TcpListener::bind(resolved),
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io;
+    use std::net::{SocketAddrV4, TcpListener};
+    use std::os::unix::io::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    // Close-on-exec at creation, so supervised restarts never leak fds.
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    /// `struct sockaddr_in` (all fields network byte order where relevant).
+    #[repr(C)]
+    struct SockAddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, addrlen: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub fn bind_v4_reusable(addr: SocketAddrV4) -> io::Result<TcpListener> {
+        // SAFETY: plain syscall wrappers over a fd we own exclusively until
+        // `from_raw_fd`; on any failure the fd is closed before returning.
+        unsafe {
+            let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let one: i32 = 1;
+            let sockaddr = SockAddrIn {
+                sin_family: u16::try_from(AF_INET).expect("AF_INET fits"),
+                sin_port: addr.port().to_be(),
+                sin_addr: u32::from_be_bytes(addr.ip().octets()).to_be(),
+                sin_zero: [0; 8],
+            };
+            let len = u32::try_from(std::mem::size_of::<SockAddrIn>()).expect("sockaddr size");
+            let optlen = u32::try_from(std::mem::size_of::<i32>()).expect("int size");
+            if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, optlen) < 0
+                || bind(fd, &sockaddr, len) < 0
+                || listen(fd, 128) < 0
+            {
+                let err = io::Error::last_os_error();
+                close(fd);
+                return Err(err);
+            }
+            Ok(TcpListener::from_raw_fd(fd))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binds_resolves_and_accepts() {
+        let listener = bind_reusable("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().expect("local addr");
+        assert!(addr.port() != 0);
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let (_peer, peer_addr) = listener.accept().expect("accept");
+        assert_eq!(peer_addr.ip(), addr.ip());
+        drop(client);
+    }
+
+    #[test]
+    fn rebinds_same_port_immediately() {
+        let first = bind_reusable("127.0.0.1:0").expect("bind");
+        let addr = first.local_addr().expect("addr");
+        // Hold a connection so the port has live state, then drop the
+        // listener and rebind the exact port straight away.
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = first.accept().expect("accept");
+        drop(server_side);
+        drop(first);
+        let again = bind_reusable(&addr.to_string()).expect("rebind same port");
+        assert_eq!(again.local_addr().expect("addr").port(), addr.port());
+        drop(client);
+    }
+
+    #[test]
+    fn rejects_unresolvable_address() {
+        assert!(bind_reusable("not an address").is_err());
+    }
+}

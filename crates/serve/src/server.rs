@@ -10,13 +10,17 @@
 //!
 //! The accept loop never blocks on a slow client: a connection either
 //! enqueues or is answered `503` immediately, so saturation degrades into
-//! fast, explicit pushback instead of unbounded queueing. Shutdown is
-//! graceful by construction — the accept thread exits and drops the queue
-//! sender, each worker drains what was already queued, finishes its
-//! in-flight request, and exits on the closed channel; [`Server::join`]
-//! returns once every response has been written.
+//! fast, explicit pushback instead of unbounded queueing. Connections are
+//! keep-alive by default: a worker serves sequential requests from one
+//! stream until the client asks `Connection: close`, the idle read timeout
+//! fires, [`KEEP_ALIVE_MAX`] requests have been served, or shutdown begins
+//! (the last response then advertises `close`). Shutdown is graceful by
+//! construction — the accept thread exits and drops the queue sender, each
+//! worker drains what was already queued, finishes its in-flight
+//! connection, and exits on the closed channel; [`Server::join`] returns
+//! once every response has been written.
 
-use std::io;
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
@@ -27,8 +31,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::cache::ResponseCache;
-use crate::http::{self, Response};
+use crate::http::{self, HttpError, Response};
 use crate::metrics::ServerMetrics;
+use crate::net;
 use crate::routes;
 use crate::service::ProfileService;
 
@@ -36,6 +41,10 @@ use crate::service::ProfileService;
 /// connections are processed back to back; this only bounds the latency of
 /// the first request after an idle period.
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Requests served over one keep-alive connection before the server forces
+/// a close, bounding how long a single client can pin a worker.
+pub const KEEP_ALIVE_MAX: usize = 256;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -51,7 +60,8 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// `Retry-After` seconds advertised on `503`.
     pub retry_after_s: u32,
-    /// Per-connection read timeout (slow or silent clients).
+    /// Per-connection read timeout; doubles as the keep-alive idle timeout
+    /// (slow, silent, or idle clients).
     pub read_timeout: Duration,
     /// Profile-store directory override (`None` = the workspace default,
     /// honouring `CACTUS_PROFILE_STORE`).
@@ -92,6 +102,11 @@ impl ServerState {
         let mut out = String::from("# cactus-serve\n");
         for (name, value) in [
             ("requests_total", m.requests.load(Ordering::Relaxed)),
+            ("connections_total", m.connections.load(Ordering::Relaxed)),
+            (
+                "keepalive_reuses_total",
+                m.keepalive_reuses.load(Ordering::Relaxed),
+            ),
             ("responses_ok_total", m.responses_ok.load(Ordering::Relaxed)),
             (
                 "responses_client_error_total",
@@ -139,7 +154,9 @@ impl Server {
     ///
     /// Propagates bind failures.
     pub fn start(config: ServeConfig) -> io::Result<Self> {
-        let listener = TcpListener::bind(&config.addr)?;
+        // SO_REUSEADDR so a supervised restart can rebind its pinned port
+        // immediately (lingering TIME_WAIT sockets would otherwise block it).
+        let listener = net::bind_reusable(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
@@ -157,8 +174,9 @@ impl Server {
             .map(|_| {
                 let state = Arc::clone(&state);
                 let rx = Arc::clone(&rx);
+                let shutdown = Arc::clone(&shutdown);
                 let read_timeout = config.read_timeout;
-                std::thread::spawn(move || worker_loop(&state, &rx, read_timeout))
+                std::thread::spawn(move || worker_loop(&state, &rx, read_timeout, &shutdown))
             })
             .collect();
 
@@ -262,39 +280,88 @@ fn reject_busy(state: &ServerState, stream: TcpStream) {
     }
     let response = Response::busy(state.config.retry_after_s);
     state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    state.metrics.connections.fetch_add(1, Ordering::Relaxed);
     state.metrics.count_status(response.status);
     let _ = response.write_to(&mut stream);
 }
 
-fn worker_loop(state: &ServerState, rx: &Mutex<Receiver<TcpStream>>, read_timeout: Duration) {
+fn worker_loop(
+    state: &ServerState,
+    rx: &Mutex<Receiver<TcpStream>>,
+    read_timeout: Duration,
+    shutdown: &AtomicBool,
+) {
     loop {
         let next = rx.lock().expect("queue receiver poisoned").recv();
         let Ok(stream) = next else { break };
         state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        handle_connection(state, stream, read_timeout);
+        handle_connection(state, &stream, read_timeout, shutdown);
     }
 }
 
-fn handle_connection(state: &ServerState, stream: TcpStream, read_timeout: Duration) {
+/// Serve sequential keep-alive requests from one connection until the
+/// client closes (or asks to), an error or idle timeout occurs, the
+/// per-connection request cap is reached, or shutdown begins.
+fn handle_connection(
+    state: &ServerState,
+    stream: &TcpStream,
+    read_timeout: Duration,
+    shutdown: &AtomicBool,
+) {
     let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let start = Instant::now();
-    state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    state.metrics.connections.fetch_add(1, Ordering::Relaxed);
 
-    let response = match http::read_request(&stream) {
-        Ok(request) => {
-            // A panicking handler must not kill the worker thread; convert
-            // it into a 500 and keep serving.
-            std::panic::catch_unwind(AssertUnwindSafe(|| routes::respond(state, &request)))
-                .unwrap_or_else(|_| Response::error(500, "internal error: handler panicked"))
+    let mut reader = BufReader::new(stream);
+    let mut served = 0usize;
+    loop {
+        let request = http::read_request(&mut reader);
+        let start = Instant::now();
+        let (response, client_close) = match request {
+            Ok(request) => {
+                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                if served > 0 {
+                    state
+                        .metrics
+                        .keepalive_reuses
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                // A panicking handler must not kill the worker thread;
+                // convert it into a 500 and keep serving.
+                let response =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| routes::respond(state, &request)))
+                        .unwrap_or_else(|_| {
+                            Response::error(500, "internal error: handler panicked")
+                        });
+                (response, request.wants_close())
+            }
+            // Clean close or idle timeout between requests: nothing to answer.
+            Err(HttpError::ClosedEarly | HttpError::Io(_)) => return,
+            // A malformed head gets its 400, then the connection closes
+            // (framing can no longer be trusted).
+            Err(e) => {
+                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                let response = Response::error(400, format!("bad request: {e}"));
+                state.metrics.count_status(response.status);
+                let mut out = stream;
+                let _ = response.write_to(&mut out);
+                return;
+            }
+        };
+
+        served += 1;
+        let keep_alive =
+            !client_close && served < KEEP_ALIVE_MAX && !shutdown.load(Ordering::SeqCst);
+        let mut out = stream;
+        let write_result = response.write_conn(&mut out, keep_alive);
+        let _ = out.flush();
+        state.metrics.count_status(response.status);
+        let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        state.metrics.record_latency_us(elapsed_us);
+        if !keep_alive || write_result.is_err() {
+            return;
         }
-        Err(e) => Response::error(400, format!("bad request: {e}")),
-    };
-
-    let mut stream = stream;
-    let _ = response.write_to(&mut stream);
-    state.metrics.count_status(response.status);
-    let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-    state.metrics.record_latency_us(elapsed_us);
+    }
 }

@@ -186,6 +186,33 @@ fn single_flight_coalesces_concurrent_identical_requests() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Keep-alive: one client connection carries sequential requests, and the
+/// server's connection/reuse counters show it.
+#[test]
+fn keep_alive_connection_reuses_one_stream() {
+    let (server, client, dir) = start(2, 16);
+
+    let mut conn = client.connection();
+    for _ in 0..3 {
+        let reply = conn.get("/healthz").expect("keep-alive request");
+        assert_eq!(reply.status, 200);
+    }
+    assert_eq!(conn.dials(), 1, "three requests over one dial");
+    assert_eq!(conn.reuses(), 2);
+
+    let connections = metric(&client, "cactus_serve_connections_total");
+    let reuses = metric(&client, "cactus_serve_keepalive_reuses_total");
+    assert!(
+        reuses >= 2.0,
+        "server must count reused keep-alive requests, saw {reuses}"
+    );
+    // The keep-alive conn plus the two one-shot metric scrapes.
+    assert!(connections >= 2.0, "saw {connections}");
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A saturated worker pool answers `503 + Retry-After` immediately rather
 /// than hanging: one worker and a one-slot queue are pinned down by idle
 /// connections (the worker blocks in its read timeout), so the next
