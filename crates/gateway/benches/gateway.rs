@@ -165,8 +165,8 @@ fn bench_hedging(c: &mut Criterion) {
 
     let hedged_lat = sweep(&mut hedged_conn, &path, SWEEP);
     let unhedged_lat = sweep(&mut unhedged_conn, &path, SWEEP);
-    let hedges = hedged.router().metrics.hedges.load(Ordering::Relaxed);
-    let hedge_wins = hedged.router().metrics.hedge_wins.load(Ordering::Relaxed);
+    let hedges = hedged.router().metrics.hedges.get();
+    let hedge_wins = hedged.router().metrics.hedge_wins.get();
 
     println!("--- hedging tail-latency comparison ({SWEEP} requests, 1-in-{SLOW_EVERY} stalls {STALL:?}) ---");
     println!(

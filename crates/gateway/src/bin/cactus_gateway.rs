@@ -6,6 +6,7 @@
 //!                [--workers N] [--queue N] [--no-hedge]
 //!                [--hedge-floor-ms MS] [--eject-after N] [--cooldown-ms MS]
 //!                [--health-interval-ms MS] [--port-file PATH]
+//!                [--span-log PATH]
 //! ```
 //!
 //! Fronts either an externally-managed fleet (repeated `--backend`) or an
@@ -38,6 +39,7 @@ usage: cactus-gateway [options]
   --health-interval-ms MS   active /healthz probe interval, 0 = passive only
                             (default 500)
   --port-file PATH          write the bound port here once listening
+  --span-log PATH           append every finished span as a JSON line here
   --help                    show this help
 ";
 
@@ -102,6 +104,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
                 parsed.config.probe_interval = (ms > 0).then(|| Duration::from_millis(ms));
             }
             "--port-file" => parsed.port_file = Some(value()?),
+            "--span-log" => parsed.config.span_log = Some(value()?.into()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -175,7 +178,7 @@ fn run(args: Args) -> ExitCode {
         }
     };
     let addr = gateway.addr();
-    eprintln!("cactus-gateway: routing on http://{addr}/ (try /healthz, /metricsz)");
+    eprintln!("cactus-gateway: routing on http://{addr}/ (try /v1/healthz, /v1/metricsz)");
     if let Some(path) = &args.port_file {
         if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
             eprintln!("cactus-gateway: cannot write port file {path}: {e}");

@@ -28,9 +28,14 @@
 //!   the `--fleet` flag of the `cactus-gateway` binary and the failover
 //!   integration suite.
 //!
-//! Observability mirrors the backends: `/metricsz` ([`metrics`]) exposes
+//! Observability mirrors the backends: `/v1/metricsz` ([`metrics`]) exposes
 //! per-backend route counts, failures, health states, ejections, retries,
-//! hedge launches/wins, and latency quantiles in the same flat text format.
+//! hedge launches/wins, and latency quantiles, rendered by the same
+//! `cactus_obs::MetricsRegistry` exposition code the backends use (the
+//! legacy `/metricsz` spelling stays as an alias). Every request carries a
+//! trace id — propagated from `x-cactus-trace` or minted at the edge —
+//! that roots a `gateway.route` span, follows the request to the chosen
+//! backend, and is queryable at `/v1/tracez` on both tiers.
 
 pub mod connpool;
 pub mod health;

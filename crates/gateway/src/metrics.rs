@@ -1,15 +1,20 @@
-//! Gateway observability: counters, per-backend route accounting, and the
-//! sliding latency windows that feed the hedging policy.
+//! Gateway observability: registry-backed counters, per-backend route
+//! accounting, and the sliding latency windows that feed the hedging policy.
 //!
-//! Rendered at `/metricsz` in the same flat `name value` text format as
-//! `cactus-serve`, so one scraper handles the whole stack. The invariant a
+//! Counters and the end-to-end latency histogram are handles into one
+//! [`MetricsRegistry`] — `/v1/metricsz` renders through the same exposition
+//! code as `cactus-serve`, so one scraper (and the shared strict parser)
+//! handles the whole stack. Per-backend latency stays in a [`LatencyRing`]
+//! rather than a histogram: the hedging policy needs exact sliding-window
+//! quantiles of *recent* exchanges, which a cumulative histogram cannot
+//! provide; its p90 is copied into a gauge at scrape time. The invariant a
 //! scraper can assert: `cactus_gateway_requests_forwarded_total` equals the
 //! sum of all `cactus_gateway_backend_<i>_routed_total`.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use cactus_obs::{Counter, Gauge, Histogram, MetricsRegistry, RegistryError};
 use cactus_serve::metrics::quantile;
 
 use crate::connpool::ConnPool;
@@ -78,55 +83,153 @@ impl LatencyRing {
 }
 
 /// Per-backend route accounting.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BackendMetrics {
     /// Requests whose winning response came from this backend.
-    pub routed: AtomicU64,
+    pub routed: Counter,
     /// Transport-level failures attempting this backend.
-    pub failures: AtomicU64,
-    /// Latencies of successful exchanges with this backend.
+    pub failures: Counter,
+    /// Latencies of successful exchanges with this backend (sliding window;
+    /// feeds the hedge threshold).
     pub latency: LatencyRing,
 }
 
-/// All gateway-level counters, shared across workers.
+/// Gauges whose sources live outside the registry (health tracker, conn
+/// pool, latency rings); copied in at scrape time by [`render_metrics`].
+#[derive(Debug)]
+struct Scraped {
+    ejections: Gauge,
+    pool_dials: Gauge,
+    pool_reuses: Gauge,
+    backend_state: Vec<Gauge>,
+    backend_latency_p90: Vec<Gauge>,
+}
+
+/// All gateway-level counters, shared across workers and registered in one
+/// [`MetricsRegistry`] under `cactus_gateway_*` names.
 #[derive(Debug)]
 pub struct GatewayMetrics {
+    registry: MetricsRegistry,
     /// Requests accepted by the gateway listener.
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Responses by class: 2xx, 4xx, 5xx.
-    pub responses_2xx: AtomicU64,
-    pub responses_4xx: AtomicU64,
-    pub responses_5xx: AtomicU64,
+    pub responses_2xx: Counter,
+    pub responses_4xx: Counter,
+    pub responses_5xx: Counter,
     /// Requests forwarded to some backend and answered (any status).
-    pub forwarded: AtomicU64,
+    pub forwarded: Counter,
     /// Attempts re-routed to another ring candidate after a retryable
     /// failure.
-    pub retries: AtomicU64,
+    pub retries: Counter,
     /// Hedge requests launched.
-    pub hedges: AtomicU64,
+    pub hedges: Counter,
     /// Hedge requests whose response won the race.
-    pub hedge_wins: AtomicU64,
-    /// End-to-end gateway latency (request read to response written).
-    pub latency: LatencyRing,
+    pub hedge_wins: Counter,
+    /// End-to-end gateway latency (request read to response written), µs.
+    pub latency: Histogram,
     /// Per-backend accounting, indexed by ring position.
     pub backends: Vec<BackendMetrics>,
+    scraped: Scraped,
 }
 
 impl GatewayMetrics {
+    /// Register every gateway metric for a fleet of `backends` in a fresh
+    /// private registry.
     #[must_use]
     pub fn new(backends: usize) -> Self {
-        Self {
-            requests: AtomicU64::new(0),
-            responses_2xx: AtomicU64::new(0),
-            responses_4xx: AtomicU64::new(0),
-            responses_5xx: AtomicU64::new(0),
-            forwarded: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
-            hedges: AtomicU64::new(0),
-            hedge_wins: AtomicU64::new(0),
-            latency: LatencyRing::new(),
-            backends: (0..backends).map(|_| BackendMetrics::default()).collect(),
-        }
+        Self::register(&MetricsRegistry::new(), backends).expect("fresh registry has no collisions")
+    }
+
+    /// Register every gateway metric in `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any `cactus_gateway_*` name is already registered (one
+    /// gateway per registry).
+    pub fn register(registry: &MetricsRegistry, backends: usize) -> Result<Self, RegistryError> {
+        let backend_metrics = (0..backends)
+            .map(|i| {
+                Ok(BackendMetrics {
+                    routed: registry.counter(
+                        &format!("cactus_gateway_backend_{i}_routed_total"),
+                        "requests whose winning response came from this backend",
+                    )?,
+                    failures: registry.counter(
+                        &format!("cactus_gateway_backend_{i}_failures_total"),
+                        "transport-level failures attempting this backend",
+                    )?,
+                    latency: LatencyRing::new(),
+                })
+            })
+            .collect::<Result<Vec<_>, RegistryError>>()?;
+        let scraped = Scraped {
+            ejections: registry.gauge(
+                "cactus_gateway_ejections_total",
+                "backends ejected from rotation so far",
+            )?,
+            pool_dials: registry.gauge(
+                "cactus_gateway_pool_dials_total",
+                "backend connections dialed by the pool",
+            )?,
+            pool_reuses: registry.gauge(
+                "cactus_gateway_pool_reuses_total",
+                "backend exchanges served over a pooled connection",
+            )?,
+            backend_state: (0..backends)
+                .map(|i| {
+                    registry.gauge(
+                        &format!("cactus_gateway_backend_{i}_state"),
+                        "0 healthy, 1 ejected, 2 half-open",
+                    )
+                })
+                .collect::<Result<Vec<_>, RegistryError>>()?,
+            backend_latency_p90: (0..backends)
+                .map(|i| {
+                    registry.gauge(
+                        &format!("cactus_gateway_backend_{i}_latency_p90_us"),
+                        "p90 of this backend's sliding latency window, microseconds",
+                    )
+                })
+                .collect::<Result<Vec<_>, RegistryError>>()?,
+        };
+        Ok(Self {
+            registry: registry.clone(),
+            requests: registry.counter(
+                "cactus_gateway_requests_total",
+                "requests accepted by the gateway listener",
+            )?,
+            responses_2xx: registry
+                .counter("cactus_gateway_responses_2xx_total", "2xx responses")?,
+            responses_4xx: registry
+                .counter("cactus_gateway_responses_4xx_total", "4xx responses")?,
+            responses_5xx: registry
+                .counter("cactus_gateway_responses_5xx_total", "5xx responses")?,
+            forwarded: registry.counter(
+                "cactus_gateway_requests_forwarded_total",
+                "requests forwarded to some backend and answered",
+            )?,
+            retries: registry.counter(
+                "cactus_gateway_retries_total",
+                "attempts re-routed after a retryable failure",
+            )?,
+            hedges: registry.counter("cactus_gateway_hedges_total", "hedge requests launched")?,
+            hedge_wins: registry.counter(
+                "cactus_gateway_hedge_wins_total",
+                "hedge requests whose response won the race",
+            )?,
+            latency: registry.histogram(
+                "cactus_gateway_latency",
+                "end-to-end gateway latency in microseconds",
+            )?,
+            backends: backend_metrics,
+            scraped,
+        })
+    }
+
+    /// The registry these metrics render through.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Bump the response-class counter for `status`.
@@ -136,7 +239,7 @@ impl GatewayMetrics {
             400..=499 => &self.responses_4xx,
             _ => &self.responses_5xx,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 }
 
@@ -148,7 +251,11 @@ fn state_code(state: HealthState) -> u8 {
     }
 }
 
-/// Render the `/metricsz` body.
+/// Render the `/v1/metricsz` body: copy the externally-owned values (health
+/// states, pool counters, ring quantiles) into their scrape gauges, then
+/// hand the page to the shared registry renderer. The `# backend i = addr`
+/// comment lines map ring indices to fleet addresses (comments are skipped
+/// by the exposition parser).
 #[must_use]
 pub fn render_metrics(
     metrics: &GatewayMetrics,
@@ -156,79 +263,18 @@ pub fn render_metrics(
     pool: &ConnPool,
     addrs: &[SocketAddr],
 ) -> String {
-    let mut out = String::with_capacity(1024);
-    let r = |a: &AtomicU64| a.load(Ordering::Relaxed);
-    out.push_str(&format!(
-        "cactus_gateway_requests_total {}\n",
-        r(&metrics.requests)
-    ));
-    out.push_str(&format!(
-        "cactus_gateway_requests_forwarded_total {}\n",
-        r(&metrics.forwarded)
-    ));
-    out.push_str(&format!(
-        "cactus_gateway_responses_2xx_total {}\n",
-        r(&metrics.responses_2xx)
-    ));
-    out.push_str(&format!(
-        "cactus_gateway_responses_4xx_total {}\n",
-        r(&metrics.responses_4xx)
-    ));
-    out.push_str(&format!(
-        "cactus_gateway_responses_5xx_total {}\n",
-        r(&metrics.responses_5xx)
-    ));
-    out.push_str(&format!(
-        "cactus_gateway_retries_total {}\n",
-        r(&metrics.retries)
-    ));
-    out.push_str(&format!(
-        "cactus_gateway_hedges_total {}\n",
-        r(&metrics.hedges)
-    ));
-    out.push_str(&format!(
-        "cactus_gateway_hedge_wins_total {}\n",
-        r(&metrics.hedge_wins)
-    ));
-    out.push_str(&format!(
-        "cactus_gateway_ejections_total {}\n",
-        health.ejections()
-    ));
-    out.push_str(&format!(
-        "cactus_gateway_pool_dials_total {}\n",
-        pool.dials()
-    ));
-    out.push_str(&format!(
-        "cactus_gateway_pool_reuses_total {}\n",
-        pool.reuses()
-    ));
-    for q in [0.50, 0.90, 0.99] {
-        out.push_str(&format!(
-            "cactus_gateway_latency_p{:02}_us {}\n",
-            (q * 100.0) as u32,
-            metrics.latency.quantile_us(q).unwrap_or(0)
-        ));
-    }
+    metrics.scraped.ejections.set(health.ejections() as f64);
+    metrics.scraped.pool_dials.set(pool.dials() as f64);
+    metrics.scraped.pool_reuses.set(pool.reuses() as f64);
     for (i, b) in metrics.backends.iter().enumerate() {
-        // `# ` lines are comments in the flat format; they map index -> addr.
-        out.push_str(&format!("# backend {i} = {}\n", addrs[i]));
-        out.push_str(&format!(
-            "cactus_gateway_backend_{i}_routed_total {}\n",
-            r(&b.routed)
-        ));
-        out.push_str(&format!(
-            "cactus_gateway_backend_{i}_failures_total {}\n",
-            r(&b.failures)
-        ));
-        out.push_str(&format!(
-            "cactus_gateway_backend_{i}_state {}\n",
-            state_code(health.state(i))
-        ));
-        out.push_str(&format!(
-            "cactus_gateway_backend_{i}_latency_p90_us {}\n",
-            b.latency.quantile_us(0.90).unwrap_or(0)
-        ));
+        metrics.scraped.backend_state[i].set(f64::from(state_code(health.state(i))));
+        metrics.scraped.backend_latency_p90[i].set(b.latency.quantile_us(0.90).unwrap_or(0) as f64);
     }
+    let mut out = String::with_capacity(4096);
+    for (i, addr) in addrs.iter().enumerate() {
+        out.push_str(&format!("# backend {i} = {addr}\n"));
+    }
+    out.push_str(&metrics.registry.render());
     out
 }
 
@@ -254,9 +300,9 @@ mod tests {
     #[test]
     fn forwarded_equals_sum_of_routed_in_render() {
         let m = GatewayMetrics::new(2);
-        m.forwarded.fetch_add(3, Ordering::Relaxed);
-        m.backends[0].routed.fetch_add(2, Ordering::Relaxed);
-        m.backends[1].routed.fetch_add(1, Ordering::Relaxed);
+        m.forwarded.add(3);
+        m.backends[0].routed.add(2);
+        m.backends[1].routed.inc();
         m.count_response(200);
         m.count_response(502);
         let health = HealthTracker::new(2, 2, Duration::from_secs(1));
@@ -272,5 +318,35 @@ mod tests {
         assert!(body.contains("cactus_gateway_responses_2xx_total 1"));
         assert!(body.contains("cactus_gateway_responses_5xx_total 1"));
         assert!(body.contains("# backend 0 = 127.0.0.1:7001"));
+    }
+
+    /// The page must round-trip through the shared strict parser — the
+    /// acceptance criterion for one exposition code path across both tiers.
+    #[test]
+    fn rendered_page_parses_strictly() {
+        let m = GatewayMetrics::new(2);
+        m.requests.add(7);
+        m.latency.observe_us(1200);
+        let health = HealthTracker::new(2, 2, Duration::from_secs(1));
+        let addrs: Vec<SocketAddr> = vec![
+            "127.0.0.1:7001".parse().expect("addr"),
+            "127.0.0.1:7002".parse().expect("addr"),
+        ];
+        let pool = ConnPool::new(addrs.clone(), Duration::from_secs(1), 4);
+        let page = render_metrics(&m, &health, &pool, &addrs);
+        let expo = cactus_obs::parse(&page).expect("strict parse of own page");
+        assert_eq!(expo.get("cactus_gateway_requests_total"), Some(7.0));
+        assert_eq!(expo.get("cactus_gateway_latency_count"), Some(1.0));
+        assert_eq!(expo.get("cactus_gateway_backend_1_state"), Some(0.0));
+    }
+
+    #[test]
+    fn double_registration_collides() {
+        let registry = MetricsRegistry::new();
+        let _first = GatewayMetrics::register(&registry, 1).expect("first");
+        assert!(
+            GatewayMetrics::register(&registry, 1).is_err(),
+            "one gateway per registry"
+        );
     }
 }

@@ -18,12 +18,19 @@
 //!
 //! Retries are only safe because the data plane is GET-only (idempotent);
 //! the gateway rejects other methods before reaching this module.
+//!
+//! Tracing: [`Router::forward`] takes the request's span context and files
+//! one `proxy.attempt` span per backend attempt (tagged with the target,
+//! whether it was hedged, and the outcome), and propagates the trace id to
+//! the backend in the `x-cactus-trace` header so both tiers' span logs
+//! carry the same id. Synthesized errors (`no backends`, `all attempts
+//! failed`) are the shared JSON envelope.
 
-use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cactus_obs::{ApiError, SpanCtx, TraceId};
 use cactus_serve::client::{ClientError, HttpReply};
 
 use crate::connpool::ConnPool;
@@ -123,12 +130,14 @@ impl Router {
 
     /// Forward `GET path` for routing key `key` through the fleet,
     /// applying hedging and retries. Always produces a response: the
-    /// backend's verbatim reply, or a synthesized `502` when every attempt
-    /// failed.
-    pub fn forward(self: &Arc<Self>, path: &str, key: &str) -> Forwarded {
+    /// backend's verbatim reply, or a synthesized `502` envelope when every
+    /// attempt failed. `ctx` (when present) receives one `proxy.attempt`
+    /// span per attempt and supplies the trace id forwarded to backends.
+    pub fn forward(self: &Arc<Self>, path: &str, key: &str, ctx: Option<SpanCtx<'_>>) -> Forwarded {
+        let trace = ctx.map(|c| c.trace());
         let candidates = self.candidates(key);
         if candidates.is_empty() {
-            return synth(502, "no backends configured\n");
+            return synth(502, "no backends configured");
         }
         let mut rng = hash_str(key) | 1;
         let mut last_saturated: Option<HttpReply> = None;
@@ -136,21 +145,37 @@ impl Router {
         for attempt in 0..attempts {
             let target = candidates[attempt % candidates.len()];
             if attempt > 0 {
-                self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                self.metrics.retries.inc();
                 std::thread::sleep(self.backoff(attempt, &mut rng));
             }
-            let outcome = if attempt == 0 && self.policy.hedge && candidates.len() > 1 {
-                self.hedged_attempt(path, target, candidates[1])
+            let mut span = ctx.map(|c| c.child("proxy.attempt"));
+            if let Some(span) = span.as_mut() {
+                span.tag("attempt", attempt.to_string());
+                span.tag("backend", target.to_string());
+            }
+            let hedged = attempt == 0 && self.policy.hedge && candidates.len() > 1;
+            let outcome = if hedged {
+                self.hedged_attempt(path, target, candidates[1], trace)
             } else {
-                let r = self.try_backend(target, path);
+                let r = self.try_backend(target, path, trace);
                 (r, target)
             };
+            if let Some(span) = span.as_mut() {
+                span.tag("hedged", hedged.to_string());
+                span.tag("winner", outcome.1.to_string());
+                span.tag(
+                    "outcome",
+                    match &outcome.0 {
+                        Attempt::Reply(reply) => reply.status.to_string(),
+                        Attempt::Saturated(_) => "saturated".to_owned(),
+                        Attempt::Failed => "failed".to_owned(),
+                    },
+                );
+            }
             match outcome {
                 (Attempt::Reply(reply), winner) => {
-                    self.metrics.forwarded.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.backends[winner]
-                        .routed
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.forwarded.inc();
+                    self.metrics.backends[winner].routed.inc();
                     return Forwarded {
                         status: reply.status,
                         content_type: reply
@@ -167,7 +192,7 @@ impl Router {
         // Attempts exhausted. A live-but-saturated fleet forwards its own
         // backpressure signal; a dead fleet gets a synthesized 502.
         if let Some(reply) = last_saturated {
-            self.metrics.forwarded.fetch_add(1, Ordering::Relaxed);
+            self.metrics.forwarded.inc();
             Forwarded {
                 status: reply.status,
                 content_type: reply
@@ -177,7 +202,7 @@ impl Router {
                 body: reply.body,
             }
         } else {
-            synth(502, "all backends failed\n")
+            synth(502, "all backends failed")
         }
     }
 
@@ -188,13 +213,14 @@ impl Router {
         path: &str,
         primary: usize,
         hedge_target: usize,
+        trace: Option<TraceId>,
     ) -> (Attempt, usize) {
         let (tx, rx) = mpsc::channel::<(usize, Attempt)>();
         let spawn = |target: usize, tx: mpsc::Sender<(usize, Attempt)>| {
             let router = Arc::clone(self);
             let path = path.to_owned();
             std::thread::spawn(move || {
-                let outcome = router.try_backend(target, &path);
+                let outcome = router.try_backend(target, &path, trace);
                 let _ = tx.send((target, outcome));
             });
         };
@@ -204,7 +230,7 @@ impl Router {
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 // Primary is slow: launch the hedge and take whichever
                 // answers first with a usable reply.
-                self.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                self.metrics.hedges.inc();
                 spawn(hedge_target, tx.clone());
                 drop(tx);
                 let mut first_bad: Option<(usize, Attempt)> = None;
@@ -212,7 +238,7 @@ impl Router {
                     match outcome {
                         Attempt::Reply(_) => {
                             if who == hedge_target {
-                                self.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                                self.metrics.hedge_wins.inc();
                             }
                             return (outcome, who);
                         }
@@ -230,12 +256,12 @@ impl Router {
         }
     }
 
-    /// One exchange with backend `i`, pooling the connection and feeding
-    /// the health tracker and latency window.
-    fn try_backend(&self, i: usize, path: &str) -> Attempt {
+    /// One exchange with backend `i`, pooling the connection, propagating
+    /// the trace id, and feeding the health tracker and latency window.
+    fn try_backend(&self, i: usize, path: &str, trace: Option<TraceId>) -> Attempt {
         let mut conn = self.pool.checkout(i);
         let started = Instant::now();
-        let result = conn.get(path);
+        let result = conn.get_traced(path, trace);
         match result {
             Ok(reply) => {
                 let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -249,9 +275,7 @@ impl Router {
                 }
             }
             Err(ClientError::Io(_) | ClientError::Parse(_)) => {
-                self.metrics.backends[i]
-                    .failures
-                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.backends[i].failures.inc();
                 self.health.report_failure(i);
                 if !self.health.available(i) {
                     // Ejection invalidates pooled sockets; recovery trials
@@ -260,8 +284,8 @@ impl Router {
                 }
                 Attempt::Failed
             }
-            Err(ClientError::Status(..)) => {
-                // Connection::get never yields Status, but stay total.
+            Err(ClientError::Api(_) | ClientError::Status(..)) => {
+                // Connection::get never yields these, but stay total.
                 Attempt::Failed
             }
         }
@@ -292,11 +316,12 @@ impl Router {
     }
 }
 
-fn synth(status: u16, body: &str) -> Forwarded {
+/// A gateway-synthesized error as the shared JSON envelope.
+fn synth(status: u16, message: &str) -> Forwarded {
     Forwarded {
         status,
-        content_type: "text/plain; charset=utf-8".to_owned(),
-        body: body.to_owned(),
+        content_type: "application/json".to_owned(),
+        body: ApiError::new(status, message).to_json(),
     }
 }
 
@@ -346,9 +371,14 @@ mod tests {
                 ..RoutePolicy::default()
             },
         );
-        let out = r.forward("/v1/workloads", "v1/workloads");
+        let out = r.forward("/v1/workloads", "v1/workloads", None);
         assert_eq!(out.status, 502);
-        assert_eq!(r.metrics.retries.load(Ordering::Relaxed), 2);
+        assert!(
+            out.body.contains("\"code\":502") && out.body.contains("\"retryable\":true"),
+            "synth errors are envelopes, got {:?}",
+            out.body
+        );
+        assert_eq!(r.metrics.retries.get(), 2);
         // 3 attempts over 2 backends: one backend saw 2 failures -> ejected.
         assert_eq!(r.health.ejections(), 1);
         let ejected = (0..2)

@@ -15,18 +15,27 @@
 //! The listener/queue/worker skeleton deliberately mirrors `cactus-serve`'s
 //! server (same backpressure and graceful-drain semantics); what differs is
 //! the work each request does — a proxied exchange instead of a local
-//! simulation. The gateway serves its own `/healthz` and `/metricsz`
-//! locally; every other `GET` is forwarded.
+//! simulation. The gateway serves its own `/v1/healthz`, `/v1/metricsz`,
+//! and `/v1/tracez` locally (legacy unversioned spellings stay as aliases);
+//! every other `GET` is forwarded.
+//!
+//! Each request gets one trace id: propagated from the client's
+//! `x-cactus-trace` header when present, minted here otherwise. The id is
+//! echoed back to the client, forwarded to the chosen backend, and roots a
+//! `gateway.route` span whose `proxy.attempt` children record the failover
+//! path — so one request yields one id visible in both tiers' `/v1/tracez`.
 
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cactus_serve::http::{self, HttpError};
+use cactus_obs::{ApiError, TraceId, Tracer, TRACE_HEADER};
+use cactus_serve::http::{self, HttpError, Request};
 use cactus_serve::net;
 use cactus_serve::server::KEEP_ALIVE_MAX;
 use cactus_serve::Client;
@@ -70,6 +79,10 @@ pub struct GatewayConfig {
     pub retry_after_s: u32,
     /// Retry and hedging policy.
     pub policy: RoutePolicy,
+    /// Finished spans kept in the `/v1/tracez` ring buffer.
+    pub trace_capacity: usize,
+    /// Optional JSONL span log: every finished span is appended here.
+    pub span_log: Option<PathBuf>,
 }
 
 impl Default for GatewayConfig {
@@ -87,6 +100,8 @@ impl Default for GatewayConfig {
             max_idle_conns: 8,
             retry_after_s: 1,
             policy: RoutePolicy::default(),
+            trace_capacity: 2048,
+            span_log: None,
         }
     }
 }
@@ -100,6 +115,7 @@ pub struct Gateway {
     workers: Vec<JoinHandle<()>>,
     health_thread: Option<JoinHandle<()>>,
     router: Arc<Router>,
+    tracer: Arc<Tracer>,
     backend_addrs: Vec<SocketAddr>,
 }
 
@@ -143,6 +159,12 @@ impl Gateway {
             config.policy.clone(),
         ));
 
+        let mut tracer = Tracer::new(config.trace_capacity);
+        if let Some(path) = &config.span_log {
+            tracer = tracer.with_span_log(path)?;
+        }
+        let tracer = Arc::new(tracer);
+
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -150,12 +172,13 @@ impl Gateway {
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let router = Arc::clone(&router);
+                let tracer = Arc::clone(&tracer);
                 let rx = Arc::clone(&rx);
                 let shutdown = Arc::clone(&shutdown);
                 let config = config.clone();
                 let backend_addrs = backends.clone();
                 std::thread::spawn(move || {
-                    worker_loop(&router, &rx, &config, &backend_addrs, &shutdown);
+                    worker_loop(&router, &tracer, &rx, &config, &backend_addrs, &shutdown);
                 })
             })
             .collect();
@@ -193,6 +216,7 @@ impl Gateway {
             workers,
             health_thread: Some(health_thread),
             router,
+            tracer,
             backend_addrs: backends,
         })
     }
@@ -207,6 +231,12 @@ impl Gateway {
     #[must_use]
     pub fn router(&self) -> &Arc<Router> {
         &self.router
+    }
+
+    /// The gateway's span sink (tests read span trees through it).
+    #[must_use]
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The fleet addresses the ring was built over, in ring-index order.
@@ -274,11 +304,11 @@ fn reject_busy(router: &Router, mut stream: TcpStream, retry_after_s: u32) {
             _ => break,
         }
     }
-    router.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    router.metrics.requests.inc();
     router.metrics.count_response(503);
-    let body = "gateway saturated\n";
+    let body = ApiError::new(503, "gateway saturated").to_json();
     let wire = format!(
-        "HTTP/1.1 503 {}\r\ncontent-type: text/plain; charset=utf-8\r\ncontent-length: {}\r\nretry-after: {}\r\nconnection: close\r\n\r\n{}",
+        "HTTP/1.1 503 {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nretry-after: {}\r\nconnection: close\r\n\r\n{}",
         http::reason_phrase(503),
         body.len(),
         retry_after_s,
@@ -289,6 +319,7 @@ fn reject_busy(router: &Router, mut stream: TcpStream, retry_after_s: u32) {
 
 fn worker_loop(
     router: &Arc<Router>,
+    tracer: &Tracer,
     rx: &Mutex<Receiver<TcpStream>>,
     config: &GatewayConfig,
     backend_addrs: &[SocketAddr],
@@ -297,13 +328,14 @@ fn worker_loop(
     loop {
         let next = rx.lock().expect("queue receiver poisoned").recv();
         let Ok(stream) = next else { break };
-        handle_connection(router, &stream, config, backend_addrs, shutdown);
+        handle_connection(router, tracer, &stream, config, backend_addrs, shutdown);
     }
 }
 
 /// Serve sequential keep-alive requests from one client connection.
 fn handle_connection(
     router: &Arc<Router>,
+    tracer: &Tracer,
     stream: &TcpStream,
     config: &GatewayConfig,
     backend_addrs: &[SocketAddr],
@@ -319,31 +351,34 @@ fn handle_connection(
     loop {
         let request = http::read_request(&mut reader);
         let start = Instant::now();
-        let (response, client_close) = match request {
+        let (response, trace, client_close) = match request {
             Ok(request) => {
-                router.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                // Re-assemble the full target so query strings survive the
-                // trip to the backend.
-                let target = match &request.query {
-                    Some(q) => format!("{}?{q}", request.path),
-                    None => request.path.clone(),
+                router.metrics.requests.inc();
+                // Propagate the caller's trace id, or mint one at the edge.
+                let trace = request.trace_id().unwrap_or_else(TraceId::mint);
+                let response = {
+                    let mut span = tracer.ctx(trace).child("gateway.route");
+                    span.tag("path", request.path.clone());
+                    let response = respond(router, backend_addrs, &request, span.ctx());
+                    span.tag("status", response.status.to_string());
+                    response
                 };
-                let response = respond(router, backend_addrs, &request.method, &target);
-                (response, request.wants_close())
+                (response, Some(trace), request.wants_close())
             }
             Err(HttpError::ClosedEarly | HttpError::Io(_)) => return,
             Err(e) => {
-                router.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                router.metrics.requests.inc();
                 router.metrics.count_response(400);
                 let mut out = stream;
                 let _ = write_response(
                     &mut out,
                     &Forwarded {
                         status: 400,
-                        content_type: "text/plain; charset=utf-8".to_owned(),
-                        body: format!("bad request: {e}\n"),
+                        content_type: "application/json".to_owned(),
+                        body: ApiError::new(400, format!("bad request: {e}")).to_json(),
                     },
                     false,
+                    None,
                 );
                 return;
             }
@@ -353,44 +388,83 @@ fn handle_connection(
         let keep_alive =
             !client_close && served < KEEP_ALIVE_MAX && !shutdown.load(Ordering::SeqCst);
         let mut out = stream;
-        let write_result = write_response(&mut out, &response, keep_alive);
+        let write_result = write_response(&mut out, &response, keep_alive, trace);
         let _ = out.flush();
         router.metrics.count_response(response.status);
         let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        router.metrics.latency.record(elapsed_us);
+        router.metrics.latency.observe_us(elapsed_us);
         if !keep_alive || write_result.is_err() {
             return;
         }
     }
 }
 
-/// Dispatch one request: local endpoints (`/healthz`, `/metricsz`) are
-/// answered by the gateway itself; everything else is forwarded.
+/// Dispatch one request: local endpoints (`/v1/healthz`, `/v1/metricsz`,
+/// `/v1/tracez`, and their legacy aliases) are answered by the gateway
+/// itself; everything else is forwarded under the request's span context.
 fn respond(
     router: &Arc<Router>,
     backend_addrs: &[SocketAddr],
-    method: &str,
-    target: &str,
+    request: &Request,
+    ctx: cactus_obs::SpanCtx<'_>,
 ) -> Forwarded {
-    if method != "GET" {
+    if request.method != "GET" {
         return Forwarded {
             status: 405,
-            content_type: "text/plain; charset=utf-8".to_owned(),
-            body: "only GET is supported\n".to_owned(),
+            content_type: "application/json".to_owned(),
+            body: ApiError::new(405, "only GET is supported").to_json(),
         };
     }
-    match target {
-        "/healthz" => Forwarded {
+    match request.path.as_str() {
+        "/healthz" | "/v1/healthz" => Forwarded {
             status: 200,
             content_type: "text/plain; charset=utf-8".to_owned(),
             body: "ok\n".to_owned(),
         },
-        "/metricsz" => Forwarded {
+        "/metricsz" | "/v1/metricsz" => Forwarded {
             status: 200,
             content_type: "text/plain; charset=utf-8".to_owned(),
             body: render_metrics(&router.metrics, &router.health, &router.pool, backend_addrs),
         },
-        _ => router.forward(target, &routing_key(target)),
+        "/v1/tracez" => tracez(ctx, request.query.as_deref()),
+        _ => {
+            // Re-assemble the full target so query strings survive the
+            // trip to the backend.
+            let target = match &request.query {
+                Some(q) => format!("{}?{q}", request.path),
+                None => request.path.clone(),
+            };
+            router.forward(&target, &routing_key(&target), Some(ctx))
+        }
+    }
+}
+
+/// `/v1/tracez[?trace=ID]`: the gateway's span ring as JSON lines. The
+/// tracer is reached through the request's own span context.
+fn tracez(ctx: cactus_obs::SpanCtx<'_>, query: Option<&str>) -> Forwarded {
+    let filter = match query.and_then(|q| {
+        q.split('&')
+            .find_map(|pair| pair.strip_prefix("trace="))
+            .map(|v| TraceId::parse(v).ok_or(v))
+    }) {
+        Some(Err(bad)) => {
+            return Forwarded {
+                status: 400,
+                content_type: "application/json".to_owned(),
+                body: ApiError::new(
+                    400,
+                    format!("invalid trace id {bad:?}; expected 16 hex digits"),
+                )
+                .to_json(),
+            }
+        }
+        Some(Ok(id)) => Some(id),
+        None => None,
+    };
+    Forwarded {
+        status: 200,
+        content_type: "application/x-ndjson".to_owned(),
+        body: ctx.tracer().render(filter),
     }
 }
 
@@ -410,18 +484,26 @@ pub fn routing_key(target: &str) -> String {
 }
 
 /// Write a forwarded (or locally produced) response in the same wire shape
-/// `cactus-serve` uses. The gateway keeps its own writer because forwarded
-/// bodies carry the backend's content type verbatim.
-fn write_response<W: Write>(out: &mut W, response: &Forwarded, keep_alive: bool) -> io::Result<()> {
+/// `cactus-serve` uses, echoing the request's trace id. The gateway keeps
+/// its own writer because forwarded bodies carry the backend's content type
+/// verbatim.
+fn write_response<W: Write>(
+    out: &mut W,
+    response: &Forwarded,
+    keep_alive: bool,
+    trace: Option<TraceId>,
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    let trace_header = trace.map_or(String::new(), |t| format!("{TRACE_HEADER}: {t}\r\n"));
     // One write_all: fragment-per-write on a raw socket triggers Nagle +
     // delayed-ACK stalls (~40 ms) on the peer.
     let wire = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n{}",
         response.status,
         http::reason_phrase(response.status),
         response.content_type,
         response.body.len(),
+        trace_header,
         connection,
         response.body
     );

@@ -19,7 +19,6 @@
 //! ejection counts asserted below are deterministic consequences of the
 //! data path, not races against a prober.
 
-use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use cactus_bench::store::save_set_in;
@@ -86,7 +85,7 @@ fn routed_counts(gateway: &Gateway) -> Vec<u64> {
         .metrics
         .backends
         .iter()
-        .map(|b| b.routed.load(Ordering::Relaxed))
+        .map(|b| b.routed.get())
         .collect()
 }
 
@@ -146,10 +145,7 @@ fn failover_balance_and_recovery() {
         paths.len() as u64,
         "route counts must sum to the forwarded total: {routed:?}"
     );
-    assert_eq!(
-        total,
-        gateway.router().metrics.forwarded.load(Ordering::Relaxed)
-    );
+    assert_eq!(total, gateway.router().metrics.forwarded.get());
     for (i, &count) in routed.iter().enumerate() {
         assert!(count > 0, "backend {i} received no traffic: {routed:?}");
         assert!(
@@ -178,7 +174,7 @@ fn failover_balance_and_recovery() {
     }
     let metrics = &gateway.router().metrics;
     assert!(
-        metrics.retries.load(Ordering::Relaxed) >= 1,
+        metrics.retries.get() >= 1,
         "the first failed attempt on the dead backend must be retried"
     );
     assert!(
@@ -193,7 +189,7 @@ fn failover_balance_and_recovery() {
     let routed_after = routed_counts(&gateway);
     assert_eq!(
         routed_after.iter().sum::<u64>(),
-        metrics.forwarded.load(Ordering::Relaxed),
+        metrics.forwarded.get(),
         "route counts must keep summing to the forwarded total"
     );
 

@@ -41,8 +41,28 @@
 
 use std::sync::Mutex;
 
+use cactus_obs::Counter;
+
 use crate::device::Device;
 use crate::engine::{Gpu, MemoStats};
+
+/// Registry-backed counters a pool reports into, shareable across pools.
+///
+/// The serve tier registers one set of counters and hands a clone to every
+/// device pool via [`GpuPool::instrument`]; the counters then sum memo
+/// traffic and engine creation fleet-wide while each pool's own
+/// [`GpuPool::memo_stats`] stays per-device (and resettable). Counters are
+/// monotonic by design — [`GpuPool::reset`] zeroes the local stats but never
+/// rolls the instruments back.
+#[derive(Debug, Clone)]
+pub struct PoolInstruments {
+    /// Launches replayed from a warm memo cache.
+    pub memo_hits: Counter,
+    /// Launches simulated from scratch.
+    pub memo_misses: Counter,
+    /// Engines created (pool growth).
+    pub engines_created: Counter,
+}
 
 /// A pool of idle [`Gpu`] engines for one device, shareable across threads.
 #[derive(Debug)]
@@ -51,6 +71,7 @@ pub struct GpuPool {
     idle: Mutex<Vec<Gpu>>,
     /// Memo counters folded in from completed checkouts, plus engine count.
     stats: Mutex<PoolCounters>,
+    instruments: Option<PoolInstruments>,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -67,7 +88,17 @@ impl GpuPool {
             device,
             idle: Mutex::new(Vec::new()),
             stats: Mutex::new(PoolCounters::default()),
+            instruments: None,
         }
+    }
+
+    /// Attach registry-backed counters; every subsequent checkout reports
+    /// its memo delta (and engine creation) into them in addition to the
+    /// pool-local stats.
+    #[must_use]
+    pub fn instrument(mut self, instruments: PoolInstruments) -> Self {
+        self.instruments = Some(instruments);
+        self
     }
 
     /// The device every pooled engine simulates.
@@ -83,6 +114,9 @@ impl GpuPool {
         let reused = self.idle.lock().expect("pool poisoned").pop();
         let gpu = reused.unwrap_or_else(|| {
             self.stats.lock().expect("pool stats poisoned").created += 1;
+            if let Some(instruments) = &self.instruments {
+                instruments.engines_created.inc();
+            }
             Gpu::new(self.device.clone())
         });
         let baseline = gpu.memo_stats();
@@ -127,6 +161,10 @@ impl GpuPool {
             misses: after.misses - baseline.misses,
         };
         gpu.reset_trace();
+        if let Some(instruments) = &self.instruments {
+            instruments.memo_hits.add(delta.hits);
+            instruments.memo_misses.add(delta.misses);
+        }
         let mut stats = self.stats.lock().expect("pool stats poisoned");
         stats.memo = stats.memo.merged(&delta);
         drop(stats);
@@ -141,6 +179,24 @@ pub struct PooledGpu<'a> {
     pool: &'a GpuPool,
     gpu: Option<Gpu>,
     baseline: MemoStats,
+}
+
+impl PooledGpu<'_> {
+    /// Memo hits/misses accrued *during this checkout* so far — the same
+    /// delta that will be folded into the pool on drop. Span tagging reads
+    /// this to attribute memo traffic to one request.
+    #[must_use]
+    pub fn memo_delta(&self) -> MemoStats {
+        let now = self
+            .gpu
+            .as_ref()
+            .expect("engine present until drop")
+            .memo_stats();
+        MemoStats {
+            hits: now.hits - self.baseline.hits,
+            misses: now.misses - self.baseline.misses,
+        }
+    }
 }
 
 impl std::ops::Deref for PooledGpu<'_> {
@@ -227,6 +283,39 @@ mod tests {
         // least the first one on each fresh engine was a miss.
         assert!(stats.misses >= 1);
         assert_eq!(pool.idle() as u64, pool.engines());
+    }
+
+    #[test]
+    fn instruments_sum_across_checkouts_and_survive_reset() {
+        let registry = cactus_obs::MetricsRegistry::new();
+        let instruments = PoolInstruments {
+            memo_hits: registry.counter("hits", "").unwrap(),
+            memo_misses: registry.counter("misses", "").unwrap(),
+            engines_created: registry.counter("engines", "").unwrap(),
+        };
+        let pool = GpuPool::new(Device::rtx3080()).instrument(instruments.clone());
+        {
+            let mut gpu = pool.checkout();
+            gpu.launch(&kernel(1 << 18));
+            let delta = gpu.memo_delta();
+            assert_eq!((delta.hits, delta.misses), (0, 1));
+        }
+        {
+            let mut gpu = pool.checkout();
+            gpu.launch(&kernel(1 << 18));
+            let delta = gpu.memo_delta();
+            assert_eq!((delta.hits, delta.misses), (1, 0));
+        }
+        assert_eq!(instruments.memo_hits.get(), 1);
+        assert_eq!(instruments.memo_misses.get(), 1);
+        assert_eq!(instruments.engines_created.get(), 1);
+        pool.reset();
+        assert_eq!(pool.memo_stats(), MemoStats::default());
+        assert_eq!(
+            instruments.memo_misses.get(),
+            1,
+            "registry counters are monotonic across pool resets"
+        );
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! `obs-check` — CI helper over the shared observability formats.
+//!
+//! ```text
+//! obs-check parse FILE...          strict-parse exposition pages, exit 1 on
+//!                                  any malformed file
+//! obs-check trace TRACE_ID FILE... require TRACE_ID in every span-log file,
+//!                                  exit 1 if any file lacks it
+//! ```
+//!
+//! `parse` runs the exact parser the typed client uses, so the smoke job
+//! fails on the same inputs the client would reject. `trace` follows one
+//! request's trace id through multiple tiers' JSONL span logs.
+
+use std::process::ExitCode;
+
+use cactus_obs::{expo, TraceId};
+
+const USAGE: &str = "\
+usage: obs-check parse FILE...
+       obs-check trace TRACE_ID FILE...
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "parse" && !rest.is_empty() => parse_files(rest),
+        Some((cmd, rest)) if cmd == "trace" => match rest.split_first() {
+            Some((id, files)) if !files.is_empty() => trace_files(id, files),
+            _ => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprint!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn parse_files(files: &[String]) -> ExitCode {
+    let mut failed = false;
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("obs-check: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match expo::parse(&text) {
+            Ok(page) => println!("obs-check: {path}: {} samples ok", page.len()),
+            Err(e) => {
+                eprintln!("obs-check: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn trace_files(id: &str, files: &[String]) -> ExitCode {
+    let Some(trace) = TraceId::parse(id) else {
+        eprintln!("obs-check: invalid trace id {id:?}");
+        return ExitCode::FAILURE;
+    };
+    let needle = format!("\"trace\":\"{trace}\"");
+    let mut failed = false;
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let hits = text.lines().filter(|l| l.contains(&needle)).count();
+                if hits == 0 {
+                    eprintln!("obs-check: {path}: trace {trace} not found");
+                    failed = true;
+                } else {
+                    println!("obs-check: {path}: trace {trace} in {hits} spans");
+                }
+            }
+            Err(e) => {
+                eprintln!("obs-check: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

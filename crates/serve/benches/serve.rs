@@ -118,7 +118,7 @@ fn bench_serve_levels(c: &mut Criterion) {
     ] {
         println!(
             "serve/summary: {name} = {}",
-            metrics.get(name).copied().unwrap_or(0.0)
+            metrics.get(name).unwrap_or(0.0)
         );
     }
 

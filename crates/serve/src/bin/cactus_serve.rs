@@ -3,6 +3,7 @@
 //! ```text
 //! cactus-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!              [--retry-after SECS] [--store-dir PATH] [--port-file PATH]
+//!              [--span-log PATH]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port), optionally writes the bound port
@@ -40,6 +41,7 @@ usage: cactus-serve [options]
   --retry-after SECS   Retry-After advertised on 503 (default 1)
   --store-dir PATH     profile-store directory (default: workspace results/)
   --port-file PATH     write the bound port here once listening
+  --span-log PATH      append every finished span as a JSON line here
   --help               show this help
 ";
 
@@ -70,6 +72,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
             "--cache" => config.cache_capacity = parse_num(&flag, &value()?)?,
             "--retry-after" => config.retry_after_s = parse_num(&flag, &value()?)?,
             "--store-dir" => config.store_dir = Some(value()?.into()),
+            "--span-log" => config.span_log = Some(value()?.into()),
             "--port-file" => port_file = Some(value()?),
             other => return Err(format!("unknown flag {other:?}")),
         }

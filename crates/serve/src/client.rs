@@ -2,19 +2,28 @@
 //! `loadgen` binary, and the gateway's backend connection pool.
 //!
 //! Two transports share one reply parser: [`Client`] opens a fresh
-//! connection per request (`Connection: close`), while [`Connection`] keeps
-//! one `TcpStream` alive across sequential requests, honoring the server's
-//! `Connection: close` and transparently redialing once when a pooled
-//! stream turns out to have been reaped by the server's idle timeout. The
-//! profile endpoint's body is the bit-exact `cactus_profiler::store`
-//! serialization, so [`Client::profile`] hands back a fully typed
-//! [`Profile`] without a JSON layer.
+//! connection per request by default (`Connection: close`) and can be built
+//! with `keep_alive(true)` to hold one reusable stream internally, while
+//! [`Connection`] keeps one `TcpStream` alive across sequential requests,
+//! honoring the server's `Connection: close` and transparently redialing
+//! once when a pooled stream turns out to have been reaped by the server's
+//! idle timeout. The profile endpoint's body is the bit-exact
+//! `cactus_profiler::store` serialization, so [`Client::profile`] hands
+//! back a fully typed [`Profile`] without a JSON layer.
+//!
+//! Replies on the `/v1` surface carry structured errors: a non-200 whose
+//! body parses as the shared JSON envelope surfaces as
+//! [`ClientError::Api`], so callers branch on `code`/`retryable` instead of
+//! string-matching. `/v1/metricsz` pages go through the one strict
+//! exposition parser in `cactus_obs` — a malformed or duplicated sample is
+//! an error naming the line, never a silently dropped entry.
 
-use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
 use std::time::Duration;
 
+use cactus_obs::{expo, ApiError, Exposition, TraceId, TRACE_HEADER};
 use cactus_profiler::store::read_profile;
 use cactus_profiler::Profile;
 
@@ -46,11 +55,26 @@ impl HttpReply {
         self.header("retry-after")?.trim().parse().ok()
     }
 
+    /// The trace id echoed in the `x-cactus-trace` header, if any.
+    #[must_use]
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.header(TRACE_HEADER).and_then(TraceId::parse)
+    }
+
     /// Whether the server will close the connection after this reply.
     #[must_use]
     pub fn connection_close(&self) -> bool {
         self.header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Convert a non-200 reply into the most structured error available:
+    /// the parsed envelope when the body is one, the raw body otherwise.
+    fn into_error(self) -> ClientError {
+        match ApiError::from_json(&self.body) {
+            Some(envelope) => ClientError::Api(envelope),
+            None => ClientError::Status(self.status, self.body),
+        }
     }
 }
 
@@ -59,16 +83,31 @@ impl HttpReply {
 pub enum ClientError {
     /// Socket-level failure.
     Io(std::io::Error),
-    /// The server answered, but not with a 200.
+    /// The server answered with a structured `/v1` error envelope.
+    Api(ApiError),
+    /// The server answered non-200 without a parseable envelope.
     Status(u16, String),
     /// A 200 body that did not parse as the expected type.
     Parse(String),
+}
+
+impl ClientError {
+    /// The HTTP status carried by this error, if it was a server answer.
+    #[must_use]
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ClientError::Api(e) => Some(e.code),
+            ClientError::Status(code, _) => Some(*code),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Api(e) => write!(f, "{e}"),
             ClientError::Status(code, body) => {
                 write!(f, "unexpected status {code}: {}", body.trim())
             }
@@ -85,20 +124,90 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
-/// A client bound to one server address.
+/// One profile request on the `/v1` surface, by URL slugs.
 #[derive(Debug, Clone, Copy)]
+pub struct ProfileQuery<'a> {
+    /// Device preset slug, e.g. `rtx-3080`.
+    pub device: &'a str,
+    /// Scale slug: `tiny`, `small`, or `profile`.
+    pub scale: &'a str,
+    /// Workload name, e.g. `GMS`.
+    pub workload: &'a str,
+}
+
+/// Configures a [`Client`] before construction.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientBuilder {
+    addr: SocketAddr,
+    timeout: Duration,
+    keep_alive: bool,
+}
+
+impl ClientBuilder {
+    /// Override the connect/read/write timeout (default 30 s).
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Hold one internal keep-alive stream across requests instead of
+    /// dialing per request (default off).
+    #[must_use]
+    pub fn keep_alive(mut self, keep_alive: bool) -> Self {
+        self.keep_alive = keep_alive;
+        self
+    }
+
+    /// Finish building.
+    #[must_use]
+    pub fn build(self) -> Client {
+        Client {
+            addr: self.addr,
+            timeout: self.timeout,
+            keep_alive: self.keep_alive,
+            conn: Mutex::new(None),
+        }
+    }
+}
+
+/// A client bound to one server address.
+#[derive(Debug)]
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    keep_alive: bool,
+    /// The internal stream when built with `keep_alive(true)`; dialed
+    /// lazily, serialized behind the lock.
+    conn: Mutex<Option<Connection>>,
+}
+
+impl Clone for Client {
+    fn clone(&self) -> Self {
+        // The clone shares configuration, not the live stream.
+        Self {
+            addr: self.addr,
+            timeout: self.timeout,
+            keep_alive: self.keep_alive,
+            conn: Mutex::new(None),
+        }
+    }
 }
 
 impl Client {
     /// A client for `addr` with a 30 s I/O timeout.
     #[must_use]
     pub fn new(addr: SocketAddr) -> Self {
-        Self {
+        Self::builder(addr).build()
+    }
+
+    /// Start configuring a client for `addr`.
+    #[must_use]
+    pub fn builder(addr: SocketAddr) -> ClientBuilder {
+        ClientBuilder {
             addr,
             timeout: Duration::from_secs(30),
+            keep_alive: false,
         }
     }
 
@@ -121,22 +230,36 @@ impl Client {
     ///
     /// Socket errors and unparseable response heads.
     pub fn get(&self, path: &str) -> Result<HttpReply, ClientError> {
+        self.get_traced(path, None)
+    }
+
+    /// Like [`Client::get`], propagating `trace` via the `x-cactus-trace`
+    /// header so the server joins this request's span tree instead of
+    /// minting a fresh id.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors and unparseable response heads.
+    pub fn get_traced(&self, path: &str, trace: Option<TraceId>) -> Result<HttpReply, ClientError> {
+        if self.keep_alive {
+            let mut guard = self.conn.lock().expect("client connection poisoned");
+            return guard
+                .get_or_insert_with(|| Connection::new(self.addr, self.timeout))
+                .get_traced(path, trace);
+        }
         let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         // One write_all per request head: fragment-per-write on a raw
         // socket triggers Nagle + delayed-ACK stalls (~40 ms) on the peer.
-        let head = format!(
-            "GET {path} HTTP/1.1\r\nhost: {}\r\nconnection: close\r\n\r\n",
-            self.addr
-        );
+        let head = request_head(path, self.addr, false, trace);
         stream.write_all(head.as_bytes())?;
         let mut reader = BufReader::new(stream);
         read_reply(&mut reader)
     }
 
-    /// `GET /healthz`, true on `200 ok`.
+    /// `GET /v1/healthz`, true on `200 ok`.
     ///
     /// # Errors
     ///
@@ -145,49 +268,51 @@ impl Client {
         Ok(self.get("/healthz")?.status == 200)
     }
 
-    /// `GET /metricsz` parsed into a name → value map.
+    /// `GET /v1/metricsz` strictly parsed through the shared exposition
+    /// parser.
     ///
     /// # Errors
     ///
-    /// Transport errors or a non-200 status.
-    pub fn metrics(&self) -> Result<HashMap<String, f64>, ClientError> {
-        let reply = self.get("/metricsz")?;
+    /// Transport errors, a non-200 status, or a malformed page —
+    /// duplicate or unparsable samples are [`ClientError::Parse`] (with
+    /// the offending line), never silently dropped.
+    pub fn metrics(&self) -> Result<Exposition, ClientError> {
+        let reply = self.get("/v1/metricsz")?;
         if reply.status != 200 {
-            return Err(ClientError::Status(reply.status, reply.body));
+            return Err(reply.into_error());
         }
-        Ok(parse_metrics(&reply.body))
+        expo::parse(&reply.body).map_err(|e| ClientError::Parse(e.to_string()))
     }
 
     /// Fetch one profile as a typed [`Profile`].
     ///
     /// # Errors
     ///
-    /// Transport errors, non-200 statuses (with the server's message), and
-    /// unparseable bodies.
-    pub fn profile(
-        &self,
-        device: &str,
-        scale: &str,
-        workload: &str,
-    ) -> Result<Profile, ClientError> {
+    /// Transport errors, non-200 statuses (as [`ClientError::Api`] when the
+    /// server sent the envelope), and unparseable bodies.
+    pub fn profile(&self, query: ProfileQuery<'_>) -> Result<Profile, ClientError> {
+        let ProfileQuery {
+            device,
+            scale,
+            workload,
+        } = query;
         let reply = self.get(&format!("/v1/profile/{device}/{scale}/{workload}"))?;
         if reply.status != 200 {
-            return Err(ClientError::Status(reply.status, reply.body));
+            return Err(reply.into_error());
         }
         read_profile(&reply.body).map_err(|e| ClientError::Parse(e.to_string()))
     }
 }
 
-/// Parse a flat `name value` metrics body (`#` comment lines skipped).
-#[must_use]
-pub fn parse_metrics(body: &str) -> HashMap<String, f64> {
-    body.lines()
-        .filter(|l| !l.starts_with('#'))
-        .filter_map(|l| {
-            let (name, value) = l.rsplit_once(' ')?;
-            Some((name.to_owned(), value.parse().ok()?))
-        })
-        .collect()
+/// Serialize one GET request head (single `write_all`, see call sites).
+fn request_head(path: &str, addr: SocketAddr, keep_alive: bool, trace: Option<TraceId>) -> String {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!("GET {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: {connection}\r\n");
+    if let Some(trace) = trace {
+        head.push_str(&format!("{TRACE_HEADER}: {trace}\r\n"));
+    }
+    head.push_str("\r\n");
+    head
 }
 
 /// A keep-alive connection: one `TcpStream` reused across sequential
@@ -253,15 +378,30 @@ impl Connection {
     /// Socket errors (after the one stale-stream retry) and unparseable
     /// response heads.
     pub fn get(&mut self, path: &str) -> Result<HttpReply, ClientError> {
+        self.get_traced(path, None)
+    }
+
+    /// Like [`Connection::get`], propagating `trace` via the
+    /// `x-cactus-trace` header.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors (after the one stale-stream retry) and unparseable
+    /// response heads.
+    pub fn get_traced(
+        &mut self,
+        path: &str,
+        trace: Option<TraceId>,
+    ) -> Result<HttpReply, ClientError> {
         let reused = self.stream.is_some();
-        match self.try_get(path) {
+        match self.try_get(path, trace) {
             Ok(reply) => Ok(reply),
             Err(e) => {
                 // A reused stream may have been closed server-side between
                 // requests; retry exactly once on a fresh dial.
                 self.stream = None;
                 if reused {
-                    self.try_get(path)
+                    self.try_get(path, trace)
                 } else {
                     Err(e)
                 }
@@ -269,7 +409,7 @@ impl Connection {
         }
     }
 
-    fn try_get(&mut self, path: &str) -> Result<HttpReply, ClientError> {
+    fn try_get(&mut self, path: &str, trace: Option<TraceId>) -> Result<HttpReply, ClientError> {
         let reused = self.stream.is_some();
         if self.stream.is_none() {
             let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
@@ -281,10 +421,7 @@ impl Connection {
         }
         let reader = self.stream.as_mut().expect("stream just ensured");
         // Single write_all, same Nagle/delayed-ACK reasoning as Client::get.
-        let head = format!(
-            "GET {path} HTTP/1.1\r\nhost: {}\r\nconnection: keep-alive\r\n\r\n",
-            self.addr
-        );
+        let head = request_head(path, self.addr, true, trace);
         reader.get_mut().write_all(head.as_bytes())?;
         reader.get_mut().flush()?;
         let reply = read_reply(reader);
@@ -360,6 +497,8 @@ fn read_reply<R: BufRead>(reader: &mut R) -> Result<HttpReply, ClientError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
 
     #[test]
     fn parses_reply_head_and_body() {
@@ -392,9 +531,72 @@ mod tests {
     }
 
     #[test]
-    fn metrics_parse_skips_comments() {
-        let parsed = parse_metrics("# header\na_total 3\nweird line\nb_rate 0.5\n");
-        assert_eq!(parsed.get("a_total"), Some(&3.0));
-        assert_eq!(parsed.get("b_rate"), Some(&0.5));
+    fn envelope_bodies_become_api_errors() {
+        let reply = HttpReply {
+            status: 503,
+            headers: vec![],
+            body: ApiError::new(503, "saturated").to_json(),
+        };
+        match reply.into_error() {
+            ClientError::Api(e) => {
+                assert_eq!(e.code, 503);
+                assert!(e.retryable);
+            }
+            other => panic!("expected Api error, got {other:?}"),
+        }
+        let raw = HttpReply {
+            status: 500,
+            headers: vec![],
+            body: "plain text\n".to_owned(),
+        };
+        assert!(matches!(raw.into_error(), ClientError::Status(500, _)));
+    }
+
+    /// Serve one canned response on an ephemeral port, return its address.
+    fn one_shot_server(body: &'static str) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 2048];
+            let _ = stream.read(&mut buf);
+            let wire = format!(
+                "HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            let _ = stream.write_all(wire.as_bytes());
+        });
+        addr
+    }
+
+    /// Regression: the old `metrics()` folded pages into a `HashMap`,
+    /// silently swallowing duplicate and unparsable lines. The strict
+    /// parser must surface both as hard errors.
+    #[test]
+    fn metrics_rejects_duplicate_samples() {
+        let addr =
+            one_shot_server("cactus_serve_requests_total 1\ncactus_serve_requests_total 2\n");
+        let client = Client::builder(addr)
+            .timeout(Duration::from_secs(5))
+            .build();
+        let err = client.metrics().expect_err("duplicates must not parse");
+        match err {
+            ClientError::Parse(msg) => {
+                assert!(msg.contains("duplicate"), "{msg}");
+                assert!(msg.contains("line 2"), "{msg}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_rejects_unparsable_values() {
+        let addr = one_shot_server("cactus_serve_requests_total one\n");
+        let client = Client::new(addr).with_timeout(Duration::from_secs(5));
+        assert!(matches!(
+            client.metrics().expect_err("garbage must not parse"),
+            ClientError::Parse(_)
+        ));
     }
 }

@@ -18,6 +18,8 @@
 
 use std::io::{BufRead, Write};
 
+use cactus_obs::{ApiError, TraceId, TRACE_HEADER};
+
 /// Upper bound on the request head (request line + headers), in bytes.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
@@ -52,6 +54,14 @@ impl Request {
     pub fn wants_close(&self) -> bool {
         self.header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The trace id carried by the `x-cactus-trace` header, if present and
+    /// well-formed. A malformed header is treated as absent (the server
+    /// mints a fresh id rather than propagating garbage).
+    #[must_use]
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.header(TRACE_HEADER).and_then(TraceId::parse)
     }
 }
 
@@ -202,6 +212,8 @@ pub struct Response {
     pub body: String,
     /// Optional `Retry-After` header (seconds), used by 503 backpressure.
     pub retry_after: Option<u32>,
+    /// Trace id echoed back in the `x-cactus-trace` header, if assigned.
+    pub trace: Option<TraceId>,
 }
 
 impl Response {
@@ -213,22 +225,26 @@ impl Response {
             content_type,
             body: body.into(),
             retry_after: None,
+            trace: None,
         }
     }
 
-    /// A plain-text error response.
+    /// A structured-error response: the shared `/v1` JSON envelope.
+    #[must_use]
+    pub fn api_error(error: &ApiError) -> Self {
+        Self {
+            status: error.code,
+            content_type: "application/json",
+            body: error.to_json(),
+            retry_after: None,
+            trace: None,
+        }
+    }
+
+    /// An error response built from a status + message via the envelope.
     #[must_use]
     pub fn error(status: u16, message: impl Into<String>) -> Self {
-        let mut body = message.into();
-        if !body.ends_with('\n') {
-            body.push('\n');
-        }
-        Self {
-            status,
-            content_type: "text/plain; charset=utf-8",
-            body,
-            retry_after: None,
-        }
+        Self::api_error(&ApiError::new(status, message))
     }
 
     /// The `503 Service Unavailable` backpressure response.
@@ -237,6 +253,13 @@ impl Response {
         let mut r = Self::error(503, "server saturated, retry later");
         r.retry_after = Some(retry_after_s);
         r
+    }
+
+    /// Attach the trace id echoed back to the client.
+    #[must_use]
+    pub fn traced(mut self, trace: TraceId) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// The standard reason phrase for [`Response::status`].
@@ -272,6 +295,9 @@ impl Response {
         );
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        if let Some(trace) = self.trace {
+            head.push_str(&format!("{TRACE_HEADER}: {trace}\r\n"));
         }
         head.push_str("\r\n");
         // Head + body in one write_all: a separate small body write after
@@ -424,5 +450,40 @@ mod tests {
         let text = String::from_utf8(buf).expect("utf8");
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("retry-after: 7\r\n"));
+    }
+
+    #[test]
+    fn errors_are_json_envelopes() {
+        let r = Response::error(404, "unknown route");
+        assert_eq!(r.content_type, "application/json");
+        let envelope = ApiError::from_json(&r.body).expect("envelope body");
+        assert_eq!(envelope.code, 404);
+        assert_eq!(envelope.message, "unknown route");
+        assert!(!envelope.retryable);
+        assert!(
+            ApiError::from_json(&Response::busy(1).body)
+                .expect("busy envelope")
+                .retryable
+        );
+    }
+
+    #[test]
+    fn trace_header_roundtrips() {
+        let trace = TraceId::mint();
+        let mut buf = Vec::new();
+        Response::ok("x\n", "text/plain")
+            .traced(trace)
+            .write_to(&mut buf)
+            .expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.contains(&format!("x-cactus-trace: {trace}\r\n")));
+
+        let raw = format!("GET / HTTP/1.1\r\nX-Cactus-Trace: {trace}\r\n\r\n");
+        assert_eq!(
+            parse(raw.as_bytes()).expect("parse").trace_id(),
+            Some(trace)
+        );
+        let bad = b"GET / HTTP/1.1\r\nx-cactus-trace: nope\r\n\r\n";
+        assert_eq!(parse(bad).expect("parse").trace_id(), None);
     }
 }

@@ -19,8 +19,15 @@
 //! bounded queue drained by a worker pool; a full queue answers
 //! `503 + Retry-After` immediately (explicit backpressure instead of
 //! unbounded queueing), and shutdown drains in-flight requests before
-//! threads exit. `/healthz` and `/metricsz` ([`metrics`]) expose liveness,
-//! request counts, latency quantiles, and every cache level's hit rates.
+//! threads exit. Endpoints live on the versioned `/v1` surface (legacy
+//! unversioned spellings stay as aliases): `/v1/healthz` for liveness,
+//! `/v1/metricsz` ([`metrics`], rendered by the shared
+//! `cactus_obs::MetricsRegistry`) for request counts, latency quantiles,
+//! and every cache level's hit rates, and `/v1/tracez` for the span ring —
+//! each request carries one trace id (minted here or propagated from the
+//! gateway via `x-cactus-trace`) whose span tree covers cache, store, and
+//! simulation stages. Errors are the shared JSON envelope
+//! (`cactus_obs::ApiError`).
 //!
 //! Two binaries ship with the crate: `cactus-serve` (the daemon, with
 //! signal-driven graceful shutdown via [`signal`]) and `loadgen` (a
@@ -38,5 +45,5 @@ pub mod service;
 pub mod signal;
 pub mod singleflight;
 
-pub use client::{Client, Connection};
+pub use client::{Client, ClientBuilder, Connection, ProfileQuery};
 pub use server::{ServeConfig, Server};

@@ -1,57 +1,85 @@
-//! Request counters and latency quantiles behind `/metricsz`.
+//! Registry-backed request metrics behind `/v1/metricsz`.
 //!
-//! Counters are relaxed atomics (monotonic, read-mostly); latencies go into
-//! a fixed-size ring of recent samples so quantiles reflect current
-//! behaviour without unbounded memory. The `/metricsz` rendering is a flat
-//! `name value` text format (one metric per line, `#`-prefixed comments),
-//! parseable by the typed client and human-readable with `curl`.
+//! Counters, the queue-depth gauge, and the latency histogram are handles
+//! into the server's shared [`MetricsRegistry`] — the registry renders the
+//! whole exposition page (one code path shared with the gateway), so this
+//! module only names the server's metrics and routes status codes to the
+//! right counter. Latency lives in a log-bucket histogram: quantile
+//! estimates never undershoot the true value and overshoot by at most 2×,
+//! and `cactus_serve_latency_p50_us`/`_p90_us`/`_p99_us` keep rendering
+//! under the same flat names the pre-registry dashboards scraped.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use cactus_obs::{Counter, Gauge, Histogram, MetricsRegistry, RegistryError};
 
-/// Latency samples kept for quantile estimation.
-const LATENCY_RING: usize = 4096;
-
-#[derive(Debug, Default)]
-struct Ring {
-    samples: Vec<u64>,
-    next: usize,
-}
-
-/// Thread-safe request/latency counters for one server.
-#[derive(Debug, Default)]
+/// Thread-safe request/latency counters for one server, registered in its
+/// metrics registry under `cactus_serve_*` names.
+#[derive(Debug, Clone)]
 pub struct ServerMetrics {
     /// Requests parsed and handled (a keep-alive connection contributes one
     /// per request it carries).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Connections accepted (including `503`-rejected ones).
-    pub connections: AtomicU64,
+    pub connections: Counter,
     /// Requests served over an already-open keep-alive connection.
-    pub keepalive_reuses: AtomicU64,
+    pub keepalive_reuses: Counter,
     /// Responses with a 2xx status.
-    pub responses_ok: AtomicU64,
+    pub responses_ok: Counter,
     /// Responses with a 4xx status.
-    pub responses_client_error: AtomicU64,
+    pub responses_client_error: Counter,
     /// 503 backpressure responses (accept-queue full).
-    pub responses_busy: AtomicU64,
+    pub responses_busy: Counter,
     /// Responses with a 5xx status other than 503.
-    pub responses_error: AtomicU64,
+    pub responses_error: Counter,
     /// Connections currently waiting in the accept queue.
-    pub queue_depth: AtomicU64,
-    latencies_us: Mutex<Ring>,
+    pub queue_depth: Gauge,
+    /// Request-handling latency histogram (µs).
+    pub latency: Histogram,
 }
 
 impl ServerMetrics {
+    /// Register every server metric in `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any `cactus_serve_*` name is already registered (one server
+    /// per registry).
+    pub fn register(registry: &MetricsRegistry) -> Result<Self, RegistryError> {
+        Ok(Self {
+            requests: registry
+                .counter("cactus_serve_requests_total", "requests parsed and handled")?,
+            connections: registry.counter(
+                "cactus_serve_connections_total",
+                "connections accepted (including 503-rejected)",
+            )?,
+            keepalive_reuses: registry.counter(
+                "cactus_serve_keepalive_reuses_total",
+                "requests served over an already-open keep-alive connection",
+            )?,
+            responses_ok: registry.counter("cactus_serve_responses_ok_total", "2xx responses")?,
+            responses_client_error: registry
+                .counter("cactus_serve_responses_client_error_total", "4xx responses")?,
+            responses_busy: registry.counter(
+                "cactus_serve_responses_busy_total",
+                "503 backpressure responses",
+            )?,
+            responses_error: registry.counter(
+                "cactus_serve_responses_error_total",
+                "5xx responses other than 503",
+            )?,
+            queue_depth: registry.gauge(
+                "cactus_serve_queue_depth",
+                "connections waiting in the accept queue",
+            )?,
+            latency: registry.histogram(
+                "cactus_serve_latency",
+                "request handling latency in microseconds",
+            )?,
+        })
+    }
+
     /// Record the handling latency of one request, in microseconds.
     pub fn record_latency_us(&self, us: u64) {
-        let mut ring = self.latencies_us.lock().expect("latency ring poisoned");
-        if ring.samples.len() < LATENCY_RING {
-            ring.samples.push(us);
-        } else {
-            let at = ring.next;
-            ring.samples[at] = us;
-        }
-        ring.next = (ring.next + 1) % LATENCY_RING;
+        self.latency.observe_us(us);
     }
 
     /// Tally one written response under the right status-class counter.
@@ -62,29 +90,24 @@ impl ServerMetrics {
             400..=499 => &self.responses_client_error,
             _ => &self.responses_error,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 
-    /// Latency quantiles (p50, p90, p99) over the retained samples, in
-    /// microseconds; zeros when nothing was recorded yet.
+    /// Latency quantile estimates (p50, p90, p99) in microseconds; zeros
+    /// when nothing was recorded yet.
     #[must_use]
     pub fn latency_quantiles_us(&self) -> (u64, u64, u64) {
-        let mut samples = self
-            .latencies_us
-            .lock()
-            .expect("latency ring poisoned")
-            .samples
-            .clone();
-        samples.sort_unstable();
         (
-            quantile(&samples, 0.50),
-            quantile(&samples, 0.90),
-            quantile(&samples, 0.99),
+            self.latency.quantile_us(0.50),
+            self.latency.quantile_us(0.90),
+            self.latency.quantile_us(0.99),
         )
     }
 }
 
-/// Nearest-rank quantile over an already-sorted slice (0 when empty).
+/// Nearest-rank quantile over an already-sorted slice (0 when empty). Used
+/// by the gateway's sliding latency windows and the load generator, which
+/// keep exact samples rather than histogram buckets.
 #[must_use]
 pub fn quantile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
@@ -98,38 +121,60 @@ pub fn quantile(sorted: &[u64], q: f64) -> u64 {
 mod tests {
     use super::*;
 
+    fn metrics() -> ServerMetrics {
+        ServerMetrics::register(&MetricsRegistry::new()).expect("fresh registry")
+    }
+
     #[test]
-    fn quantiles_over_known_samples() {
-        let m = ServerMetrics::default();
+    fn quantile_estimates_bound_the_truth() {
+        let m = metrics();
         assert_eq!(m.latency_quantiles_us(), (0, 0, 0));
         for us in 1..=100 {
             m.record_latency_us(us);
         }
         let (p50, p90, p99) = m.latency_quantiles_us();
-        assert!((45..=55).contains(&p50), "p50 = {p50}");
-        assert!((85..=95).contains(&p90), "p90 = {p90}");
-        assert!((95..=100).contains(&p99), "p99 = {p99}");
+        for (est, truth) in [(p50, 50), (p90, 90), (p99, 99)] {
+            assert!(est >= truth, "estimate {est} undershoots {truth}");
+            assert!(est <= 2 * truth, "estimate {est} overshoots 2x{truth}");
+        }
     }
 
     #[test]
-    fn ring_caps_retained_samples() {
-        let m = ServerMetrics::default();
-        for _ in 0..(LATENCY_RING + 100) {
-            m.record_latency_us(7);
+    fn latency_renders_under_flat_quantile_names() {
+        let registry = MetricsRegistry::new();
+        let m = ServerMetrics::register(&registry).expect("register");
+        m.record_latency_us(100);
+        let page = registry.render();
+        for name in [
+            "cactus_serve_latency_p50_us ",
+            "cactus_serve_latency_p90_us ",
+            "cactus_serve_latency_p99_us ",
+            "cactus_serve_latency_count 1",
+        ] {
+            assert!(page.contains(name), "missing {name} in:\n{page}");
         }
-        assert_eq!(m.latency_quantiles_us(), (7, 7, 7));
     }
 
     #[test]
     fn status_classes_route_to_counters() {
-        let m = ServerMetrics::default();
+        let m = metrics();
         for status in [200, 200, 404, 503, 500] {
             m.count_status(status);
         }
-        assert_eq!(m.responses_ok.load(Ordering::Relaxed), 2);
-        assert_eq!(m.responses_client_error.load(Ordering::Relaxed), 1);
-        assert_eq!(m.responses_busy.load(Ordering::Relaxed), 1);
-        assert_eq!(m.responses_error.load(Ordering::Relaxed), 1);
+        assert_eq!(m.responses_ok.get(), 2);
+        assert_eq!(m.responses_client_error.get(), 1);
+        assert_eq!(m.responses_busy.get(), 1);
+        assert_eq!(m.responses_error.get(), 1);
+    }
+
+    #[test]
+    fn double_registration_collides() {
+        let registry = MetricsRegistry::new();
+        let _first = ServerMetrics::register(&registry).expect("first");
+        assert!(
+            ServerMetrics::register(&registry).is_err(),
+            "one server per registry"
+        );
     }
 
     #[test]

@@ -1,48 +1,78 @@
-//! URL routing and response rendering.
+//! URL routing and response rendering for the versioned `/v1` surface.
 //!
-//! Every `/v1/...` endpoint resolves its `(device, scale, workload)` triple,
-//! consults the response cache under a canonical key, and falls through to
-//! [`ProfileService::profile`] (store, then coalesced simulation) on a miss.
-//! Bodies are text: the profile endpoint serves the bit-exact
+//! Every endpoint lives under `/v1/...`; the pre-versioning spellings
+//! (`/healthz`, `/metricsz`) stay as aliases so old probes keep working.
+//! Errors are the shared JSON envelope (`{code, message, retryable}`) from
+//! [`cactus_obs::ApiError`]. Each profile endpoint resolves its
+//! `(device, scale, workload)` triple, consults the response cache under a
+//! canonical key, and falls through to [`ProfileService::profile`] (store,
+//! then coalesced simulation) on a miss — recording `serve.cache` /
+//! `serve.profile` spans under the caller's ctx as it goes. Bodies are
+//! text: the profile endpoint serves the bit-exact
 //! [`cactus_profiler::store`] serialization (so the typed client parses it
 //! with `read_profile`), the rest serve CSV.
 
 use cactus_analysis::roofline::Roofline;
+use cactus_obs::{SpanCtx, TraceId};
 use cactus_profiler::{csv, store as profile_store};
 
 use crate::cache::CachedResponse;
 use crate::http::{Request, Response};
 use crate::server::ServerState;
-use crate::service::{ProfileService, Triple, DEVICE_SLUGS, SCALE_SLUGS};
+use crate::service::{Triple, DEVICE_SLUGS, SCALE_SLUGS};
 
 /// Content type of CSV bodies.
 const CSV: &str = "text/csv; charset=utf-8";
 /// Content type of plain-text bodies (health, profiles, metrics).
 const TEXT: &str = "text/plain; charset=utf-8";
 
-/// Route one parsed request to a response.
+/// Route one parsed request to a response. `ctx` is the request's
+/// `serve.request` span; handlers hang their sub-spans off it.
 #[must_use]
-pub fn respond(state: &ServerState, req: &Request) -> Response {
+pub fn respond(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Response {
     if req.method != "GET" {
         return Response::error(405, format!("method {} not allowed; use GET", req.method));
     }
     match req.path.as_str() {
-        "/healthz" => Response::ok("ok\n", TEXT),
-        "/metricsz" => Response::ok(state.render_metrics(), TEXT),
+        "/healthz" | "/v1/healthz" => Response::ok("ok\n", TEXT),
+        "/metricsz" | "/v1/metricsz" => Response::ok(state.render_metrics(), TEXT),
+        "/v1/tracez" => tracez(state, req),
         "/v1/workloads" => cached(state, "workloads", CSV, workloads_catalog),
-        _ => route_triple(state, req),
+        _ => route_triple(state, req, ctx),
     }
 }
 
+/// `/v1/tracez[?trace=ID]`: the span ring as JSON lines, optionally
+/// filtered to one trace id.
+fn tracez(state: &ServerState, req: &Request) -> Response {
+    let filter = match trace_filter(req.query.as_deref()) {
+        Ok(f) => f,
+        Err(msg) => return Response::error(400, msg),
+    };
+    Response::ok(state.tracer.render(filter), "application/x-ndjson")
+}
+
+fn trace_filter(query: Option<&str>) -> Result<Option<TraceId>, String> {
+    let Some(query) = query else { return Ok(None) };
+    for pair in query.split('&') {
+        if let Some(value) = pair.strip_prefix("trace=") {
+            return TraceId::parse(value)
+                .map(Some)
+                .ok_or_else(|| format!("invalid trace id {value:?}; expected 16 hex digits"));
+        }
+    }
+    Ok(None)
+}
+
 /// The `/v1/<endpoint>/<device>/<scale>/<workload>` family.
-fn route_triple(state: &ServerState, req: &Request) -> Response {
+fn route_triple(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Response {
     let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
     let (endpoint, device, scale, workload) = match segments.as_slice() {
         ["v1", endpoint, device, scale, workload] => (*endpoint, *device, *scale, *workload),
         _ => {
             return Response::error(
                 404,
-                "unknown route; try /healthz, /metricsz, /v1/workloads, or \
+                "unknown route; try /v1/healthz, /v1/metricsz, /v1/tracez, /v1/workloads, or \
                  /v1/{profile|kernels|roofline|dominant}/<device>/<scale>/<workload>",
             )
         }
@@ -72,13 +102,27 @@ fn route_triple(state: &ServerState, req: &Request) -> Response {
         format!("{endpoint}/{}", triple.key())
     };
 
-    if let Some(hit) = state.cache.get(&key) {
+    let cache_hit = {
+        let mut span = ctx.child("serve.cache");
+        span.tag("key", key.clone());
+        let hit = state.cache.get(&key);
+        span.tag("hit", if hit.is_some() { "true" } else { "false" });
+        hit
+    };
+    if let Some(hit) = cache_hit {
         return hit.to_response();
     }
-    let (profile, _source) = match state.service.profile(&triple) {
+    let mut span = ctx.child("serve.profile");
+    let outcome = state.service.profile(&triple, Some(span.ctx()));
+    let (profile, source) = match outcome {
         Ok(p) => p,
-        Err(msg) => return Response::error(500, format!("simulation failed: {msg}")),
+        Err(msg) => {
+            span.tag("source", "error");
+            return Response::error(500, format!("simulation failed: {msg}"));
+        }
     };
+    span.tag("source", format!("{source:?}").to_ascii_lowercase());
+    drop(span);
 
     let (body, content_type) = match endpoint {
         "profile" => (profile_store::write_profile(&profile), TEXT),
@@ -196,23 +240,4 @@ fn csv_escape(s: &str) -> String {
     } else {
         s.to_owned()
     }
-}
-
-/// Expose the service for `/metricsz` rendering in [`ServerState`].
-pub(crate) fn service_metrics_lines(service: &ProfileService) -> String {
-    let memo = service.engine_memo_stats();
-    format!(
-        "cactus_serve_store_hits_total {}\n\
-         cactus_serve_simulations_total {}\n\
-         cactus_serve_engines {}\n\
-         cactus_serve_engine_memo_hits_total {}\n\
-         cactus_serve_engine_memo_misses_total {}\n\
-         cactus_serve_engine_memo_hit_rate {:.6}\n",
-        service.store_hits(),
-        service.simulations(),
-        service.engines(),
-        memo.hits,
-        memo.misses,
-        memo.hit_rate(),
-    )
 }

@@ -30,6 +30,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cactus_obs::{Gauge, MetricsRegistry, TraceId, Tracer};
+
 use crate::cache::ResponseCache;
 use crate::http::{self, HttpError, Response};
 use crate::metrics::ServerMetrics;
@@ -66,6 +68,11 @@ pub struct ServeConfig {
     /// Profile-store directory override (`None` = the workspace default,
     /// honouring `CACTUS_PROFILE_STORE`).
     pub store_dir: Option<PathBuf>,
+    /// Spans retained in the in-memory ring served by `/v1/tracez`.
+    pub trace_capacity: usize,
+    /// Append every finished span as one JSON line to this file (`None`
+    /// disables the log; the in-memory ring is always on).
+    pub span_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +85,8 @@ impl Default for ServeConfig {
             retry_after_s: 1,
             read_timeout: Duration::from_secs(5),
             store_dir: None,
+            trace_capacity: 2048,
+            span_log: None,
         }
     }
 }
@@ -88,52 +97,59 @@ pub struct ServerState {
     pub service: ProfileService,
     /// The LRU response cache (first level).
     pub cache: ResponseCache,
-    /// Request counters and latency ring.
+    /// Request counters and the latency histogram.
     pub metrics: ServerMetrics,
+    /// The central registry every `cactus_serve_*` metric lives in; renders
+    /// `/v1/metricsz` through the shared exposition code.
+    pub registry: MetricsRegistry,
+    /// Span ring (and optional JSONL log) behind `/v1/tracez`.
+    pub tracer: Tracer,
     config: ServeConfig,
+    /// Values owned elsewhere (cache, service, config), mirrored into
+    /// registry gauges at scrape time so one renderer covers everything.
+    scraped: ScrapedGauges,
+}
+
+struct ScrapedGauges {
+    queue_capacity: Gauge,
+    workers: Gauge,
+    cache_hits: Gauge,
+    cache_misses: Gauge,
+    cache_entries: Gauge,
+    memo_hit_rate: Gauge,
+}
+
+impl ScrapedGauges {
+    fn register(registry: &MetricsRegistry) -> Result<Self, cactus_obs::RegistryError> {
+        Ok(Self {
+            queue_capacity: registry.gauge("cactus_serve_queue_capacity", "accept queue bound")?,
+            workers: registry.gauge("cactus_serve_workers", "worker threads")?,
+            cache_hits: registry.gauge("cactus_serve_cache_hits_total", "response cache hits")?,
+            cache_misses: registry
+                .gauge("cactus_serve_cache_misses_total", "response cache misses")?,
+            cache_entries: registry
+                .gauge("cactus_serve_cache_entries", "response cache entries")?,
+            memo_hit_rate: registry.gauge(
+                "cactus_serve_engine_memo_hit_rate",
+                "fraction of launches replayed from memo caches",
+            )?,
+        })
+    }
 }
 
 impl ServerState {
-    /// Render the `/metricsz` body.
+    /// Render the `/v1/metricsz` body via the shared exposition renderer,
+    /// refreshing the scrape-time gauges first.
     #[must_use]
     pub fn render_metrics(&self) -> String {
-        let m = &self.metrics;
-        let (p50, p90, p99) = m.latency_quantiles_us();
-        let mut out = String::from("# cactus-serve\n");
-        for (name, value) in [
-            ("requests_total", m.requests.load(Ordering::Relaxed)),
-            ("connections_total", m.connections.load(Ordering::Relaxed)),
-            (
-                "keepalive_reuses_total",
-                m.keepalive_reuses.load(Ordering::Relaxed),
-            ),
-            ("responses_ok_total", m.responses_ok.load(Ordering::Relaxed)),
-            (
-                "responses_client_error_total",
-                m.responses_client_error.load(Ordering::Relaxed),
-            ),
-            (
-                "responses_busy_total",
-                m.responses_busy.load(Ordering::Relaxed),
-            ),
-            (
-                "responses_error_total",
-                m.responses_error.load(Ordering::Relaxed),
-            ),
-            ("queue_depth", m.queue_depth.load(Ordering::Relaxed)),
-            ("queue_capacity", self.config.queue as u64),
-            ("workers", self.config.workers as u64),
-            ("cache_hits_total", self.cache.hits()),
-            ("cache_misses_total", self.cache.misses()),
-            ("cache_entries", self.cache.len() as u64),
-            ("latency_p50_us", p50),
-            ("latency_p90_us", p90),
-            ("latency_p99_us", p99),
-        ] {
-            out.push_str(&format!("cactus_serve_{name} {value}\n"));
-        }
-        out.push_str(&routes::service_metrics_lines(&self.service));
-        out
+        self.scraped.queue_capacity.set(self.config.queue as f64);
+        self.scraped.workers.set(self.config.workers as f64);
+        self.scraped.cache_hits.set(self.cache.hits() as f64);
+        self.scraped.cache_misses.set(self.cache.misses() as f64);
+        self.scraped.cache_entries.set(self.cache.len() as f64);
+        let memo = self.service.engine_memo_stats();
+        self.scraped.memo_hit_rate.set(memo.hit_rate());
+        self.registry.render()
     }
 }
 
@@ -160,11 +176,25 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        let registry = MetricsRegistry::new();
+        let registered = || io::Error::other("fresh registry collided");
+        let metrics = ServerMetrics::register(&registry).map_err(|_| registered())?;
+        let scraped = ScrapedGauges::register(&registry).map_err(|_| registered())?;
+        let service = ProfileService::with_registry(config.store_dir.clone(), &registry)
+            .map_err(|_| registered())?;
+        let mut tracer = Tracer::new(config.trace_capacity);
+        if let Some(path) = &config.span_log {
+            tracer = tracer.with_span_log(path)?;
+        }
+
         let state = Arc::new(ServerState {
-            service: ProfileService::new(config.store_dir.clone()),
+            service,
             cache: ResponseCache::new(config.cache_capacity),
-            metrics: ServerMetrics::default(),
+            metrics,
+            registry,
+            tracer,
             config: config.clone(),
+            scraped,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue.max(1));
@@ -241,11 +271,11 @@ fn accept_loop(
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                state.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                state.metrics.queue_depth.add(1.0);
                 match tx.try_send(stream) {
                     Ok(()) => {}
                     Err(TrySendError::Full(stream)) => {
-                        state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        state.metrics.queue_depth.add(-1.0);
                         reject_busy(state, stream);
                     }
                     Err(TrySendError::Disconnected(_)) => break,
@@ -279,8 +309,8 @@ fn reject_busy(state: &ServerState, stream: TcpStream) {
         }
     }
     let response = Response::busy(state.config.retry_after_s);
-    state.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    state.metrics.requests.inc();
+    state.metrics.connections.inc();
     state.metrics.count_status(response.status);
     let _ = response.write_to(&mut stream);
 }
@@ -294,7 +324,7 @@ fn worker_loop(
     loop {
         let next = rx.lock().expect("queue receiver poisoned").recv();
         let Ok(stream) = next else { break };
-        state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        state.metrics.queue_depth.add(-1.0);
         handle_connection(state, &stream, read_timeout, shutdown);
     }
 }
@@ -312,7 +342,7 @@ fn handle_connection(
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    state.metrics.connections.inc();
 
     let mut reader = BufReader::new(stream);
     let mut served = 0usize;
@@ -321,28 +351,32 @@ fn handle_connection(
         let start = Instant::now();
         let (response, client_close) = match request {
             Ok(request) => {
-                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                state.metrics.requests.inc();
                 if served > 0 {
-                    state
-                        .metrics
-                        .keepalive_reuses
-                        .fetch_add(1, Ordering::Relaxed);
+                    state.metrics.keepalive_reuses.inc();
                 }
+                // One trace id per request: propagated from the gateway via
+                // the x-cactus-trace header, or minted here when the client
+                // hit this tier directly. The serve.request span roots this
+                // tier's span tree; handlers hang sub-spans off its ctx.
+                let trace = request.trace_id().unwrap_or_else(TraceId::mint);
+                let mut span = state.tracer.ctx(trace).child("serve.request");
+                span.tag("path", request.path.clone());
                 // A panicking handler must not kill the worker thread;
                 // convert it into a 500 and keep serving.
-                let response =
-                    std::panic::catch_unwind(AssertUnwindSafe(|| routes::respond(state, &request)))
-                        .unwrap_or_else(|_| {
-                            Response::error(500, "internal error: handler panicked")
-                        });
-                (response, request.wants_close())
+                let response = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    routes::respond(state, &request, span.ctx())
+                }))
+                .unwrap_or_else(|_| Response::error(500, "internal error: handler panicked"));
+                span.tag("status", response.status.to_string());
+                (response.traced(trace), request.wants_close())
             }
             // Clean close or idle timeout between requests: nothing to answer.
             Err(HttpError::ClosedEarly | HttpError::Io(_)) => return,
             // A malformed head gets its 400, then the connection closes
             // (framing can no longer be trusted).
             Err(e) => {
-                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                state.metrics.requests.inc();
                 let response = Response::error(400, format!("bad request: {e}"));
                 state.metrics.count_status(response.status);
                 let mut out = stream;

@@ -4,14 +4,14 @@
 //! single-flight and executed on pooled memoizing engines.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cactus_bench::store;
 use cactus_core::{workloads, SuiteScale, Workload};
 use cactus_gpu::engine::MemoStats;
-use cactus_gpu::pool::GpuPool;
+use cactus_gpu::pool::{GpuPool, PoolInstruments};
 use cactus_gpu::Device;
+use cactus_obs::{Counter, MetricsRegistry, RegistryError, SpanCtx};
 use cactus_profiler::Profile;
 use cactus_suites::Benchmark;
 
@@ -167,50 +167,107 @@ pub struct ProfileService {
     /// In-flight lookups; the value carries whether the store satisfied it.
     flight: SingleFlight<(Arc<Profile>, bool)>,
     store_dir: PathBuf,
-    store_hits: AtomicU64,
-    simulations: AtomicU64,
+    store_hits: Counter,
+    simulations: Counter,
 }
 
 impl ProfileService {
     /// A service reading the profile store from `store_dir` (defaults to
-    /// [`store::store_dir`] when `None`).
+    /// [`store::store_dir`] when `None`), counting into a private registry.
     #[must_use]
     pub fn new(store_dir: Option<PathBuf>) -> Self {
+        Self::with_registry(store_dir, &MetricsRegistry::new())
+            .expect("fresh registry has no collisions")
+    }
+
+    /// A service whose counters (store hits, simulations, engine memo
+    /// traffic, engines created) register in `registry` under
+    /// `cactus_serve_*` names. Registry counters are monotonic: they keep
+    /// counting across [`ProfileService::reset`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if any of those names is already registered.
+    pub fn with_registry(
+        store_dir: Option<PathBuf>,
+        registry: &MetricsRegistry,
+    ) -> Result<Self, RegistryError> {
+        let instruments = PoolInstruments {
+            memo_hits: registry.counter(
+                "cactus_serve_engine_memo_hits_total",
+                "launches replayed from a warm memo cache",
+            )?,
+            memo_misses: registry.counter(
+                "cactus_serve_engine_memo_misses_total",
+                "launches simulated from scratch",
+            )?,
+            engines_created: registry
+                .counter("cactus_serve_engines", "engines created across all pools")?,
+        };
         let pools = DEVICE_SLUGS
             .iter()
             .map(|&slug| {
                 (
                     slug,
-                    GpuPool::new(device_by_slug(slug).expect("preset slug")),
+                    GpuPool::new(device_by_slug(slug).expect("preset slug"))
+                        .instrument(instruments.clone()),
                 )
             })
             .collect();
-        Self {
+        Ok(Self {
             pools,
             flight: SingleFlight::new(),
             store_dir: store_dir.unwrap_or_else(store::store_dir),
-            store_hits: AtomicU64::new(0),
-            simulations: AtomicU64::new(0),
-        }
+            store_hits: registry.counter(
+                "cactus_serve_store_hits_total",
+                "profiles answered from the on-disk store",
+            )?,
+            simulations: registry.counter(
+                "cactus_serve_simulations_total",
+                "profiles computed by live simulation",
+            )?,
+        })
     }
 
     /// Resolve one triple to a profile: profile store first, then live
     /// simulation. Concurrent calls for the same triple coalesce into one
-    /// lookup/simulation via single-flight.
+    /// lookup/simulation via single-flight. When `ctx` is given, the leader
+    /// records `serve.store` / `serve.simulate` (and nested `engine.launch`)
+    /// spans under it; coalesced followers record nothing — their one span
+    /// is the caller's, tagged with the coalesced source.
     ///
     /// # Errors
     ///
     /// Returns the leader's failure message (e.g. a panic during
     /// simulation) verbatim for every coalesced caller.
-    pub fn profile(&self, triple: &Triple) -> Result<(Arc<Profile>, ProfileSource), String> {
+    pub fn profile(
+        &self,
+        triple: &Triple,
+        ctx: Option<SpanCtx<'_>>,
+    ) -> Result<(Arc<Profile>, ProfileSource), String> {
         let key = triple.key();
         let (result, leader) = self.flight.run(&key, || {
-            if let Some(profile) = self.load_from_store(triple) {
-                self.store_hits.fetch_add(1, Ordering::Relaxed);
+            let store_hit = {
+                let mut span = ctx.map(|c| c.child("serve.store"));
+                let profile = self.load_from_store(triple);
+                if let Some(span) = &mut span {
+                    span.tag("hit", if profile.is_some() { "true" } else { "false" });
+                }
+                profile
+            };
+            if let Some(profile) = store_hit {
+                self.store_hits.inc();
                 return Ok((Arc::new(profile), true));
             }
-            self.simulations.fetch_add(1, Ordering::Relaxed);
-            Ok((Arc::new(self.simulate(triple)), false))
+            self.simulations.inc();
+            let profile = {
+                let mut span = ctx.map(|c| c.child("serve.simulate"));
+                if let Some(span) = &mut span {
+                    span.tag("key", &key);
+                }
+                self.simulate(triple, span.as_ref().map(cactus_obs::SpanGuard::ctx))
+            };
+            Ok((Arc::new(profile), false))
         });
         let (profile, from_store) = result?;
         let source = match (leader, from_store) {
@@ -233,9 +290,10 @@ impl ProfileService {
             .map(|p| p.profile)
     }
 
-    fn simulate(&self, triple: &Triple) -> Profile {
+    fn simulate(&self, triple: &Triple, ctx: Option<SpanCtx<'_>>) -> Profile {
         let pool = self.pool(&triple.device_slug);
         let mut gpu = pool.checkout();
+        let mut span = ctx.map(|c| c.child("engine.launch"));
         match &triple.workload {
             ServableWorkload::Cactus(w) => w.run(&mut gpu, triple.scale),
             ServableWorkload::Prt(b) => {
@@ -247,6 +305,12 @@ impl ProfileService {
                 };
                 b.run(&mut gpu, scale);
             }
+        }
+        if let Some(span) = &mut span {
+            let delta = gpu.memo_delta();
+            span.tag("device", &triple.device_slug);
+            span.tag("memo_hits", delta.hits.to_string());
+            span.tag("memo_misses", delta.misses.to_string());
         }
         Profile::from_records(gpu.records())
     }
@@ -263,13 +327,13 @@ impl ProfileService {
     /// Profiles answered from the on-disk store.
     #[must_use]
     pub fn store_hits(&self) -> u64 {
-        self.store_hits.load(Ordering::Relaxed)
+        self.store_hits.get()
     }
 
     /// Profiles computed by live simulation (coalesced requests count once).
     #[must_use]
     pub fn simulations(&self) -> u64 {
-        self.simulations.load(Ordering::Relaxed)
+        self.simulations.get()
     }
 
     /// Aggregated launch-memo counters across every engine pool (completed
@@ -289,14 +353,14 @@ impl ProfileService {
         self.pools.iter().map(|(_, pool)| pool.engines()).sum()
     }
 
-    /// Drop every pooled engine (and its memo cache) and zero the service
-    /// counters. Used by benches to measure cold paths.
+    /// Drop every pooled engine (and its memo cache) and zero the pool-local
+    /// memo stats. Used by benches to measure cold paths. Registry counters
+    /// (store hits, simulations, memo traffic) are monotonic and keep their
+    /// values — Prometheus semantics; consumers measure deltas.
     pub fn reset(&self) {
         for (_, pool) in &self.pools {
             pool.reset();
         }
-        self.store_hits.store(0, Ordering::Relaxed);
-        self.simulations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -342,7 +406,7 @@ mod tests {
     fn simulation_matches_direct_run_and_counts_once() {
         let svc = ProfileService::new(Some(std::env::temp_dir().join("cactus-serve-no-store")));
         let t = Triple::resolve("rtx-3080", "tiny", "GMS").expect("resolve");
-        let (p, source) = svc.profile(&t).expect("profile");
+        let (p, source) = svc.profile(&t, None).expect("profile");
         assert_eq!(source, ProfileSource::Simulated);
         assert_eq!(*p, cactus_core::run("GMS", SuiteScale::Tiny));
         assert_eq!(svc.simulations(), 1);
@@ -351,9 +415,47 @@ mod tests {
 
         // A second call is a fresh flight (no response cache at this layer)
         // but reuses the pooled engine's warm memo cache.
-        let (_, _) = svc.profile(&t).expect("profile again");
+        let (_, _) = svc.profile(&t, None).expect("profile again");
         assert_eq!(svc.simulations(), 2);
         assert_eq!(svc.engines(), 1, "engine was reused, not recreated");
+    }
+
+    #[test]
+    fn simulation_records_a_span_tree_under_the_caller() {
+        let tracer = cactus_obs::Tracer::new(64);
+        let trace = cactus_obs::TraceId::mint();
+        let svc = ProfileService::new(Some(std::env::temp_dir().join("cactus-serve-no-store")));
+        let t = Triple::resolve("rtx-3080", "tiny", "GMS").expect("resolve");
+        {
+            let mut root = tracer.ctx(trace).child("serve.profile");
+            let (_, source) = svc.profile(&t, Some(root.ctx())).expect("profile");
+            root.tag("source", format!("{source:?}"));
+        }
+        let spans = tracer.spans_for(trace);
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "serve.store",
+                "engine.launch",
+                "serve.simulate",
+                "serve.profile"
+            ],
+            "children finish (and file) before their parents"
+        );
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).expect(n);
+        assert_eq!(
+            by_name("serve.simulate").parent_id,
+            by_name("serve.profile").span_id
+        );
+        assert_eq!(
+            by_name("engine.launch").parent_id,
+            by_name("serve.simulate").span_id
+        );
+        assert!(by_name("engine.launch")
+            .tags
+            .iter()
+            .any(|(k, _)| *k == "memo_misses"));
     }
 
     #[test]
@@ -372,7 +474,7 @@ mod tests {
 
         let svc = ProfileService::new(Some(dir.clone()));
         let t = Triple::resolve("rtx-3080", "profile", "GMS").expect("resolve");
-        let (p, source) = svc.profile(&t).expect("profile");
+        let (p, source) = svc.profile(&t, None).expect("profile");
         assert_eq!(source, ProfileSource::Store);
         assert_eq!(*p, set[0].profile);
         assert_eq!(svc.store_hits(), 1);

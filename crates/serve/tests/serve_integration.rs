@@ -10,7 +10,7 @@ use cactus_bench::store::save_set_in;
 use cactus_bench::ProfiledWorkload;
 use cactus_core::SuiteScale;
 use cactus_serve::client::ClientError;
-use cactus_serve::{Client, ServeConfig, Server};
+use cactus_serve::{Client, ProfileQuery, ServeConfig, Server};
 
 /// A server on an ephemeral port with a unique empty store directory.
 fn start(workers: usize, queue: usize) -> (Server, Client, std::path::PathBuf) {
@@ -35,7 +35,6 @@ fn metric(client: &Client, name: &str) -> f64 {
         .metrics()
         .expect("metrics")
         .get(name)
-        .copied()
         .unwrap_or_else(|| panic!("metric {name} missing"))
 }
 
@@ -90,7 +89,11 @@ fn profile_round_trip_matches_local_simulation() {
     let (server, client, dir) = start(2, 16);
 
     let served = client
-        .profile("rtx-3080", "tiny", "GMS")
+        .profile(ProfileQuery {
+            device: "rtx-3080",
+            scale: "tiny",
+            workload: "GMS",
+        })
         .expect("served profile");
     let local = cactus_core::run("GMS", SuiteScale::Tiny);
     assert_eq!(
@@ -321,7 +324,11 @@ fn store_backed_profiles_skip_simulation() {
     let client = Client::new(server.addr()).with_timeout(Duration::from_secs(120));
 
     let served = client
-        .profile("rtx-3080", "profile", "GMS")
+        .profile(ProfileQuery {
+            device: "rtx-3080",
+            scale: "profile",
+            workload: "GMS",
+        })
         .expect("store-backed profile");
     assert_eq!(served, seeded, "store round-trip must be bit-exact");
     assert_eq!(metric(&client, "cactus_serve_simulations_total"), 0.0);
