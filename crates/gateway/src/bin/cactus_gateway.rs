@@ -171,7 +171,7 @@ fn run(args: Args) -> ExitCode {
         Ok(gateway) => gateway,
         Err(e) => {
             eprintln!("cactus-gateway: bind failed: {e}");
-            if let Some(mut fleet) = supervisor {
+            if let Some(fleet) = supervisor {
                 fleet.shutdown_all();
             }
             return ExitCode::FAILURE;
@@ -183,7 +183,7 @@ fn run(args: Args) -> ExitCode {
         if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
             eprintln!("cactus-gateway: cannot write port file {path}: {e}");
             gateway.join();
-            if let Some(mut fleet) = supervisor {
+            if let Some(fleet) = supervisor {
                 fleet.shutdown_all();
             }
             return ExitCode::FAILURE;
@@ -197,7 +197,7 @@ fn run(args: Args) -> ExitCode {
     // Drain the gateway before the backends so every accepted request can
     // still be forwarded somewhere.
     gateway.join();
-    if let Some(mut fleet) = supervisor {
+    if let Some(fleet) = supervisor {
         fleet.shutdown_all();
     }
     eprintln!("cactus-gateway: drained, exiting");

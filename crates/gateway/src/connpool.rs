@@ -9,16 +9,16 @@
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
+use cactus_obs::lock::{rank, RankedMutex};
 use cactus_serve::Connection;
 
 /// Per-backend stacks of idle keep-alive connections.
 #[derive(Debug)]
 pub struct ConnPool {
     addrs: Vec<SocketAddr>,
-    idle: Vec<Mutex<Vec<Connection>>>,
+    idle: Vec<RankedMutex<Vec<Connection>>>,
     timeout: Duration,
     max_idle: usize,
     dials: AtomicU64,
@@ -30,7 +30,10 @@ impl ConnPool {
     /// backend; `timeout` applies to connect/read/write on each connection.
     #[must_use]
     pub fn new(addrs: Vec<SocketAddr>, timeout: Duration, max_idle: usize) -> Self {
-        let idle = addrs.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let idle = addrs
+            .iter()
+            .map(|_| RankedMutex::new(rank::CONN_POOL, "gateway.connpool", Vec::new()))
+            .collect();
         Self {
             addrs,
             idle,
@@ -63,7 +66,7 @@ impl ConnPool {
     /// one if none is pooled.
     #[must_use]
     pub fn checkout(&self, i: usize) -> Connection {
-        if let Some(conn) = self.idle[i].lock().expect("pool lock poisoned").pop() {
+        if let Some(conn) = self.idle[i].lock().pop() {
             self.reuses.fetch_add(1, Ordering::Relaxed);
             return conn;
         }
@@ -77,7 +80,7 @@ impl ConnPool {
         if !conn.is_connected() {
             return;
         }
-        let mut idle = self.idle[i].lock().expect("pool lock poisoned");
+        let mut idle = self.idle[i].lock();
         if idle.len() < self.max_idle {
             idle.push(conn);
         }
@@ -86,7 +89,7 @@ impl ConnPool {
     /// Drop every pooled connection to backend `i` (e.g. after ejection, so
     /// recovery trials start from fresh sockets).
     pub fn evict(&self, i: usize) {
-        self.idle[i].lock().expect("pool lock poisoned").clear();
+        self.idle[i].lock().clear();
     }
 
     /// Checkouts satisfied by a fresh connection handle.

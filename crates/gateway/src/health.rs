@@ -22,8 +22,9 @@
 //! machinery, just routing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use cactus_obs::lock::{rank, RankedMutex};
 
 /// One backend's position in the ejection state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +47,7 @@ struct Backend {
 /// Tracks health for a fixed fleet of backends, indexed by ring position.
 #[derive(Debug)]
 pub struct HealthTracker {
-    backends: Mutex<Vec<Backend>>,
+    backends: RankedMutex<Vec<Backend>>,
     eject_after: u32,
     cooldown: Duration,
     ejections: AtomicU64,
@@ -59,7 +60,9 @@ impl HealthTracker {
     #[must_use]
     pub fn new(backends: usize, eject_after: u32, cooldown: Duration) -> Self {
         Self {
-            backends: Mutex::new(
+            backends: RankedMutex::new(
+                rank::HEALTH,
+                "gateway.health",
                 (0..backends)
                     .map(|_| Backend {
                         state: HealthState::Healthy,
@@ -77,7 +80,7 @@ impl HealthTracker {
     /// Record a successful exchange with backend `i`. A `HalfOpen` backend
     /// passes its trial and returns to `Healthy`.
     pub fn report_success(&self, i: usize) {
-        let mut backends = self.backends.lock().expect("health lock poisoned");
+        let mut backends = self.backends.lock();
         let b = &mut backends[i];
         b.consecutive_failures = 0;
         b.ejected_at = None;
@@ -88,7 +91,7 @@ impl HealthTracker {
     /// `Healthy` backends eject after `eject_after` consecutive failures;
     /// a `HalfOpen` backend fails its trial and re-ejects immediately.
     pub fn report_failure(&self, i: usize) {
-        let mut backends = self.backends.lock().expect("health lock poisoned");
+        let mut backends = self.backends.lock();
         let b = &mut backends[i];
         b.consecutive_failures = b.consecutive_failures.saturating_add(1);
         let eject = match b.state {
@@ -106,7 +109,7 @@ impl HealthTracker {
     /// Move every `Ejected` backend whose cooldown has elapsed to
     /// `HalfOpen`. Called periodically by the gateway's health thread.
     pub fn tick(&self) {
-        let mut backends = self.backends.lock().expect("health lock poisoned");
+        let mut backends = self.backends.lock();
         for b in backends.iter_mut() {
             if b.state == HealthState::Ejected
                 && b.ejected_at.is_some_and(|t| t.elapsed() >= self.cooldown)
@@ -125,7 +128,7 @@ impl HealthTracker {
     /// Backend `i`'s current state.
     #[must_use]
     pub fn state(&self, i: usize) -> HealthState {
-        self.backends.lock().expect("health lock poisoned")[i].state
+        self.backends.lock()[i].state
     }
 
     /// Total transitions into `Ejected` since startup.

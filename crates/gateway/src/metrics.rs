@@ -12,8 +12,8 @@
 //! sum of all `cactus_gateway_backend_<i>_routed_total`.
 
 use std::net::SocketAddr;
-use std::sync::Mutex;
 
+use cactus_obs::lock::{rank, RankedMutex};
 use cactus_obs::{Counter, Gauge, Histogram, MetricsRegistry, RegistryError};
 use cactus_serve::metrics::quantile;
 
@@ -27,7 +27,7 @@ pub const LATENCY_WINDOW: usize = 512;
 /// overwritten, quantiles are computed over whatever is present.
 #[derive(Debug)]
 pub struct LatencyRing {
-    samples: Mutex<(Vec<u64>, usize)>,
+    samples: RankedMutex<(Vec<u64>, usize)>,
 }
 
 impl Default for LatencyRing {
@@ -40,13 +40,17 @@ impl LatencyRing {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            samples: Mutex::new((Vec::with_capacity(LATENCY_WINDOW), 0)),
+            samples: RankedMutex::new(
+                rank::LATENCY_WINDOW,
+                "gateway.latency_ring",
+                (Vec::with_capacity(LATENCY_WINDOW), 0),
+            ),
         }
     }
 
     /// Record one latency sample in microseconds.
     pub fn record(&self, us: u64) {
-        let mut guard = self.samples.lock().expect("latency ring poisoned");
+        let mut guard = self.samples.lock();
         let (samples, next) = &mut *guard;
         if samples.len() < LATENCY_WINDOW {
             samples.push(us);
@@ -60,7 +64,7 @@ impl LatencyRing {
     /// `None` while the window is empty.
     #[must_use]
     pub fn quantile_us(&self, q: f64) -> Option<u64> {
-        let guard = self.samples.lock().expect("latency ring poisoned");
+        let guard = self.samples.lock();
         if guard.0.is_empty() {
             return None;
         }
@@ -72,7 +76,7 @@ impl LatencyRing {
     /// Number of samples currently in the window.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.samples.lock().expect("latency ring poisoned").0.len()
+        self.samples.lock().0.len()
     }
 
     /// True when no sample has been recorded yet.
@@ -137,6 +141,7 @@ impl GatewayMetrics {
     /// private registry.
     #[must_use]
     pub fn new(backends: usize) -> Self {
+        // lint:allow(no_panic, fresh private registry cannot collide)
         Self::register(&MetricsRegistry::new(), backends).expect("fresh registry has no collisions")
     }
 

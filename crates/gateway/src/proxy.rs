@@ -153,9 +153,14 @@ impl Router {
                 span.tag("attempt", attempt.to_string());
                 span.tag("backend", target.to_string());
             }
-            let hedged = attempt == 0 && self.policy.hedge && candidates.len() > 1;
-            let outcome = if hedged {
-                self.hedged_attempt(path, target, candidates[1], trace)
+            let hedge_target = if attempt == 0 && self.policy.hedge {
+                candidates.get(1).copied()
+            } else {
+                None
+            };
+            let hedged = hedge_target.is_some();
+            let outcome = if let Some(hedge) = hedge_target {
+                self.hedged_attempt(path, target, hedge, trace)
             } else {
                 let r = self.try_backend(target, path, trace);
                 (r, target)
@@ -249,8 +254,12 @@ impl Router {
                         }
                     }
                 }
-                let (who, outcome) = first_bad.expect("both racers reported");
-                (outcome, who)
+                match first_bad {
+                    Some((who, outcome)) => (outcome, who),
+                    // Both sender clones dropped without a report — only
+                    // possible if a racer thread died; treat as failed.
+                    None => (Attempt::Failed, primary),
+                }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => (Attempt::Failed, primary),
         }

@@ -30,10 +30,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cactus_obs::lock::{rank, RankedMutex};
 use cactus_obs::{ApiError, TraceId, Tracer, TRACE_HEADER};
 use cactus_serve::http::{self, HttpError, Request};
 use cactus_serve::net;
@@ -167,7 +168,11 @@ impl Gateway {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(RankedMutex::new(
+            rank::WORKER_QUEUE,
+            "gateway.worker_queue",
+            rx,
+        ));
 
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -320,13 +325,13 @@ fn reject_busy(router: &Router, mut stream: TcpStream, retry_after_s: u32) {
 fn worker_loop(
     router: &Arc<Router>,
     tracer: &Tracer,
-    rx: &Mutex<Receiver<TcpStream>>,
+    rx: &RankedMutex<Receiver<TcpStream>>,
     config: &GatewayConfig,
     backend_addrs: &[SocketAddr],
     shutdown: &AtomicBool,
 ) {
     loop {
-        let next = rx.lock().expect("queue receiver poisoned").recv();
+        let next = rx.lock().recv();
         let Ok(stream) = next else { break };
         handle_connection(router, tracer, &stream, config, backend_addrs, shutdown);
     }
@@ -476,11 +481,12 @@ fn tracez(ctx: cactus_obs::SpanCtx<'_>, query: Option<&str>) -> Forwarded {
 pub fn routing_key(target: &str) -> String {
     let path = target.split('?').next().unwrap_or(target);
     let parts: Vec<&str> = path.trim_matches('/').split('/').collect();
-    if parts.len() == 5 && parts[0] == "v1" {
-        parts[1..].join("/")
-    } else {
-        path.trim_matches('/').to_owned()
+    if let ["v1", rest @ ..] = parts.as_slice() {
+        if rest.len() == 4 {
+            return rest.join("/");
+        }
     }
+    path.trim_matches('/').to_owned()
 }
 
 /// Write a forwarded (or locally produced) response in the same wire shape

@@ -8,6 +8,12 @@
 //! because the serve listener sets `SO_REUSEADDR`; without it, lingering
 //! TIME_WAIT sockets would make every restart race a kernel timer.
 //!
+//! The slot table lives behind a [`RankedMutex`] (rank
+//! [`rank::SUPERVISOR`], the outermost lock in the workspace order), so the
+//! signal handler, the admin path, and the tests can all drive the fleet
+//! through a shared reference. Servers are taken *out* of the table before
+//! being joined: a slow drain never blocks `addrs()`/`running()` readers.
+//!
 //! The supervisor is how the failover story gets exercised end to end: the
 //! integration suite kills a live backend mid-run (clients must see zero
 //! errors thanks to ejection + re-routing) and restarts it (the half-open
@@ -16,16 +22,19 @@
 use std::io;
 use std::net::SocketAddr;
 
+use cactus_obs::lock::{rank, RankedMutex};
 use cactus_serve::{ServeConfig, Server};
 
 struct Slot {
     config: ServeConfig,
+    /// The pinned address `config.addr` resolves to, parsed once at spawn.
+    addr: SocketAddr,
     server: Option<Server>,
 }
 
 /// A fixed set of supervised backend slots.
 pub struct Supervisor {
-    slots: Vec<Slot>,
+    slots: RankedMutex<Vec<Slot>>,
 }
 
 impl Supervisor {
@@ -45,9 +54,11 @@ impl Supervisor {
             match Server::start(config.clone()) {
                 Ok(server) => {
                     // Pin the resolved port so a restart reuses it.
-                    config.addr = server.addr().to_string();
+                    let addr = server.addr();
+                    config.addr = addr.to_string();
                     slots.push(Slot {
                         config,
+                        addr,
                         server: Some(server),
                     });
                 }
@@ -61,74 +72,88 @@ impl Supervisor {
                 }
             }
         }
-        Ok(Self { slots })
+        Ok(Self {
+            slots: RankedMutex::new(rank::SUPERVISOR, "gateway.supervisor", slots),
+        })
     }
 
     /// Number of slots (running or not).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.slots.lock().len()
     }
 
     /// True when the supervisor manages no slots.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.slots.lock().is_empty()
     }
 
     /// Every slot's pinned address, in slot order (stable across restarts).
     #[must_use]
     pub fn addrs(&self) -> Vec<SocketAddr> {
-        self.slots
-            .iter()
-            .map(|s| s.config.addr.parse().expect("pinned addr is valid"))
-            .collect()
+        self.slots.lock().iter().map(|s| s.addr).collect()
     }
 
     /// Whether slot `i` currently has a running server.
     #[must_use]
     pub fn running(&self, i: usize) -> bool {
-        self.slots[i].server.is_some()
-    }
-
-    /// Borrow slot `i`'s running server, if any.
-    #[must_use]
-    pub fn server(&self, i: usize) -> Option<&Server> {
-        self.slots[i].server.as_ref()
+        self.slots.lock().get(i).is_some_and(|s| s.server.is_some())
     }
 
     /// Gracefully stop slot `i` (drains in-flight requests, then joins all
-    /// of its threads). No-op if already stopped.
-    pub fn kill(&mut self, i: usize) {
-        if let Some(server) = self.slots[i].server.take() {
+    /// of its threads). No-op if already stopped or out of range.
+    pub fn kill(&self, i: usize) {
+        // Take the server out under the lock, join outside it: a drain can
+        // take as long as the slowest in-flight request, and readers
+        // (addrs, running) must not wait on it.
+        let server = self.slots.lock().get_mut(i).and_then(|s| s.server.take());
+        if let Some(server) = server {
             server.join();
         }
     }
 
-    /// Restart slot `i` on its pinned address. No-op if already running.
+    /// Restart slot `i` on its pinned address. No-op if already running or
+    /// out of range.
     ///
     /// # Errors
     ///
     /// Propagates bind failures (the slot stays stopped).
-    pub fn restart(&mut self, i: usize) -> io::Result<()> {
-        if self.slots[i].server.is_none() {
-            self.slots[i].server = Some(Server::start(self.slots[i].config.clone())?);
+    pub fn restart(&self, i: usize) -> io::Result<()> {
+        let config = match self.slots.lock().get(i) {
+            Some(slot) if slot.server.is_none() => slot.config.clone(),
+            _ => return Ok(()),
+        };
+        // Bind outside the lock (it can fail slowly), then install. The
+        // slot cannot race to a second server: only `restart` fills an
+        // empty slot, and a concurrent fill is re-joined defensively.
+        let server = Server::start(config)?;
+        let displaced = self
+            .slots
+            .lock()
+            .get_mut(i)
+            .and_then(|s| s.server.replace(server));
+        if let Some(old) = displaced {
+            old.join();
         }
         Ok(())
     }
 
     /// Stop every running backend, draining each.
-    pub fn shutdown_all(&mut self) {
-        // Signal all first so they drain concurrently, then join.
-        for slot in &self.slots {
-            if let Some(server) = &slot.server {
-                server.shutdown();
+    pub fn shutdown_all(&self) {
+        // Signal all first so they drain concurrently, then join — again
+        // with the servers moved out of the table.
+        let servers: Vec<Server> = {
+            let mut slots = self.slots.lock();
+            for slot in slots.iter() {
+                if let Some(server) = &slot.server {
+                    server.shutdown();
+                }
             }
-        }
-        for slot in &mut self.slots {
-            if let Some(server) = slot.server.take() {
-                server.join();
-            }
+            slots.iter_mut().filter_map(|s| s.server.take()).collect()
+        };
+        for server in servers {
+            server.join();
         }
     }
 }
@@ -150,7 +175,7 @@ mod tests {
 
     #[test]
     fn fleet_spawns_on_distinct_ports_and_answers_health() {
-        let mut fleet = Supervisor::spawn_fleet(2, &base()).expect("spawn");
+        let fleet = Supervisor::spawn_fleet(2, &base()).expect("spawn");
         let addrs = fleet.addrs();
         assert_eq!(addrs.len(), 2);
         assert_ne!(addrs[0], addrs[1]);
@@ -167,7 +192,7 @@ mod tests {
 
     #[test]
     fn kill_and_restart_reuse_the_pinned_port() {
-        let mut fleet = Supervisor::spawn_fleet(1, &base()).expect("spawn");
+        let fleet = Supervisor::spawn_fleet(1, &base()).expect("spawn");
         let addr = fleet.addrs()[0];
         fleet.kill(0);
         assert!(!fleet.running(0));
@@ -185,6 +210,15 @@ mod tests {
             .get("/healthz")
             .expect("healthz after restart");
         assert_eq!(reply.status, 200);
+        fleet.shutdown_all();
+    }
+
+    #[test]
+    fn out_of_range_slot_ops_are_noops() {
+        let fleet = Supervisor::spawn_fleet(1, &base()).expect("spawn");
+        fleet.kill(7);
+        assert!(fleet.restart(7).is_ok());
+        assert!(!fleet.running(7));
         fleet.shutdown_all();
     }
 }

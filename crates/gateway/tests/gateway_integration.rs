@@ -97,7 +97,7 @@ fn failover_balance_and_recovery() {
     let paths = sweep_paths(&names);
     assert!(paths.len() >= 30, "sweep must cover at least 30 keys");
 
-    let mut fleet = Supervisor::spawn_fleet(
+    let fleet = Supervisor::spawn_fleet(
         3,
         &ServeConfig {
             workers: 2,
@@ -252,7 +252,7 @@ fn failover_balance_and_recovery() {
 fn gateway_proxies_non_shard_routes_verbatim() {
     let dir = std::env::temp_dir().join(format!("cactus-gateway-it-misc-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let mut fleet = Supervisor::spawn_fleet(
+    let fleet = Supervisor::spawn_fleet(
         2,
         &ServeConfig {
             workers: 1,

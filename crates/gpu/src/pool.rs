@@ -39,7 +39,7 @@
 //! assert_eq!(pool.engines(), 1);
 //! ```
 
-use std::sync::Mutex;
+use cactus_obs::lock::{rank, RankedMutex};
 
 use cactus_obs::Counter;
 
@@ -68,9 +68,9 @@ pub struct PoolInstruments {
 #[derive(Debug)]
 pub struct GpuPool {
     device: Device,
-    idle: Mutex<Vec<Gpu>>,
+    idle: RankedMutex<Vec<Gpu>>,
     /// Memo counters folded in from completed checkouts, plus engine count.
-    stats: Mutex<PoolCounters>,
+    stats: RankedMutex<PoolCounters>,
     instruments: Option<PoolInstruments>,
 }
 
@@ -86,8 +86,12 @@ impl GpuPool {
     pub fn new(device: Device) -> Self {
         Self {
             device,
-            idle: Mutex::new(Vec::new()),
-            stats: Mutex::new(PoolCounters::default()),
+            idle: RankedMutex::new(rank::ENGINE_POOL_IDLE, "gpu.pool_idle", Vec::new()),
+            stats: RankedMutex::new(
+                rank::ENGINE_POOL_STATS,
+                "gpu.pool_stats",
+                PoolCounters::default(),
+            ),
             instruments: None,
         }
     }
@@ -111,9 +115,9 @@ impl GpuPool {
     /// a new one). Never blocks on other checkouts.
     #[must_use]
     pub fn checkout(&self) -> PooledGpu<'_> {
-        let reused = self.idle.lock().expect("pool poisoned").pop();
+        let reused = self.idle.lock().pop();
         let gpu = reused.unwrap_or_else(|| {
-            self.stats.lock().expect("pool stats poisoned").created += 1;
+            self.stats.lock().created += 1;
             if let Some(instruments) = &self.instruments {
                 instruments.engines_created.inc();
             }
@@ -130,27 +134,27 @@ impl GpuPool {
     /// Total engines ever created by this pool.
     #[must_use]
     pub fn engines(&self) -> u64 {
-        self.stats.lock().expect("pool stats poisoned").created
+        self.stats.lock().created
     }
 
     /// Engines currently idle (not checked out).
     #[must_use]
     pub fn idle(&self) -> usize {
-        self.idle.lock().expect("pool poisoned").len()
+        self.idle.lock().len()
     }
 
     /// Memo hits/misses accumulated by all *completed* checkouts.
     #[must_use]
     pub fn memo_stats(&self) -> MemoStats {
-        self.stats.lock().expect("pool stats poisoned").memo
+        self.stats.lock().memo
     }
 
     /// Drop all idle engines (and their memo caches) and zero the pool-wide
     /// counters. Engines currently checked out are unaffected and fold
     /// their deltas into the zeroed counters when returned.
     pub fn reset(&self) {
-        self.idle.lock().expect("pool poisoned").clear();
-        let mut stats = self.stats.lock().expect("pool stats poisoned");
+        self.idle.lock().clear();
+        let mut stats = self.stats.lock();
         stats.memo = MemoStats::default();
     }
 
@@ -165,10 +169,10 @@ impl GpuPool {
             instruments.memo_hits.add(delta.hits);
             instruments.memo_misses.add(delta.misses);
         }
-        let mut stats = self.stats.lock().expect("pool stats poisoned");
+        let mut stats = self.stats.lock();
         stats.memo = stats.memo.merged(&delta);
         drop(stats);
-        self.idle.lock().expect("pool poisoned").push(gpu);
+        self.idle.lock().push(gpu);
     }
 }
 
@@ -187,6 +191,7 @@ impl PooledGpu<'_> {
     /// this to attribute memo traffic to one request.
     #[must_use]
     pub fn memo_delta(&self) -> MemoStats {
+        // lint:allow(no_panic, engine is Some from checkout until drop)
         let now = self
             .gpu
             .as_ref()
@@ -203,12 +208,14 @@ impl std::ops::Deref for PooledGpu<'_> {
     type Target = Gpu;
 
     fn deref(&self) -> &Gpu {
+        // lint:allow(no_panic, engine is Some from checkout until drop)
         self.gpu.as_ref().expect("engine present until drop")
     }
 }
 
 impl std::ops::DerefMut for PooledGpu<'_> {
     fn deref_mut(&mut self) -> &mut Gpu {
+        // lint:allow(no_panic, engine is Some from checkout until drop)
         self.gpu.as_mut().expect("engine present until drop")
     }
 }

@@ -1,0 +1,10 @@
+//! Seeded-bad fixture: duplicate, badly-suffixed, and badly-prefixed
+//! metric registrations.
+
+pub fn register(registry: &Registry) {
+    let _first = registry.counter("cactus_serve_requests_total", "requests");
+    let _duplicate = registry.counter("cactus_serve_requests_total", "requests again");
+    let _unsuffixed = registry.counter("cactus_serve_oops", "counter without _total");
+    let _unprefixed = registry.gauge("serve_depth", "gauge outside the cactus_ namespace");
+    let _interpolated = registry.gauge(&format!("cactus_serve_shard_{i}_depth"), "per-shard");
+}

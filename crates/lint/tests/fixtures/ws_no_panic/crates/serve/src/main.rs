@@ -1,0 +1,39 @@
+//! Seeded-bad fixture: every no_panic shape on a daemon path.
+
+fn unannotated(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn expected(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+fn exploding() -> u32 {
+    panic!("boom")
+}
+
+fn literal_index(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+fn allowed(v: Option<u32>) -> u32 {
+    // lint:allow(no_panic, fixture exercises the escape hatch)
+    v.unwrap()
+}
+
+fn allow_without_reason(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(no_panic)
+}
+
+fn variable_index_is_fine(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture served surface: two exact routes plus a two-endpoint triple
+//! family.
+
+pub const TRIPLE_ENDPOINTS: [&str; 2] = ["profile", "kernels"];
+
+pub fn respond(path: &str) -> &'static str {
+    match path {
+        "/v1/healthz" => "ok",
+        "/v1/workloads" => "csv",
+        _ => "404",
+    }
+}

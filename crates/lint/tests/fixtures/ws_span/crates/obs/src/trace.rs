@@ -1,0 +1,3 @@
+//! Fixture span registry.
+
+pub const SPAN_NAMES: &[&str] = &["serve.request", "serve.cache"];

@@ -1,0 +1,6 @@
+//! Seeded-bad fixture: one registered span name and one rogue one.
+
+pub fn handle(ctx: &Ctx) {
+    let _request = ctx.child("serve.request");
+    let _rogue = ctx.child("serve.rogue");
+}

@@ -1,0 +1,107 @@
+//! Property tests over the lint lexer.
+//!
+//! The lexer runs on every `.rs` file in the workspace, including
+//! malformed ones mid-edit, so its contract is totality: on *arbitrary*
+//! input it must not panic, and its tokens must tile the input exactly —
+//! `token.start`/`token.end` spans are adjacent, cover every byte, and
+//! `text()` concatenates back to the original source. Line numbers must
+//! equal `1 +` the newlines before the token, since findings report them.
+
+use cactus_lint::lexer::lex;
+use proptest::prelude::*;
+
+/// Characters chosen to stress the tricky lexer states: string and char
+/// delimiters, raw-string sigils, comment openers/closers, escapes, and
+/// a multi-byte character to exercise UTF-8 boundaries.
+const TRICKY: &[&str] = &[
+    "\"", "'", "r", "b", "#", "\\", "/", "*", "{", "}", "[", "]", "(", ")", "0", "9", "x", "_",
+    " ", "\n", "\t", ".", ";", ":", "!", "a", "Z", "λ", "→",
+];
+
+/// Larger fragments that open (and sometimes fail to close) nested
+/// constructs: unterminated strings, raw strings with mismatched hash
+/// counts, nested block comments, byte literals.
+const FRAGMENTS: &[&str] = &[
+    "r#\"raw\"#",
+    "r#\"unterminated",
+    "br##\"bytes\"##",
+    "b'\\n'",
+    "'\\''",
+    "'a",
+    "'static",
+    "/* nested /* block */",
+    "*/",
+    "// line comment\n",
+    "\"str with \\\" escape\"",
+    "\"unterminated",
+    "0x1f_u32",
+    "let x = v[0];",
+    "ident_0",
+];
+
+fn soup(
+    pieces: &'static [&'static str],
+    len: std::ops::Range<usize>,
+) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..pieces.len(), len)
+        .prop_map(move |idxs| idxs.into_iter().map(|i| pieces[i]).collect())
+}
+
+fn check_tiling(src: &str) -> Result<(), String> {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    for t in &tokens {
+        if t.start != pos {
+            return Err(format!(
+                "gap: token starts at {} but previous ended at {pos}",
+                t.start
+            ));
+        }
+        if t.end <= t.start {
+            return Err(format!("empty or reversed span {}..{}", t.start, t.end));
+        }
+        let expected_line = 1 + src
+            .get(..t.start)
+            .map_or(0, |prefix| prefix.bytes().filter(|&b| b == b'\n').count());
+        if t.line as usize != expected_line {
+            return Err(format!(
+                "token at {} reports line {} but {expected_line} newlines-derived",
+                t.start, t.line
+            ));
+        }
+        pos = t.end;
+    }
+    if pos != src.len() {
+        return Err(format!("coverage stops at {pos} of {}", src.len()));
+    }
+    let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+    if rebuilt != src {
+        return Err("text() concatenation differs from the input".to_owned());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn character_soup_never_panics_and_tiles(s in soup(TRICKY, 0..120)) {
+        if let Err(msg) = check_tiling(&s) {
+            prop_assert!(false, "{msg} on input {s:?}");
+        }
+    }
+
+    #[test]
+    fn fragment_soup_never_panics_and_tiles(s in soup(FRAGMENTS, 0..40)) {
+        if let Err(msg) = check_tiling(&s) {
+            prop_assert!(false, "{msg} on input {s:?}");
+        }
+    }
+}
+
+#[test]
+fn empty_and_whitespace_only_inputs() {
+    for src in ["", " ", "\n\n", "\t", "\u{feff}"] {
+        assert!(check_tiling(src).is_ok(), "tiling failed on {src:?}");
+    }
+}

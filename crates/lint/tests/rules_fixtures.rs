@@ -1,0 +1,148 @@
+//! Rule tests against seeded-bad fixture workspaces, plus the self-check
+//! that keeps the live workspace clean.
+//!
+//! Each fixture under `tests/fixtures/` is a miniature workspace laid out
+//! like the real one (`crates/<name>/src/…`), scanned from its own root.
+//! The real scan never sees them: `Workspace::scan` skips `fixtures`
+//! directories.
+
+use std::path::PathBuf;
+
+use cactus_lint::{run_all, Finding, Workspace};
+
+fn fixture(name: &str) -> Vec<Finding> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let ws = Workspace::scan(&root).expect("fixture scans");
+    run_all(&ws)
+}
+
+fn by_rule<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn no_panic_fires_on_each_shape_with_file_and_line() {
+    let findings = fixture("ws_no_panic");
+    let hits = by_rule(&findings, "no_panic");
+    let lines: Vec<u32> = hits.iter().map(|f| f.line).collect();
+    // unwrap, expect, panic!, literal index, allow-without-reason.
+    assert_eq!(lines, vec![4, 8, 12, 16, 25], "findings: {findings:?}");
+    for f in &hits {
+        assert_eq!(f.file, "crates/serve/src/main.rs");
+    }
+    assert!(
+        hits[0].message.contains("unwrap"),
+        "message names the shape: {}",
+        hits[0].message
+    );
+    assert!(
+        hits[4].message.contains("must give a reason"),
+        "reasonless allow is its own finding: {}",
+        hits[4].message
+    );
+    // The annotated unwrap (line 21), the variable index (line 29), and
+    // the #[cfg(test)] unwrap produced nothing.
+    assert!(!lines.contains(&21) && !lines.contains(&29));
+}
+
+#[test]
+fn lock_cycle_is_reported_with_both_sites() {
+    let findings = fixture("ws_lock_cycle");
+    let hits = by_rule(&findings, "lock_order");
+    assert_eq!(hits.len(), 1, "exactly one AB/BA cycle: {findings:?}");
+    let f = hits[0];
+    assert_eq!(f.file, "crates/gateway/src/lib.rs");
+    assert!(
+        f.message.contains("gateway.alpha") && f.message.contains("gateway.beta"),
+        "cycle names both locks: {}",
+        f.message
+    );
+    assert!(
+        f.message.matches("crates/gateway/src/lib.rs:").count() >= 2,
+        "cycle lists a file:line per edge: {}",
+        f.message
+    );
+    // The drop()-separated sequential function contributed no edge, so
+    // there is no second cycle.
+    assert!(findings.iter().all(|f| f.rule == "lock_order"));
+}
+
+#[test]
+fn duplicate_and_malformed_metric_names_fire() {
+    let findings = fixture("ws_dup_metric");
+    let hits = by_rule(&findings, "names");
+    assert_eq!(hits.len(), 3, "dup + unsuffixed + unprefixed: {findings:?}");
+    assert_eq!(hits[0].line, 6);
+    assert!(
+        hits[0].message.contains("already registered")
+            && hits[0].message.contains("crates/serve/src/metrics.rs:5"),
+        "duplicate points at the first site: {}",
+        hits[0].message
+    );
+    assert_eq!(hits[1].line, 7);
+    assert!(hits[1].message.contains("_total"), "{}", hits[1].message);
+    assert_eq!(hits[2].line, 8);
+    assert!(
+        hits[2].message.contains("cactus_"),
+        "prefix violation named: {}",
+        hits[2].message
+    );
+}
+
+#[test]
+fn client_route_drift_fires_and_valid_paths_pass() {
+    let findings = fixture("ws_route_drift");
+    let hits = by_rule(&findings, "surface");
+    let lines: Vec<u32> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![7, 8], "typo + unserved endpoint: {findings:?}");
+    for f in &hits {
+        assert_eq!(f.file, "crates/serve/src/client.rs");
+    }
+    assert!(
+        hits[0].message.contains("/v1/workload"),
+        "{}",
+        hits[0].message
+    );
+    assert!(
+        hits[1].message.contains("/v1/roofline"),
+        "endpoint outside TRIPLE_ENDPOINTS: {}",
+        hits[1].message
+    );
+}
+
+#[test]
+fn rogue_span_name_fires() {
+    let findings = fixture("ws_span");
+    let hits = by_rule(&findings, "surface");
+    assert_eq!(hits.len(), 1, "one rogue span: {findings:?}");
+    assert_eq!(hits[0].file, "crates/serve/src/server.rs");
+    assert_eq!(hits[0].line, 5);
+    assert!(
+        hits[0].message.contains("serve.rogue") && hits[0].message.contains("SPAN_NAMES"),
+        "{}",
+        hits[0].message
+    );
+}
+
+/// The live workspace must stay clean: this is the same check CI runs via
+/// `cargo run -p cactus-lint`, kept here so `cargo test` alone catches
+/// regressions.
+#[test]
+fn live_workspace_has_no_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::scan(&root).expect("workspace scans");
+    assert!(
+        ws.files
+            .iter()
+            .any(|f| f.rel == "crates/serve/src/routes.rs"),
+        "sanity: the scan saw the serving tier"
+    );
+    let findings = run_all(&ws);
+    assert!(
+        findings.is_empty(),
+        "live workspace must lint clean:\n{}",
+        cactus_lint::report::render_text(&findings)
+    );
+}

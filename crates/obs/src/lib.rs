@@ -29,6 +29,12 @@
 //!   request yields one span tree: `gateway.route` → `proxy.attempt` →
 //!   `serve.request` → `serve.cache|serve.profile` →
 //!   `serve.store|serve.simulate` → `engine.launch`.
+//! * [`lock`] — [`RankedMutex`](lock::RankedMutex), the rank-ordered mutex
+//!   every long-lived lock in the stack is built on. Under
+//!   `debug_assertions` or `--features lock-check` it tracks a per-thread
+//!   acquisition stack and panics on rank inversion with both sites; in
+//!   release it is a plain poison-recovering `Mutex` passthrough. The
+//!   static half of the same defense lives in `cactus-lint`.
 //! * [`api`] — the versioned-API error envelope `{code, message,
 //!   retryable}` shared by serve, gateway, and the typed client, so clients
 //!   branch on structured fields instead of string-matching status lines.
@@ -37,10 +43,12 @@
 
 pub mod api;
 pub mod expo;
+pub mod lock;
 pub mod registry;
 pub mod trace;
 
 pub use api::{ApiError, TRACE_HEADER};
 pub use expo::{parse, Exposition};
+pub use lock::{RankedGuard, RankedMutex};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, RegistryError};
 pub use trace::{SpanCtx, SpanGuard, SpanRecord, TraceId, Tracer};

@@ -17,7 +17,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::lock::{rank, RankedMutex};
 
 /// Number of log2 buckets. Bucket 0 holds `v == 0`; bucket `i` holds
 /// `(2^(i-1), 2^i]`; the last bucket is a catch-all for anything larger
@@ -210,10 +212,22 @@ struct Entry {
 
 /// The central registry. Cheap to clone and share (`Arc` inside); all
 /// registration goes through one mutex, all reads snapshot under it.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MetricsRegistry {
     // BTreeMap so exposition output is deterministically ordered by name.
-    inner: Arc<Mutex<BTreeMap<String, Entry>>>,
+    metrics: Arc<RankedMutex<BTreeMap<String, Entry>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self {
+            metrics: Arc::new(RankedMutex::new(
+                rank::METRICS_REGISTRY,
+                "obs.registry",
+                BTreeMap::new(),
+            )),
+        }
+    }
 }
 
 fn valid_name(name: &str) -> bool {
@@ -236,7 +250,7 @@ impl MetricsRegistry {
         if !valid_name(name) {
             return Err(RegistryError::InvalidName(name.to_owned()));
         }
-        let mut map = self.inner.lock().expect("registry poisoned");
+        let mut map = self.metrics.lock();
         if map.contains_key(name) {
             return Err(RegistryError::Collision(name.to_owned()));
         }
@@ -285,7 +299,7 @@ impl MetricsRegistry {
     /// scrapers (and the pre-registry dashboards) keep working.
     #[must_use]
     pub fn render(&self) -> String {
-        let map = self.inner.lock().expect("registry poisoned");
+        let map = self.metrics.lock();
         let mut out = String::with_capacity(4096);
         for (name, entry) in map.iter() {
             match &entry.metric {

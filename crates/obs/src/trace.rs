@@ -19,10 +19,35 @@ use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use crate::api::json_escape;
+use crate::lock::{rank, RankedMutex};
+
+/// The span-name registry: every name passed to [`SpanCtx::child`] anywhere
+/// in the workspace must appear here, and `cactus-lint`'s surface rule
+/// enforces it. One request yields one tree drawn from this taxonomy:
+///
+/// | name            | opened by                                          |
+/// |-----------------|----------------------------------------------------|
+/// | `gateway.route` | gateway edge, around the whole routed request      |
+/// | `proxy.attempt` | gateway, one backend attempt (retry/hedge each get one) |
+/// | `serve.request` | serve edge, around the whole handled request       |
+/// | `serve.cache`   | serve, response-cache probe                        |
+/// | `serve.profile` | serve, profile resolution on a cache miss          |
+/// | `serve.store`   | serve, profile-store lookup                        |
+/// | `serve.simulate`| serve, single-flight simulation of a store miss    |
+/// | `engine.launch` | engine pool, one simulated kernel launch           |
+pub const SPAN_NAMES: &[&str] = &[
+    "gateway.route",
+    "proxy.attempt",
+    "serve.request",
+    "serve.cache",
+    "serve.profile",
+    "serve.store",
+    "serve.simulate",
+    "engine.launch",
+];
 
 /// A 64-bit trace id, rendered as 16 lowercase hex digits. Never zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,8 +160,12 @@ struct TracerInner {
 }
 
 /// Process-wide span sink: bounded ring buffer plus optional JSONL log.
+///
+/// The sink mutex ranks last ([`rank::TRACER`]) in the workspace lock
+/// order: spans are filed from `SpanGuard::drop`, which can fire with any
+/// other lock held, so the tracer must nest inside everything.
 pub struct Tracer {
-    inner: Mutex<TracerInner>,
+    sink: RankedMutex<TracerInner>,
     capacity: usize,
     next_span: AtomicU64,
     epoch: Instant,
@@ -147,10 +176,14 @@ impl Tracer {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(TracerInner {
-                ring: VecDeque::with_capacity(capacity.min(4096)),
-                log: None,
-            }),
+            sink: RankedMutex::new(
+                rank::TRACER,
+                "obs.tracer",
+                TracerInner {
+                    ring: VecDeque::with_capacity(capacity.min(4096)),
+                    log: None,
+                },
+            ),
             capacity: capacity.max(1),
             next_span: AtomicU64::new(1),
             epoch: Instant::now(),
@@ -161,7 +194,7 @@ impl Tracer {
     /// (created or appended to).
     pub fn with_span_log(self, path: &Path) -> std::io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        self.inner.lock().expect("tracer poisoned").log = Some(file);
+        self.sink.lock().log = Some(file);
         Ok(self)
     }
 
@@ -181,24 +214,23 @@ impl Tracer {
     }
 
     fn record(&self, span: SpanRecord) {
-        let mut inner = self.inner.lock().expect("tracer poisoned");
-        if let Some(log) = inner.log.as_mut() {
+        let mut sink = self.sink.lock();
+        if let Some(log) = sink.log.as_mut() {
             // Span-log writes are best-effort: losing a log line must never
             // fail the request that produced it.
             let _ = writeln!(log, "{}", span.to_json());
         }
-        if inner.ring.len() == self.capacity {
-            inner.ring.pop_front();
+        if sink.ring.len() == self.capacity {
+            sink.ring.pop_front();
         }
-        inner.ring.push_back(span);
+        sink.ring.push_back(span);
     }
 
     /// Finished spans for one trace, in finish order.
     #[must_use]
     pub fn spans_for(&self, trace: TraceId) -> Vec<SpanRecord> {
-        let inner = self.inner.lock().expect("tracer poisoned");
-        inner
-            .ring
+        let sink = self.sink.lock();
+        sink.ring
             .iter()
             .filter(|s| s.trace == trace)
             .cloned()
@@ -209,9 +241,9 @@ impl Tracer {
     /// With `filter`, only that trace's spans are emitted.
     #[must_use]
     pub fn render(&self, filter: Option<TraceId>) -> String {
-        let inner = self.inner.lock().expect("tracer poisoned");
+        let sink = self.sink.lock();
         let mut out = String::new();
-        for span in &inner.ring {
+        for span in &sink.ring {
             if filter.is_none_or(|t| span.trace == t) {
                 out.push_str(&span.to_json());
                 out.push('\n');
@@ -244,9 +276,15 @@ impl<'a> SpanCtx<'a> {
         self.tracer
     }
 
-    /// Open a child span. The span measures until the guard drops.
+    /// Open a child span. The span measures until the guard drops. `name`
+    /// must come from [`SPAN_NAMES`]; `cactus-lint` enforces this statically
+    /// and debug builds assert it at runtime.
     #[must_use]
     pub fn child(&self, name: &'static str) -> SpanGuard<'a> {
+        debug_assert!(
+            SPAN_NAMES.contains(&name),
+            "span name {name:?} is not in trace::SPAN_NAMES"
+        );
         SpanGuard {
             tracer: self.tracer,
             trace: self.trace,

@@ -50,6 +50,14 @@ fn start_server(store_dir: std::path::PathBuf, workers: usize) -> Server {
 }
 
 fn bench_serve_levels(c: &mut Criterion) {
+    // Benchmarks measure the passthrough lock path: release builds without
+    // the lock-check feature must compile rank checking out entirely.
+    #[cfg(all(not(debug_assertions), not(feature = "lock-check")))]
+    assert!(
+        !cactus_obs::lock::CHECK_ENABLED,
+        "release benches must run the zero-overhead RankedMutex passthrough"
+    );
+
     let dir = seeded_store_dir();
     let server = start_server(dir.clone(), 8);
     let client = Client::new(server.addr()).with_timeout(Duration::from_secs(120));

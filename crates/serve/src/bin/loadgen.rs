@@ -90,7 +90,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
     }))
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct Tally {
     statuses: BTreeMap<u16, u64>,
     latencies_us: Vec<u64>,
@@ -146,7 +146,7 @@ fn main() -> ExitCode {
                     let start = Instant::now();
                     let outcome = conns[target].get(&path);
                     let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-                    let mut tally = tally.lock().expect("tally poisoned");
+                    let mut tally = tally.lock().unwrap_or_else(|e| e.into_inner());
                     tally.per_target[target] += 1;
                     match outcome {
                         Ok(reply) => {
@@ -165,9 +165,12 @@ fn main() -> ExitCode {
     }
 
     let wall = started.elapsed();
-    let tally = Arc::try_unwrap(tally)
-        .map(|m| m.into_inner().expect("tally poisoned"))
-        .unwrap_or_else(|_| unreachable!("all clients joined"));
+    let tally = match Arc::try_unwrap(tally) {
+        Ok(m) => m.into_inner().unwrap_or_else(|e| e.into_inner()),
+        // Every client thread was joined above, so this arm is unreachable;
+        // reading through the lock keeps it panic-free anyway.
+        Err(shared) => shared.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+    };
 
     let completed: u64 = tally.statuses.values().sum();
     let attempted: u64 = tally.per_target.iter().sum();

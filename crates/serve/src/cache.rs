@@ -9,7 +9,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use cactus_obs::lock::{rank, RankedMutex};
 
 use crate::http::Response;
 
@@ -46,7 +48,7 @@ struct Inner {
 #[derive(Debug)]
 pub struct ResponseCache {
     capacity: usize,
-    inner: Mutex<Inner>,
+    inner: RankedMutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -58,7 +60,7 @@ impl ResponseCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            inner: Mutex::new(Inner::default()),
+            inner: RankedMutex::new(rank::RESPONSE_CACHE, "serve.cache", Inner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -67,7 +69,7 @@ impl ResponseCache {
     /// Look up `key`, bumping its recency on a hit.
     #[must_use]
     pub fn get(&self, key: &str) -> Option<Arc<CachedResponse>> {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
         match inner.map.get_mut(key) {
@@ -90,7 +92,7 @@ impl ResponseCache {
         if self.capacity == 0 {
             return value;
         }
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
         if !inner.map.contains_key(key) && inner.map.len() >= self.capacity {
@@ -118,7 +120,7 @@ impl ResponseCache {
     /// Cached entry count.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").map.len()
+        self.inner.lock().map.len()
     }
 
     /// True when nothing is cached.
@@ -141,7 +143,7 @@ impl ResponseCache {
 
     /// Drop every entry (counters are kept).
     pub fn clear(&self) {
-        self.inner.lock().expect("cache poisoned").map.clear();
+        self.inner.lock().map.clear();
     }
 }
 

@@ -18,9 +18,9 @@
 //! exposition parser in `cactus_obs` — a malformed or duplicated sample is
 //! an error naming the line, never a silently dropped entry.
 
+use cactus_obs::lock::{rank, RankedMutex};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Mutex;
 use std::time::Duration;
 
 use cactus_obs::{expo, ApiError, Exposition, TraceId, TRACE_HEADER};
@@ -166,7 +166,7 @@ impl ClientBuilder {
             addr: self.addr,
             timeout: self.timeout,
             keep_alive: self.keep_alive,
-            conn: Mutex::new(None),
+            conn: RankedMutex::new(rank::CLIENT_CONN, "serve.client_conn", None),
         }
     }
 }
@@ -179,7 +179,7 @@ pub struct Client {
     keep_alive: bool,
     /// The internal stream when built with `keep_alive(true)`; dialed
     /// lazily, serialized behind the lock.
-    conn: Mutex<Option<Connection>>,
+    conn: RankedMutex<Option<Connection>>,
 }
 
 impl Clone for Client {
@@ -189,7 +189,7 @@ impl Clone for Client {
             addr: self.addr,
             timeout: self.timeout,
             keep_alive: self.keep_alive,
-            conn: Mutex::new(None),
+            conn: RankedMutex::new(rank::CLIENT_CONN, "serve.client_conn", None),
         }
     }
 }
@@ -242,7 +242,7 @@ impl Client {
     /// Socket errors and unparseable response heads.
     pub fn get_traced(&self, path: &str, trace: Option<TraceId>) -> Result<HttpReply, ClientError> {
         if self.keep_alive {
-            let mut guard = self.conn.lock().expect("client connection poisoned");
+            let mut guard = self.conn.lock();
             return guard
                 .get_or_insert_with(|| Connection::new(self.addr, self.timeout))
                 .get_traced(path, trace);
@@ -419,6 +419,7 @@ impl Connection {
             self.stream = Some(BufReader::new(stream));
             self.dials += 1;
         }
+        // lint:allow(no_panic, ensure_connected() filled the stream on the line above)
         let reader = self.stream.as_mut().expect("stream just ensured");
         // Single write_all, same Nagle/delayed-ACK reasoning as Client::get.
         let head = request_head(path, self.addr, true, trace);

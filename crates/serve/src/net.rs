@@ -69,12 +69,15 @@ mod linux {
             }
             let one: i32 = 1;
             let sockaddr = SockAddrIn {
+                // lint:allow(no_panic, AF_INET is the constant 2)
                 sin_family: u16::try_from(AF_INET).expect("AF_INET fits"),
                 sin_port: addr.port().to_be(),
                 sin_addr: u32::from_be_bytes(addr.ip().octets()).to_be(),
                 sin_zero: [0; 8],
             };
+            // lint:allow(no_panic, size_of::<SockAddrIn>() is 16)
             let len = u32::try_from(std::mem::size_of::<SockAddrIn>()).expect("sockaddr size");
+            // lint:allow(no_panic, size_of::<i32>() is 4)
             let optlen = u32::try_from(std::mem::size_of::<i32>()).expect("int size");
             if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, optlen) < 0
                 || bind(fd, &sockaddr, len) < 0

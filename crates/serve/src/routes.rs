@@ -21,6 +21,13 @@ use crate::http::{Request, Response};
 use crate::server::ServerState;
 use crate::service::{Triple, DEVICE_SLUGS, SCALE_SLUGS};
 
+/// The endpoint family served under
+/// `/v1/<endpoint>/<device>/<scale>/<workload>`. `cactus-lint`'s surface
+/// rule parses this const to cross-check client paths and tests against
+/// the routes actually served — keep it in sync with the dispatch in
+/// [`route_triple`].
+pub const TRIPLE_ENDPOINTS: [&str; 4] = ["profile", "kernels", "roofline", "dominant"];
+
 /// Content type of CSV bodies.
 const CSV: &str = "text/csv; charset=utf-8";
 /// Content type of plain-text bodies (health, profiles, metrics).
@@ -77,7 +84,7 @@ fn route_triple(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Respons
             )
         }
     };
-    if !matches!(endpoint, "profile" | "kernels" | "roofline" | "dominant") {
+    if !TRIPLE_ENDPOINTS.contains(&endpoint) {
         return Response::error(
             404,
             format!(

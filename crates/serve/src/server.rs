@@ -26,10 +26,11 @@ use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cactus_obs::lock::{rank, RankedMutex};
 use cactus_obs::{Gauge, MetricsRegistry, TraceId, Tracer};
 
 use crate::cache::ResponseCache;
@@ -198,7 +199,11 @@ impl Server {
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(RankedMutex::new(
+            rank::WORKER_QUEUE,
+            "serve.worker_queue",
+            rx,
+        ));
 
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -317,12 +322,12 @@ fn reject_busy(state: &ServerState, stream: TcpStream) {
 
 fn worker_loop(
     state: &ServerState,
-    rx: &Mutex<Receiver<TcpStream>>,
+    rx: &RankedMutex<Receiver<TcpStream>>,
     read_timeout: Duration,
     shutdown: &AtomicBool,
 ) {
     loop {
-        let next = rx.lock().expect("queue receiver poisoned").recv();
+        let next = rx.lock().recv();
         let Ok(stream) = next else { break };
         state.metrics.queue_depth.add(-1.0);
         handle_connection(state, &stream, read_timeout, shutdown);

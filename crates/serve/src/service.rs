@@ -176,6 +176,7 @@ impl ProfileService {
     /// [`store::store_dir`] when `None`), counting into a private registry.
     #[must_use]
     pub fn new(store_dir: Option<PathBuf>) -> Self {
+        // lint:allow(no_panic, fresh private registry cannot collide)
         Self::with_registry(store_dir, &MetricsRegistry::new())
             .expect("fresh registry has no collisions")
     }
@@ -201,14 +202,17 @@ impl ProfileService {
                 "cactus_serve_engine_memo_misses_total",
                 "launches simulated from scratch",
             )?,
-            engines_created: registry
-                .counter("cactus_serve_engines", "engines created across all pools")?,
+            engines_created: registry.counter(
+                "cactus_serve_engines_created_total",
+                "engines created across all pools",
+            )?,
         };
         let pools = DEVICE_SLUGS
             .iter()
             .map(|&slug| {
                 (
                     slug,
+                    // lint:allow(no_panic, DEVICE_SLUGS entries resolve by construction)
                     GpuPool::new(device_by_slug(slug).expect("preset slug"))
                         .instrument(instruments.clone()),
                 )
@@ -320,6 +324,7 @@ impl ProfileService {
             .pools
             .iter()
             .find(|(slug, _)| *slug == device_slug)
+            // lint:allow(no_panic, Triple::resolve only yields slugs from DEVICE_SLUGS)
             .expect("triple resolved against DEVICE_SLUGS")
             .1
     }

@@ -17,12 +17,14 @@
 //! stranding its followers.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
+
+use cactus_obs::lock::{rank, RankedMutex};
 
 /// The shared result slot of one in-flight computation.
 #[derive(Debug)]
 struct Slot<T> {
-    result: Mutex<Option<Result<T, String>>>,
+    result: RankedMutex<Option<Result<T, String>>>,
     ready: Condvar,
 }
 
@@ -50,13 +52,17 @@ impl<T: Clone> Drop for LeaderGuard<'_, T> {
 /// A group of keyed, coalesced computations.
 #[derive(Debug)]
 pub struct SingleFlight<T: Clone> {
-    inflight: Mutex<HashMap<String, Arc<Slot<T>>>>,
+    inflight: RankedMutex<HashMap<String, Arc<Slot<T>>>>,
 }
 
 impl<T: Clone> Default for SingleFlight<T> {
     fn default() -> Self {
         Self {
-            inflight: Mutex::new(HashMap::new()),
+            inflight: RankedMutex::new(
+                rank::SINGLEFLIGHT_MAP,
+                "serve.singleflight_map",
+                HashMap::new(),
+            ),
         }
     }
 }
@@ -76,12 +82,16 @@ impl<T: Clone> SingleFlight<T> {
         F: FnOnce() -> Result<T, String>,
     {
         let (slot, leader) = {
-            let mut inflight = self.inflight.lock().expect("flight map poisoned");
+            let mut inflight = self.inflight.lock();
             match inflight.get(key) {
                 Some(slot) => (Arc::clone(slot), false),
                 None => {
                     let slot = Arc::new(Slot {
-                        result: Mutex::new(None),
+                        result: RankedMutex::new(
+                            rank::SINGLEFLIGHT_SLOT,
+                            "serve.singleflight_slot",
+                            None,
+                        ),
                         ready: Condvar::new(),
                     });
                     inflight.insert(key.to_owned(), Arc::clone(&slot));
@@ -102,18 +112,20 @@ impl<T: Clone> SingleFlight<T> {
             self.publish(key, &slot, result.clone());
             (result, true)
         } else {
-            let mut result = slot.result.lock().expect("flight slot poisoned");
-            while result.is_none() {
-                result = slot.ready.wait(result).expect("flight slot poisoned");
+            let mut result = slot.result.lock();
+            loop {
+                if let Some(shared) = result.as_ref() {
+                    return (shared.clone(), false);
+                }
+                result = result.wait(&slot.ready);
             }
-            (result.clone().expect("checked Some"), false)
         }
     }
 
     /// Keys currently in flight.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inflight.lock().expect("flight map poisoned").len()
+        self.inflight.lock().len()
     }
 
     /// True when nothing is in flight.
@@ -123,12 +135,9 @@ impl<T: Clone> SingleFlight<T> {
     }
 
     fn publish(&self, key: &str, slot: &Arc<Slot<T>>, result: Result<T, String>) {
-        *slot.result.lock().expect("flight slot poisoned") = Some(result);
+        *slot.result.lock() = Some(result);
         slot.ready.notify_all();
-        self.inflight
-            .lock()
-            .expect("flight map poisoned")
-            .remove(key);
+        self.inflight.lock().remove(key);
     }
 }
 
