@@ -29,7 +29,8 @@ fn ablation_cache_model(c: &mut Criterion) {
     group.bench_function("analytic", |b| {
         b.iter(|| analytic::hit_rate(black_box(&pattern), 4096.0, 32, n as f64));
     });
-    let addrs = trace::generate(&pattern, 32, n, 11);
+    let mut addrs = Vec::new();
+    trace::generate_into(&pattern, 32, n, 11, &mut addrs);
     group.bench_function("trace_driven", |b| {
         b.iter_batched(
             || {

@@ -66,6 +66,20 @@ fn bench_full_suite(c: &mut Criterion) {
     g.bench_function("parallel-cold", |b| b.iter(|| suite_parallel(false)));
     g.bench_function("parallel-memo", |b| b.iter(|| suite_parallel(true)));
     g.finish();
+
+    // Fanning out must never cost more than running serially: the queue
+    // hand-off is chunked and results land in per-index slots, so even a
+    // single-core host should see parallel ≈ serial. The 10% band absorbs
+    // scheduler noise at sample_size(2).
+    if let (Some(serial), Some(parallel)) = (
+        criterion::median_of("engine/full-suite/serial-cold"),
+        criterion::median_of("engine/full-suite/parallel-cold"),
+    ) {
+        assert!(
+            parallel <= serial * 1.10,
+            "parallel-cold ({parallel:.2}s) regressed past serial-cold ({serial:.2}s)"
+        );
+    }
 }
 
 /// Per-workload memo ablation: MD and seq2seq dominate repeat launches

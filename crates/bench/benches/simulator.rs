@@ -45,13 +45,15 @@ fn bench_cache_sim(c: &mut Criterion) {
         sector_bytes: 32,
         associativity: 8,
     };
-    let addrs = trace::generate(
+    let mut addrs = Vec::new();
+    trace::generate_into(
         &AccessPattern::RandomUniform {
             working_set_bytes: 1 << 20,
         },
         32,
         100_000,
         7,
+        &mut addrs,
     );
     c.bench_function("cache/trace_driven_100k", |b| {
         b.iter_batched(
@@ -82,6 +84,68 @@ fn bench_cache_sim(c: &mut Criterion) {
     });
 }
 
+/// Scalar vs. batched trace replay on the geometry the engine's L1 sector
+/// simulations use (128 KiB / 32 B lines / 8-way) against a 64 MiB uniform
+/// working set — the workload the batched replay path was tuned on. The
+/// batched path partitions each chunk by set, replays runs locally and
+/// compares tags SIMD-wide, and is required to hold a ≥5× advantage; the
+/// assert makes the bench itself the regression gate for that claim.
+fn bench_trace_replay(c: &mut Criterion) {
+    let geometry = CacheGeometry {
+        size_bytes: 128 * 1024,
+        line_bytes: 32,
+        sector_bytes: 32,
+        associativity: 8,
+    };
+    let pattern = AccessPattern::RandomUniform {
+        working_set_bytes: 64 << 20,
+    };
+    let n = 4 << 20;
+    let mut addrs = Vec::new();
+    trace::generate_into(&pattern, 32, n, 42, &mut addrs);
+
+    let mut group = c.benchmark_group("cache/replay-4m");
+    group.sample_size(10);
+    group.bench_function("scalar", |b| {
+        b.iter_batched(
+            || SetAssocCache::new(geometry),
+            |mut cache| {
+                for &a in &addrs {
+                    cache.access(a);
+                }
+                cache.hit_rate()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("batched", |b| {
+        b.iter_batched(
+            || SetAssocCache::new(geometry),
+            |mut cache| {
+                cache.access_batch(&addrs);
+                cache.hit_rate()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+
+    // Both ids are present unless a CLI filter excluded one; in that case
+    // there is nothing to compare.
+    if let (Some(scalar), Some(batched)) = (
+        criterion::median_of("cache/replay-4m/scalar"),
+        criterion::median_of("cache/replay-4m/batched"),
+    ) {
+        let speedup = scalar / batched;
+        println!("cache/replay-4m: batched speedup {speedup:.2}x");
+        assert!(
+            speedup >= 5.0,
+            "batched replay must be >=5x scalar, got {speedup:.2}x \
+             (scalar {scalar:.4}s, batched {batched:.4}s)"
+        );
+    }
+}
+
 fn bench_occupancy(c: &mut Criterion) {
     let device = Device::rtx3080();
     let lc = LaunchConfig::linear(1 << 22, 256)
@@ -92,5 +156,11 @@ fn bench_occupancy(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_launch, bench_cache_sim, bench_occupancy);
+criterion_group!(
+    benches,
+    bench_launch,
+    bench_cache_sim,
+    bench_trace_replay,
+    bench_occupancy
+);
 criterion_main!(benches);

@@ -107,8 +107,13 @@ fn cache_ablation() {
             sector_bytes: 32,
             associativity: 8,
         });
-        for a in trace::generate(&pattern, 32, n, 17) {
-            cache.access(a);
+        // Stream the trace in chunks through the batched replay path: the
+        // worker holds one reusable chunk buffer instead of materializing
+        // the whole trace.
+        let mut gen = trace::TraceGen::new(&pattern, 32, n, 17);
+        let mut chunk = Vec::new();
+        while gen.next_chunk(&mut chunk, 1 << 15) > 0 {
+            cache.access_batch(&chunk);
         }
         let measured = cache.hit_rate();
         let predicted = analytic::hit_rate(&pattern, 4096.0, 32, n as f64);

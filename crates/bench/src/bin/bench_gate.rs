@@ -1,0 +1,148 @@
+//! Perf regression gate over `BENCH_<area>.json` snapshots.
+//!
+//! ```text
+//! bench_gate --baseline results/bench --current /tmp/bench-now \
+//!            [--threshold 0.15] [--floor 1e-4]
+//! ```
+//!
+//! For every `BENCH_*.json` in the baseline directory, loads the same file
+//! from the current directory and compares medians with
+//! [`cactus_bench::gate`]. Exits nonzero if any bench regressed beyond the
+//! tolerance band, a baselined bench disappeared, or a current snapshot
+//! file for a baselined area is missing entirely.
+//!
+//! To refresh baselines intentionally (after a deliberate trade-off or a
+//! new bench), rerun the benches with `CACTUS_BENCH_JSON` pointing at the
+//! baseline directory and commit the diff — see DESIGN.md §5h.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cactus_bench::gate::{self, Tolerance};
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    tol: Tolerance,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --baseline <dir> --current <dir> \
+         [--threshold <rel>] [--floor <seconds>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tol = Tolerance::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value())),
+            "--current" => current = Some(PathBuf::from(value())),
+            "--threshold" => {
+                tol.threshold = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--floor" => tol.floor_s = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    match (baseline, current) {
+        (Some(baseline), Some(current)) => Args {
+            baseline,
+            current,
+            tol,
+        },
+        _ => usage(),
+    }
+}
+
+fn load(path: &Path) -> Result<gate::Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    gate::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut names: Vec<String> = match std::fs::read_dir(&args.baseline) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("bench_gate: {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!(
+            "bench_gate: no BENCH_*.json baselines in {}",
+            args.baseline.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "bench_gate: threshold +{:.0}%, floor {:.0}us, {} area(s)",
+        args.tol.threshold * 100.0,
+        args.tol.floor_s * 1e6,
+        names.len()
+    );
+    let mut total_failures = 0usize;
+    for name in &names {
+        let base = match load(&args.baseline.join(name)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_gate: baseline {e}");
+                total_failures += 1;
+                continue;
+            }
+        };
+        let cur = match load(&args.current.join(name)) {
+            Ok(s) => s,
+            Err(e) => {
+                // A missing/unreadable current snapshot fails the whole
+                // area: the bench binary crashed or was never run, and
+                // either way the trajectory has a hole.
+                eprintln!("bench_gate: current {e}");
+                eprintln!(
+                    "  every baselined bench of area {:?} counts as missing",
+                    base.area
+                );
+                total_failures += base.benches.len();
+                continue;
+            }
+        };
+        let rows = gate::compare(&base, &cur, args.tol);
+        println!(
+            "\narea {} ({}):\n{:<44} {:>12} {:>12} {:>8} verdict",
+            base.area, name, "bench", "baseline_s", "current_s", "ratio"
+        );
+        for row in &rows {
+            println!("{row}");
+        }
+        total_failures += gate::failures(&rows);
+    }
+
+    if total_failures > 0 {
+        eprintln!(
+            "\nbench_gate: FAIL — {total_failures} bench(es) regressed past \
+             +{:.0}% or went missing.",
+            args.tol.threshold * 100.0
+        );
+        eprintln!(
+            "If the slowdown is an accepted trade-off, refresh the baselines: \
+             rerun the benches with CACTUS_BENCH_JSON pointing at the baseline \
+             directory and commit the updated BENCH_*.json (DESIGN.md \u{a7}5h)."
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("\nbench_gate: OK — all areas within tolerance.");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,458 @@
+//! Perf-gate: parse and diff the `BENCH_<area>.json` snapshots emitted by
+//! the vendored Criterion shim ([`criterion::finalize`]) against committed
+//! baselines, flagging regressions beyond a tolerance band.
+//!
+//! The snapshot schema is deliberately tiny and flat:
+//!
+//! ```json
+//! {
+//!   "area": "engine",
+//!   "schema": 1,
+//!   "benches": { "engine/full-suite/serial-cold": 10.66, ... }
+//! }
+//! ```
+//!
+//! so this module carries its own ~100-line parser instead of a JSON
+//! dependency. The parser accepts exactly that shape (any key order,
+//! arbitrary whitespace) and rejects everything else loudly — a gate that
+//! half-reads its baseline is worse than no gate.
+//!
+//! [`criterion::finalize`]: https://docs.rs/criterion
+
+use std::fmt;
+
+/// Snapshot schema version this gate understands.
+pub const SCHEMA: u64 = 1;
+
+/// One parsed `BENCH_<area>.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Bench area (`engine`, `simulator`, `serve`, …).
+    pub area: String,
+    /// Bench id → median seconds, in file order.
+    pub benches: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// Median for one bench id, if present.
+    #[must_use]
+    pub fn median_of(&self, id: &str) -> Option<f64> {
+        self.benches.iter().find(|(k, _)| k == id).map(|&(_, v)| v)
+    }
+}
+
+/// How one bench id moved between baseline and current snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the tolerance band (or the delta is below the noise floor).
+    Ok,
+    /// Slower than `baseline * (1 + threshold)` — fails the gate.
+    Regression,
+    /// Faster than the baseline by more than the threshold; informational
+    /// (a standing invitation to refresh the baseline).
+    Improvement,
+    /// Present in the baseline but missing from the current snapshot —
+    /// fails the gate: silently dropping a bench would blind the trajectory.
+    Missing,
+    /// New bench with no baseline yet; informational.
+    New,
+}
+
+/// One row of a gate comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Bench id.
+    pub id: String,
+    /// Baseline median seconds (`None` for [`Verdict::New`]).
+    pub baseline_s: Option<f64>,
+    /// Current median seconds (`None` for [`Verdict::Missing`]).
+    pub current_s: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl Comparison {
+    /// `current / baseline` when both sides exist.
+    #[must_use]
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.baseline_s, self.current_s) {
+            (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_s = |v: Option<f64>| match v {
+            Some(s) => format!("{s:>12.6}"),
+            None => format!("{:>12}", "-"),
+        };
+        let tag = match self.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Regression => "REGRESSION",
+            Verdict::Improvement => "improved",
+            Verdict::Missing => "MISSING",
+            Verdict::New => "new",
+        };
+        let ratio = match self.ratio() {
+            Some(r) => format!("{r:>7.2}x"),
+            None => format!("{:>8}", "-"),
+        };
+        write!(
+            f,
+            "{:<44} {} {} {} {}",
+            self.id,
+            fmt_s(self.baseline_s),
+            fmt_s(self.current_s),
+            ratio,
+            tag
+        )
+    }
+}
+
+/// Gate policy: when is slower *too* slow.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative band: fail when `current > baseline * (1 + threshold)`.
+    pub threshold: f64,
+    /// Absolute noise floor in seconds: deltas smaller than this never
+    /// fail, so nanosecond-scale benches can't flap the gate on scheduler
+    /// jitter. (15% of 200 ns is noise; 15% of 10 s is a lost optimization.)
+    pub floor_s: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self {
+            threshold: 0.15,
+            floor_s: 1e-4,
+        }
+    }
+}
+
+/// Compare `current` against `baseline` under `tol`.
+///
+/// Rows come back in baseline order, with any baseline-less new benches
+/// appended; [`Verdict::Regression`] and [`Verdict::Missing`] are the
+/// failing verdicts.
+#[must_use]
+pub fn compare(baseline: &Snapshot, current: &Snapshot, tol: Tolerance) -> Vec<Comparison> {
+    let mut rows = Vec::with_capacity(baseline.benches.len());
+    for (id, base) in &baseline.benches {
+        let row = match current.median_of(id) {
+            None => Comparison {
+                id: id.clone(),
+                baseline_s: Some(*base),
+                current_s: None,
+                verdict: Verdict::Missing,
+            },
+            Some(cur) => {
+                let verdict = if cur > base * (1.0 + tol.threshold) && cur - base > tol.floor_s {
+                    Verdict::Regression
+                } else if cur < base * (1.0 - tol.threshold) && base - cur > tol.floor_s {
+                    Verdict::Improvement
+                } else {
+                    Verdict::Ok
+                };
+                Comparison {
+                    id: id.clone(),
+                    baseline_s: Some(*base),
+                    current_s: Some(cur),
+                    verdict,
+                }
+            }
+        };
+        rows.push(row);
+    }
+    for (id, cur) in &current.benches {
+        if baseline.median_of(id).is_none() {
+            rows.push(Comparison {
+                id: id.clone(),
+                baseline_s: None,
+                current_s: Some(*cur),
+                verdict: Verdict::New,
+            });
+        }
+    }
+    rows
+}
+
+/// Count of gate-failing rows ([`Verdict::Regression`] + [`Verdict::Missing`]).
+#[must_use]
+pub fn failures(rows: &[Comparison]) -> usize {
+    rows.iter()
+        .filter(|r| matches!(r.verdict, Verdict::Regression | Verdict::Missing))
+        .count()
+}
+
+/// Parse a `BENCH_<area>.json` snapshot.
+///
+/// # Errors
+///
+/// Returns a one-line description of the first syntax or schema problem:
+/// unknown keys, a schema number other than [`SCHEMA`], non-numeric
+/// medians, or trailing garbage.
+pub fn parse(text: &str) -> Result<Snapshot, String> {
+    let mut p = Parser {
+        s: text.as_bytes(),
+        i: 0,
+    };
+    let mut area: Option<String> = None;
+    let mut schema: Option<u64> = None;
+    let mut benches: Option<Vec<(String, f64)>> = None;
+
+    p.expect(b'{')?;
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "area" => area = Some(p.string()?),
+            "schema" => {
+                let v = p.number()?;
+                if v.fract() != 0.0 || v < 0.0 {
+                    return Err(format!("schema must be a non-negative integer, got {v}"));
+                }
+                schema = Some(v as u64);
+            }
+            "benches" => {
+                let mut entries = Vec::new();
+                p.expect(b'{')?;
+                if p.peek()? == b'}' {
+                    p.i += 1;
+                } else {
+                    loop {
+                        let id = p.string()?;
+                        p.expect(b':')?;
+                        let v = p.number()?;
+                        if !v.is_finite() || v < 0.0 {
+                            return Err(format!("bench {id:?}: median {v} out of range"));
+                        }
+                        entries.push((id, v));
+                        match p.next()? {
+                            b',' => {}
+                            b'}' => break,
+                            c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+                        }
+                    }
+                }
+                benches = Some(entries);
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        match p.next()? {
+            b',' => {}
+            b'}' => break,
+            c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+        }
+    }
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err("trailing data after closing brace".into());
+    }
+
+    let schema = schema.ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("unsupported schema {schema}, expected {SCHEMA}"));
+    }
+    Ok(Snapshot {
+        area: area.ok_or("missing \"area\"")?,
+        benches: benches.ok_or("missing \"benches\"")?,
+    })
+}
+
+/// Byte-level cursor over the snapshot text.
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.s
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let c = self.peek()?;
+        self.i += 1;
+        Ok(c)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?}, got {:?}",
+                want as char, got as char
+            ))
+        }
+    }
+
+    /// A double-quoted string; the shim only escapes `\"`, `\\` and
+    /// control characters as `\u00XX`, so that is all we accept.
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.s.get(self.i).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    /// A JSON number (integer, decimal, or exponent form).
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map_err(|_| format!("invalid number {text:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "area": "engine",
+  "schema": 1,
+  "benches": {
+    "engine/full-suite/serial-cold": 10.66,
+    "engine/full-suite/parallel-cold": 10.4,
+    "engine/profile-store/load": 0.0021
+  }
+}
+"#;
+
+    #[test]
+    fn parses_shim_output_shape() {
+        let snap = parse(SAMPLE).unwrap();
+        assert_eq!(snap.area, "engine");
+        assert_eq!(snap.benches.len(), 3);
+        assert_eq!(snap.median_of("engine/full-suite/serial-cold"), Some(10.66));
+        assert_eq!(snap.median_of("engine/profile-store/load"), Some(0.0021));
+        assert_eq!(snap.median_of("nope"), None);
+    }
+
+    #[test]
+    fn parses_empty_benches_and_escapes() {
+        let snap = parse(r#"{"area":"a\"b\\c","schema":1,"benches":{}}"#).unwrap();
+        assert_eq!(snap.area, "a\"b\\c");
+        assert!(snap.benches.is_empty());
+        let snap = parse(r#"{"schema":1,"benches":{"x":1e-7},"area":"s"}"#).unwrap();
+        assert_eq!(snap.median_of("x"), Some(1e-7));
+    }
+
+    #[test]
+    fn rejects_malformed_snapshots() {
+        for bad in [
+            "",
+            "{",
+            "[]",
+            r#"{"area":"x","schema":2,"benches":{}}"#,
+            r#"{"area":"x","benches":{}}"#,
+            r#"{"area":"x","schema":1}"#,
+            r#"{"area":"x","schema":1,"benches":{}} trailing"#,
+            r#"{"area":"x","schema":1,"benches":{"id":"nan"}}"#,
+            r#"{"area":"x","schema":1,"benches":{"id":-1}}"#,
+            r#"{"area":"x","schema":1,"extra":0,"benches":{}}"#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+    }
+
+    fn snap(pairs: &[(&str, f64)]) -> Snapshot {
+        Snapshot {
+            area: "t".into(),
+            benches: pairs.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn flags_regressions_and_passes_band() {
+        let base = snap(&[("a", 1.0), ("b", 1.0), ("c", 1.0)]);
+        let cur = snap(&[("a", 1.10), ("b", 2.0), ("c", 0.5)]);
+        let rows = compare(&base, &cur, Tolerance::default());
+        assert_eq!(rows[0].verdict, Verdict::Ok); // +10% inside the band
+        assert_eq!(rows[1].verdict, Verdict::Regression); // 2x slower
+        assert_eq!(rows[2].verdict, Verdict::Improvement);
+        assert_eq!(failures(&rows), 1);
+        assert_eq!(rows[1].ratio(), Some(2.0));
+    }
+
+    #[test]
+    fn missing_fails_and_new_informs() {
+        let base = snap(&[("a", 1.0), ("gone", 1.0)]);
+        let cur = snap(&[("a", 1.0), ("fresh", 1.0)]);
+        let rows = compare(&base, &cur, Tolerance::default());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].verdict, Verdict::Missing);
+        assert_eq!(rows[2].verdict, Verdict::New);
+        assert_eq!(rows[2].id, "fresh");
+        assert_eq!(failures(&rows), 1);
+    }
+
+    #[test]
+    fn noise_floor_protects_tiny_benches() {
+        // 3x slower but only 60ns absolute: stays Ok under the default
+        // 100us floor.
+        let base = snap(&[("tiny", 30e-9)]);
+        let cur = snap(&[("tiny", 90e-9)]);
+        let rows = compare(&base, &cur, Tolerance::default());
+        assert_eq!(rows[0].verdict, Verdict::Ok);
+        // The same ratio above the floor fails.
+        let rows = compare(
+            &snap(&[("big", 0.1)]),
+            &snap(&[("big", 0.3)]),
+            Tolerance::default(),
+        );
+        assert_eq!(rows[0].verdict, Verdict::Regression);
+    }
+}

@@ -21,6 +21,7 @@
 //! | `fig8` | Figure 8 — correlation analysis |
 //! | `fig9` | Figure 9 — FAMD + Ward dendrogram |
 
+pub mod gate;
 pub mod store;
 
 use cactus_analysis::roofline::{Roofline, RooflinePoint};

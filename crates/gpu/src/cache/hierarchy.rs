@@ -70,23 +70,58 @@ impl TrafficResult {
     }
 }
 
+/// Per-stream traffic staged by [`MemoryModel::resolve_with`] before the
+/// fold into a [`TrafficResult`]. One entry per non-empty access stream;
+/// the staging buffer lives in the engine's launch scratch so repeated
+/// launches reuse its capacity instead of allocating.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamTraffic {
+    /// Transactions issued by the stream.
+    pub txns: f64,
+    /// L1 hit rate (reads; 0 for writes, which bypass L1).
+    pub h1: f64,
+    /// Transactions that probed L2.
+    pub l2_in: f64,
+    /// L2 hit rate over `l2_in`.
+    pub h2: f64,
+    /// True for read streams (reads probe L1 and accrue load latency).
+    pub is_read: bool,
+}
+
 /// The analytic memory-hierarchy model.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MemoryModel;
 
 impl MemoryModel {
     /// Resolve a launch's access streams into per-level traffic.
+    ///
+    /// Convenience wrapper over [`MemoryModel::resolve_with`] with a
+    /// throwaway staging buffer; hot callers (the engine's memo-miss path)
+    /// thread a reusable buffer instead.
     #[must_use]
     pub fn resolve(device: &Device, streams: &[AccessStream]) -> TrafficResult {
+        Self::resolve_with(device, streams, &mut Vec::new())
+    }
+
+    /// [`MemoryModel::resolve`] with caller-owned per-stream staging.
+    ///
+    /// Stage 1 walks the streams and records each one's per-level hit rates
+    /// in `stage` (cleared first, capacity reused); stage 2 folds the staged
+    /// entries into the aggregate in stream order. The fold performs the
+    /// same floating-point operations in the same order as a fused loop, so
+    /// the result is bit-identical to [`MemoryModel::resolve`].
+    #[must_use]
+    pub fn resolve_with(
+        device: &Device,
+        streams: &[AccessStream],
+        stage: &mut Vec<StreamTraffic>,
+    ) -> TrafficResult {
         let sector = device.l1.sector_bytes;
         let l1_blocks = device.l1.size_bytes as f64 / f64::from(sector);
         let l2_blocks = device.l2.size_bytes as f64 / f64::from(sector);
         let lat = &device.latencies;
 
-        let mut out = TrafficResult::default();
-        let mut read_latency_weighted = 0.0;
-        let mut read_txns = 0.0;
-
+        stage.clear();
         for stream in streams {
             let txns = stream.transactions();
             if txns <= 0.0 {
@@ -101,26 +136,48 @@ impl MemoryModel {
                     } else {
                         0.0
                     };
-                    let dram = l2_in * (1.0 - h2);
-
-                    out.l1_accesses += txns;
-                    out.l1_hits += h1 * txns;
-                    out.l2_accesses += l2_in;
-                    out.l2_hits += h2 * l2_in;
-                    out.dram_read_transactions += dram;
-
-                    let avg =
-                        h1 * lat.l1_hit + (1.0 - h1) * (h2 * lat.l2_hit + (1.0 - h2) * lat.dram);
-                    read_latency_weighted += avg * txns;
-                    read_txns += txns;
+                    stage.push(StreamTraffic {
+                        txns,
+                        h1,
+                        l2_in,
+                        h2,
+                        is_read: true,
+                    });
                 }
                 Direction::Write => {
                     // Stores bypass L1 and allocate in L2.
                     let h2 = analytic::hit_rate(&stream.pattern, l2_blocks, sector, txns);
-                    out.l2_accesses += txns;
-                    out.l2_hits += h2 * txns;
-                    out.dram_write_transactions += txns * (1.0 - h2);
+                    stage.push(StreamTraffic {
+                        txns,
+                        h1: 0.0,
+                        l2_in: txns,
+                        h2,
+                        is_read: false,
+                    });
                 }
+            }
+        }
+
+        let mut out = TrafficResult::default();
+        let mut read_latency_weighted = 0.0;
+        let mut read_txns = 0.0;
+        for s in stage.iter() {
+            if s.is_read {
+                let dram = s.l2_in * (1.0 - s.h2);
+                out.l1_accesses += s.txns;
+                out.l1_hits += s.h1 * s.txns;
+                out.l2_accesses += s.l2_in;
+                out.l2_hits += s.h2 * s.l2_in;
+                out.dram_read_transactions += dram;
+
+                let avg = s.h1 * lat.l1_hit
+                    + (1.0 - s.h1) * (s.h2 * lat.l2_hit + (1.0 - s.h2) * lat.dram);
+                read_latency_weighted += avg * s.txns;
+                read_txns += s.txns;
+            } else {
+                out.l2_accesses += s.txns;
+                out.l2_hits += s.h2 * s.txns;
+                out.dram_write_transactions += s.txns * (1.0 - s.h2);
             }
         }
 
@@ -210,6 +267,30 @@ mod tests {
             (r.dram_transactions() - (r.dram_read_transactions + r.dram_write_transactions)).abs()
                 < 1e-9
         );
+    }
+
+    #[test]
+    fn resolve_with_is_bit_identical_and_reuses_staging() {
+        let streams = [
+            AccessStream::read(1 << 20, 4, AccessPattern::Streaming),
+            AccessStream::read(
+                1 << 22,
+                4,
+                AccessPattern::RandomUniform {
+                    working_set_bytes: 2 << 20,
+                },
+            ),
+            AccessStream::write(1 << 20, 4, AccessPattern::Streaming),
+        ];
+        let base = MemoryModel::resolve(&device(), &streams);
+        let mut stage = Vec::new();
+        let a = MemoryModel::resolve_with(&device(), &streams, &mut stage);
+        assert_eq!(a, base);
+        assert_eq!(stage.len(), 3);
+        let cap = stage.capacity();
+        let b = MemoryModel::resolve_with(&device(), &streams, &mut stage);
+        assert_eq!(b, base);
+        assert_eq!(stage.capacity(), cap, "staging capacity must be reused");
     }
 
     #[test]

@@ -1,65 +1,176 @@
 //! Synthetic address-trace generation, used to validate the analytic cache
 //! model against the trace-driven simulator.
+//!
+//! Traces can be materialized at once ([`generate`] / [`generate_into`]) or
+//! streamed chunk-by-chunk through [`TraceGen`] so multi-million-entry
+//! traces replay in O(chunk) memory with zero steady-state allocation —
+//! pair [`TraceGen::next_chunk`] with
+//! [`SetAssocCache::access_batch`](super::SetAssocCache::access_batch).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::access::AccessPattern;
 
+/// Pattern parameters pre-resolved to block counts, so the per-address
+/// loop carries no re-derivation.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Streaming,
+    Random {
+        blocks: u64,
+    },
+    Sweep {
+        blocks: u64,
+    },
+    HotCold {
+        hot_fraction: f64,
+        hot_blocks: u64,
+        cold_blocks: u64,
+    },
+    Broadcast {
+        blocks: u64,
+    },
+}
+
+/// Incremental trace generator: emits the same address stream as
+/// [`generate`] for the same `(pattern, block_bytes, n, seed)`, but in
+/// caller-sized chunks written into a caller-owned buffer.
+#[derive(Debug, Clone)]
+pub struct TraceGen {
+    kind: Kind,
+    block_bytes: u64,
+    /// Next global index to emit.
+    next: u64,
+    /// Total addresses to emit.
+    n: u64,
+    rng: StdRng,
+}
+
+impl TraceGen {
+    /// Start a generator for `n` block-aligned addresses of `pattern`.
+    #[must_use]
+    pub fn new(pattern: &AccessPattern, block_bytes: u32, n: usize, seed: u64) -> Self {
+        let bb = u64::from(block_bytes);
+        let kind = match *pattern {
+            AccessPattern::Streaming => Kind::Streaming,
+            AccessPattern::RandomUniform { working_set_bytes } => Kind::Random {
+                blocks: (working_set_bytes / bb).max(1),
+            },
+            AccessPattern::Sweep {
+                working_set_bytes, ..
+            } => Kind::Sweep {
+                blocks: (working_set_bytes / bb).max(1),
+            },
+            AccessPattern::HotCold {
+                hot_fraction,
+                hot_bytes,
+                cold_bytes,
+            } => Kind::HotCold {
+                hot_fraction: hot_fraction.clamp(0.0, 1.0),
+                hot_blocks: (hot_bytes / bb).max(1),
+                cold_blocks: (cold_bytes / bb).max(1),
+            },
+            AccessPattern::Broadcast { bytes } => Kind::Broadcast {
+                blocks: (bytes / bb).max(1),
+            },
+        };
+        Self {
+            kind,
+            block_bytes: bb,
+            next: 0,
+            n: n as u64,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Addresses not yet emitted.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        (self.n - self.next) as usize
+    }
+
+    /// Emit up to `max` addresses into `buf` (cleared first). Returns the
+    /// number written; 0 means the trace is exhausted. `buf`'s capacity is
+    /// reused across calls, so a steady-state generate/replay loop does not
+    /// touch the allocator.
+    pub fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        buf.clear();
+        let count = self.remaining().min(max);
+        if count == 0 {
+            return 0;
+        }
+        buf.reserve(count);
+        let bb = self.block_bytes;
+        let start = self.next;
+        match self.kind {
+            Kind::Streaming => {
+                for i in start..start + count as u64 {
+                    buf.push(i * bb);
+                }
+            }
+            Kind::Random { blocks } => {
+                for _ in 0..count {
+                    buf.push(self.rng.gen_range(0..blocks) * bb);
+                }
+            }
+            Kind::Sweep { blocks } => {
+                for i in start..start + count as u64 {
+                    buf.push((i % blocks) * bb);
+                }
+            }
+            Kind::HotCold {
+                hot_fraction,
+                hot_blocks,
+                cold_blocks,
+            } => {
+                for _ in 0..count {
+                    if self.rng.gen_bool(hot_fraction) {
+                        buf.push(self.rng.gen_range(0..hot_blocks) * bb);
+                    } else {
+                        // Cold region sits above the hot region in the
+                        // address space.
+                        buf.push((hot_blocks + self.rng.gen_range(0..cold_blocks)) * bb);
+                    }
+                }
+            }
+            Kind::Broadcast { blocks } => {
+                for i in start..start + count as u64 {
+                    buf.push((i % blocks) * bb);
+                }
+            }
+        }
+        self.next += count as u64;
+        count
+    }
+}
+
+/// Generate `n` block-aligned byte addresses following `pattern` into a
+/// caller-owned buffer (cleared first), reusing its capacity. Repeated
+/// sweep configurations can share one buffer instead of allocating a fresh
+/// multi-million-entry `Vec` per configuration.
+pub fn generate_into(
+    pattern: &AccessPattern,
+    block_bytes: u32,
+    n: usize,
+    seed: u64,
+    out: &mut Vec<u64>,
+) {
+    let mut gen = TraceGen::new(pattern, block_bytes, n, seed);
+    let written = gen.next_chunk(out, n);
+    debug_assert_eq!(written, n.min(written));
+}
+
 /// Generate `n` block-aligned byte addresses following `pattern`.
 ///
 /// Blocks are `block_bytes` wide; the addresses returned are block base
 /// addresses, suitable for a [`super::SetAssocCache`] configured with
-/// `line_bytes == block_bytes`.
+/// `line_bytes == block_bytes`. Prefer [`generate_into`] (or [`TraceGen`]
+/// for streaming) on hot paths.
 #[must_use]
 pub fn generate(pattern: &AccessPattern, block_bytes: u32, n: usize, seed: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let bb = u64::from(block_bytes);
-    let mut out = Vec::with_capacity(n);
-    match *pattern {
-        AccessPattern::Streaming => {
-            for i in 0..n as u64 {
-                out.push(i * bb);
-            }
-        }
-        AccessPattern::RandomUniform { working_set_bytes } => {
-            let blocks = (working_set_bytes / bb).max(1);
-            for _ in 0..n {
-                out.push(rng.gen_range(0..blocks) * bb);
-            }
-        }
-        AccessPattern::Sweep {
-            working_set_bytes, ..
-        } => {
-            let blocks = (working_set_bytes / bb).max(1);
-            for i in 0..n as u64 {
-                out.push((i % blocks) * bb);
-            }
-        }
-        AccessPattern::HotCold {
-            hot_fraction,
-            hot_bytes,
-            cold_bytes,
-        } => {
-            let hot_blocks = (hot_bytes / bb).max(1);
-            let cold_blocks = (cold_bytes / bb).max(1);
-            for _ in 0..n {
-                if rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) {
-                    out.push(rng.gen_range(0..hot_blocks) * bb);
-                } else {
-                    // Cold region sits above the hot region in the address
-                    // space.
-                    out.push((hot_blocks + rng.gen_range(0..cold_blocks)) * bb);
-                }
-            }
-        }
-        AccessPattern::Broadcast { bytes } => {
-            let blocks = (bytes / bb).max(1);
-            for i in 0..n as u64 {
-                out.push((i % blocks) * bb);
-            }
-        }
-    }
+    let mut out = Vec::new();
+    generate_into(pattern, block_bytes, n, seed, &mut out);
     out
 }
 
@@ -104,5 +215,48 @@ mod tests {
             working_set_bytes: 1 << 16,
         };
         assert_eq!(generate(&pat, 32, 1000, 7), generate(&pat, 32, 1000, 7));
+    }
+
+    #[test]
+    fn chunked_generation_matches_one_shot() {
+        for pat in [
+            AccessPattern::Streaming,
+            AccessPattern::RandomUniform {
+                working_set_bytes: 1 << 14,
+            },
+            AccessPattern::Sweep {
+                working_set_bytes: 1 << 12,
+                sweeps: 3,
+            },
+            AccessPattern::HotCold {
+                hot_fraction: 0.7,
+                hot_bytes: 1 << 10,
+                cold_bytes: 1 << 14,
+            },
+            AccessPattern::Broadcast { bytes: 1 << 8 },
+        ] {
+            let whole = generate(&pat, 32, 10_000, 9);
+            let mut gen = TraceGen::new(&pat, 32, 10_000, 9);
+            let mut chunked = Vec::new();
+            let mut buf = Vec::new();
+            // Deliberately odd chunk size to exercise boundaries.
+            while gen.next_chunk(&mut buf, 777) > 0 {
+                chunked.extend_from_slice(&buf);
+            }
+            assert_eq!(chunked, whole, "pattern {pat:?}");
+            assert_eq!(gen.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn generate_into_reuses_buffer() {
+        let pat = AccessPattern::Streaming;
+        let mut buf = Vec::new();
+        generate_into(&pat, 32, 100, 1, &mut buf);
+        assert_eq!(buf.len(), 100);
+        let cap = buf.capacity();
+        generate_into(&pat, 32, 50, 1, &mut buf);
+        assert_eq!(buf.len(), 50);
+        assert_eq!(buf.capacity(), cap, "capacity must be reused");
     }
 }

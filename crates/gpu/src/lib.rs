@@ -70,7 +70,12 @@ pub mod tracefile;
 /// whenever a change to the device descriptors, cache models, or timing
 /// model can alter simulated metrics: serialized profile stores are keyed on
 /// it, so stale cached profiles invalidate automatically.
-pub const MODEL_VERSION: u32 = 1;
+///
+/// v2: data-oriented host rework — per-pair-radius colloid neighbor lists,
+/// reassociated convolution/force arithmetic and libcall-free
+/// minimum-image rounding shift workload float results (and therefore the
+/// kernel footprints derived from them) slightly.
+pub const MODEL_VERSION: u32 = 2;
 
 /// Convenient re-exports of the types used by nearly every client.
 pub mod prelude {

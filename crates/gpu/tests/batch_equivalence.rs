@@ -1,0 +1,163 @@
+//! Property tests pinning the batched trace-replay path to the scalar
+//! simulator: for any geometry (including non-power-of-two set counts and
+//! every associativity the model supports) and any synthetic access
+//! pattern, `access_batch_record` must produce the exact per-access
+//! hit/miss stream the scalar `access` loop produces — not just the same
+//! totals. The batched path's counting-sort partition, SIMD tag compare,
+//! rank-based LRU replay and warm-run deferral are all invisible if and
+//! only if these properties hold.
+
+use cactus_gpu::access::AccessPattern;
+use cactus_gpu::cache::{trace, SetAssocCache};
+use cactus_gpu::device::CacheGeometry;
+
+use proptest::prelude::*;
+
+const LINE: u32 = 32;
+
+fn geometry(sets: u64, assoc: u32) -> CacheGeometry {
+    CacheGeometry {
+        size_bytes: sets * u64::from(assoc) * u64::from(LINE),
+        line_bytes: LINE,
+        sector_bytes: LINE,
+        associativity: assoc,
+    }
+}
+
+/// Every `AccessPattern` variant, with sizes spanning "fits easily" to
+/// "thrashes hard" relative to the generated geometries.
+fn pattern_strategy() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        Just(AccessPattern::Streaming),
+        (6u32..22).prop_map(|b| AccessPattern::RandomUniform {
+            working_set_bytes: 1u64 << b,
+        }),
+        ((6u32..18), (1u32..6)).prop_map(|(b, s)| AccessPattern::Sweep {
+            working_set_bytes: 1u64 << b,
+            sweeps: s,
+        }),
+        ((0.0f64..1.0), (6u32..14), (12u32..22)).prop_map(|(f, h, c)| {
+            AccessPattern::HotCold {
+                hot_fraction: f,
+                hot_bytes: 1u64 << h,
+                cold_bytes: 1u64 << c,
+            }
+        }),
+        (6u32..16).prop_map(|b| AccessPattern::Broadcast { bytes: 1u64 << b }),
+    ]
+}
+
+/// Replay `addrs` through both paths on fresh caches of `geom`; require a
+/// bit-identical outcome stream and identical counters.
+fn assert_equivalent(geom: CacheGeometry, addrs: &[u64]) {
+    let mut batched = SetAssocCache::new(geom);
+    let mut got = Vec::new();
+    batched.access_batch_record(addrs, &mut got);
+
+    let mut scalar = SetAssocCache::new(geom);
+    let expect: Vec<bool> = addrs.iter().map(|&a| scalar.access(a)).collect();
+
+    assert_eq!(got, expect, "per-access hit/miss streams diverged");
+    assert_eq!(batched.hits(), scalar.hits());
+    assert_eq!(batched.misses(), scalar.misses());
+    assert_eq!(batched.accesses(), addrs.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched replay is bit-identical to scalar for arbitrary geometries
+    /// (1..400 sets — mostly non-powers-of-two — and associativity 1..=16)
+    /// across every access-pattern family.
+    #[test]
+    fn batched_replay_is_bit_identical_to_scalar(
+        sets in 1u64..400,
+        assoc in 1u32..17,
+        pattern in pattern_strategy(),
+        n in 1usize..5000,
+        seed in 0u64..1000,
+    ) {
+        let mut addrs = Vec::new();
+        trace::generate_into(&pattern, LINE, n, seed, &mut addrs);
+        assert_equivalent(geometry(sets, assoc), &addrs);
+    }
+
+    /// Interleaving batched and scalar accesses on one cache must land in
+    /// the same state as the pure-scalar history.
+    #[test]
+    fn mixed_batch_and_scalar_history_converges(
+        sets in 1u64..128,
+        assoc in 1u32..9,
+        n in 1usize..2000,
+        seed in 0u64..500,
+    ) {
+        let pattern = AccessPattern::RandomUniform { working_set_bytes: 1 << 18 };
+        let mut addrs = Vec::new();
+        trace::generate_into(&pattern, LINE, n, seed, &mut addrs);
+        let (head, tail) = addrs.split_at(addrs.len() / 2);
+
+        let geom = geometry(sets, assoc);
+        let mut mixed = SetAssocCache::new(geom);
+        mixed.access_batch(head);
+        for &a in tail {
+            mixed.access(a);
+        }
+
+        let mut scalar = SetAssocCache::new(geom);
+        for &a in &addrs {
+            scalar.access(a);
+        }
+        prop_assert_eq!(mixed.hits(), scalar.hits());
+        prop_assert_eq!(mixed.misses(), scalar.misses());
+    }
+}
+
+/// Multi-chunk warm replay at the SIMD-specialized associativities: a
+/// fitting working set leaves every set fully resident, which routes runs
+/// through the register-resident tag lanes and the deferred pair-replay
+/// path; the trace is long enough to span several internal batch chunks.
+#[test]
+fn warm_resident_multichunk_matches_scalar() {
+    for assoc in [4u32, 8] {
+        let sets = 512u64;
+        let geom = geometry(sets, assoc);
+        let pattern = AccessPattern::RandomUniform {
+            // Half the cache: every set goes warm and stays resident.
+            working_set_bytes: sets * u64::from(assoc) * u64::from(LINE) / 2,
+        };
+        let mut addrs = Vec::new();
+        trace::generate_into(&pattern, LINE, 100_000, 42, &mut addrs);
+
+        let mut batched = SetAssocCache::new(geom);
+        let mut got = Vec::new();
+        batched.access_batch_record(&addrs, &mut got);
+
+        let mut scalar = SetAssocCache::new(geom);
+        let expect: Vec<bool> = addrs.iter().map(|&a| scalar.access(a)).collect();
+        assert_eq!(got, expect, "assoc {assoc}");
+        assert_eq!(batched.hits(), scalar.hits(), "assoc {assoc}");
+    }
+}
+
+/// Thrashing multi-chunk replay: runs are long and mostly missing, which
+/// exercises the eviction/victim-selection half of the batched path across
+/// chunk boundaries.
+#[test]
+fn thrashing_multichunk_matches_scalar() {
+    let geom = geometry(96, 8); // non-pow2 set count at the SIMD width
+    let pattern = AccessPattern::Sweep {
+        working_set_bytes: 4 * 96 * 8 * u64::from(LINE),
+        sweeps: 3,
+    };
+    let mut addrs = Vec::new();
+    trace::generate_into(&pattern, LINE, 80_000, 9, &mut addrs);
+
+    let mut batched = SetAssocCache::new(geom);
+    let mut got = Vec::new();
+    batched.access_batch_record(&addrs, &mut got);
+
+    let mut scalar = SetAssocCache::new(geom);
+    let expect: Vec<bool> = addrs.iter().map(|&a| scalar.access(a)).collect();
+    assert_eq!(got, expect);
+    assert_eq!(batched.misses(), scalar.misses());
+}

@@ -28,12 +28,19 @@ fn sector_cache(capacity_blocks: u64, associativity: u32) -> SetAssocCache {
 }
 
 fn measured_hit_rate(pattern: &AccessPattern, capacity_blocks: u64, n: usize, seed: u64) -> f64 {
-    let addrs = trace::generate(pattern, BLOCK, n, seed);
-    let mut cache = sector_cache(capacity_blocks, 8);
-    for a in addrs {
-        cache.access(a);
+    // One trace buffer per test thread, reused across every validation
+    // case; replay goes through the batched path (bit-identical to scalar,
+    // see tests/batch_equivalence.rs).
+    thread_local! {
+        static BUF: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
     }
-    cache.hit_rate()
+    BUF.with(|buf| {
+        let mut addrs = buf.borrow_mut();
+        trace::generate_into(pattern, BLOCK, n, seed, &mut addrs);
+        let mut cache = sector_cache(capacity_blocks, 8);
+        cache.access_batch(&addrs);
+        cache.hit_rate()
+    })
 }
 
 fn analytic_hit_rate(pattern: &AccessPattern, capacity_blocks: u64, n: usize) -> f64 {
@@ -181,9 +188,12 @@ proptest! {
         seed in 0u64..100,
     ) {
         let pat = AccessPattern::RandomUniform { working_set_bytes: 1 << 16 };
-        let addrs = trace::generate(&pat, BLOCK, n, seed);
+        let mut addrs = Vec::new();
+        trace::generate_into(&pat, BLOCK, n, seed, &mut addrs);
         let mut cache = sector_cache(cap, 4);
-        for a in addrs {
+        // Scalar replay on purpose: this property pins the scalar path's
+        // accounting, complementing the batched replay used above.
+        for &a in &addrs {
             cache.access(a);
         }
         prop_assert_eq!(cache.hits() + cache.misses(), n as u64);

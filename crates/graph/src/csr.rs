@@ -40,16 +40,38 @@ impl CsrGraph {
 
     /// Build an undirected graph from an edge list (each edge inserted in
     /// both directions).
+    ///
+    /// Scatters both directions straight from the input list — same CSR as
+    /// doubling the edge list and calling [`CsrGraph::from_edges`], without
+    /// materializing the doubled list.
     #[must_use]
     pub fn from_edges_undirected(num_vertices: u32, edges: &[(u32, u32)]) -> Self {
-        let mut both = Vec::with_capacity(edges.len() * 2);
+        let n = num_vertices as usize;
+        let mut degree = vec![0u64; n];
         for &(u, v) in edges {
-            both.push((u, v));
+            assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+            degree[u as usize] += 1;
             if u != v {
-                both.push((v, u));
+                degree[v as usize] += 1;
             }
         }
-        Self::from_edges(num_vertices, &both)
+        let mut offsets = vec![0u64; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; offsets[n] as usize];
+        for &(u, v) in edges {
+            let slot = cursor[u as usize];
+            targets[slot as usize] = v;
+            cursor[u as usize] += 1;
+            if u != v {
+                let slot = cursor[v as usize];
+                targets[slot as usize] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        Self { offsets, targets }
     }
 
     /// Number of vertices.
@@ -131,6 +153,24 @@ mod tests {
         let g = CsrGraph::from_edges_undirected(3, &[(0, 1), (1, 2)]);
         assert_eq!(g.num_edges(), 4);
         assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn undirected_matches_doubled_edge_list() {
+        // The direct two-direction scatter must be indistinguishable from
+        // materializing the doubled list (duplicates, self-loops and all).
+        let edges = [(0, 1), (1, 2), (2, 2), (0, 1), (3, 0), (1, 0)];
+        let mut both = Vec::new();
+        for &(u, v) in &edges {
+            both.push((u, v));
+            if u != v {
+                both.push((v, u));
+            }
+        }
+        assert_eq!(
+            CsrGraph::from_edges_undirected(4, &edges),
+            CsrGraph::from_edges(4, &both)
+        );
     }
 
     #[test]

@@ -39,23 +39,24 @@ pub fn rmat_with_params(
     let n = 1u32 << scale;
     let m = u64::from(edge_factor) * u64::from(n);
     let mut rng = StdRng::seed_from_u64(seed);
+    let ab = a + b;
+    let abc = a + b + c;
     let mut edges = Vec::with_capacity(m as usize);
     for _ in 0..m {
         let mut u = 0u32;
         let mut v = 0u32;
         for bit in (0..scale).rev() {
+            // Branchless quadrant pick: with thresholds t1 = r ≥ a,
+            // t2 = r ≥ a+b, t3 = r ≥ a+b+c, the quadrant bits are
+            // du = t2 and dv = t1 ^ t2 ^ t3 — same draw, same quadrant
+            // as the cascaded compare, but nothing for the predictor to
+            // miss on a uniformly random `r`.
             let r: f64 = rng.gen();
-            let (du, dv) = if r < a {
-                (0, 0)
-            } else if r < a + b {
-                (0, 1)
-            } else if r < a + b + c {
-                (1, 0)
-            } else {
-                (1, 1)
-            };
-            u |= du << bit;
-            v |= dv << bit;
+            let t1 = u32::from(r >= a);
+            let t2 = u32::from(r >= ab);
+            let t3 = u32::from(r >= abc);
+            u |= t2 << bit;
+            v |= (t1 ^ t2 ^ t3) << bit;
         }
         edges.push((u, v));
     }

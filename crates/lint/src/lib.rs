@@ -2,8 +2,9 @@
 //!
 //! Four rule families run over a lexed (not parsed) view of the workspace:
 //!
-//! * [`rules::no_panic`] — daemon paths (`serve`, `gateway`, `obs`,
-//!   `gpu::pool`) must not `unwrap()`, `expect()`, `panic!`, or index by
+//! * [`rules::no_panic`] — daemon paths (`serve`, `gateway`, `obs`, and
+//!   the `gpu` cold-simulate files: `pool`, `engine`, `cache::sim`,
+//!   `cache::trace`) must not `unwrap()`, `expect()`, `panic!`, or index by
 //!   integer literal outside `#[cfg(test)]` code. The escape hatch is a
 //!   `// lint:allow(no_panic, reason)` comment on the same or preceding
 //!   line; the reason is mandatory.

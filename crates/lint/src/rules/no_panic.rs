@@ -1,7 +1,9 @@
 //! Rule `no_panic`: daemon paths must not contain panic sites.
 //!
 //! Applies to non-test code in the `serve`, `gateway`, and `obs` crates
-//! plus `gpu::pool` (the engine pool the daemon checks engines out of).
+//! plus the `gpu` files the daemon's cold-simulate path runs through: the
+//! engine pool, the launch engine, and the batched cache simulator/trace
+//! generator (every serve cache miss replays traces through them).
 //! A panic in any of these unwinds a worker thread and silently shrinks
 //! the pool, so fallible paths must return errors instead. Flagged shapes:
 //!
@@ -21,11 +23,21 @@ const RULE: &str = "no_panic";
 /// Crates whose whole `src/` tree is a daemon path.
 const DAEMON_CRATES: &[&str] = &["serve", "gateway", "obs"];
 
+/// Individual `gpu` files on the daemon's cold-simulate path: the engine
+/// pool, the launch engine it hands out, and the batched cache
+/// simulator/trace generator every cache-miss simulation replays through.
+const DAEMON_FILES: &[&str] = &[
+    "crates/gpu/src/pool.rs",
+    "crates/gpu/src/engine.rs",
+    "crates/gpu/src/cache/sim.rs",
+    "crates/gpu/src/cache/trace.rs",
+];
+
 fn applies(f: &SourceFile) -> bool {
     if f.in_test_dir {
         return false;
     }
-    if f.rel == "crates/gpu/src/pool.rs" {
+    if DAEMON_FILES.contains(&f.rel.as_str()) {
         return true;
     }
     DAEMON_CRATES.contains(&f.crate_name.as_str()) && f.rel.contains("/src/")

@@ -1,0 +1,6 @@
+//! Seeded-bad fixture: the batched cache simulator is a daemon file even
+//! though the `gpu` crate as a whole is not a daemon crate.
+
+fn replay(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,6 @@
+//! Control fixture: `gpu` files off the cold-simulate path may still
+//! panic — only the DAEMON_FILES list is in scope.
+
+fn off_daemon_path(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -169,16 +169,16 @@ impl MdEngine {
                 .step_count
                 .is_multiple_of(u64::from(self.config.neighbor_every.max(1)));
         if rebuild {
-            // The colloid style's cutoff is a multiple of the pair sigma, so
-            // the Verlet list must be built out to the largest pair's range.
-            let radius = match self.config.pair_style {
+            // The colloid style's cutoff is a multiple of the pair sigma;
+            // use the per-pair-radius "multi" list so small-small pairs are
+            // only stored out to their own short range instead of the
+            // largest pair's.
+            let nl = match self.config.pair_style {
                 PairStyle::Colloid => {
-                    let max_sigma = self.sys.sigmas.iter().fold(1.0f64, |m, &s| m.max(s));
-                    self.config.cutoff * max_sigma
+                    NeighborList::build_multi(&self.sys, self.config.cutoff, self.config.skin)
                 }
-                _ => self.config.cutoff,
+                _ => NeighborList::build(&self.sys, self.config.cutoff, self.config.skin),
             };
-            let nl = NeighborList::build(&self.sys, radius, self.config.skin);
             for k in neighbor_kernels(taxonomy, n, nl.num_pairs(), nl.cells_per_side()) {
                 gpu.launch(&k);
             }

@@ -12,7 +12,7 @@
 //! potential energies, so conservation properties are testable.
 
 use crate::neighbor::NeighborList;
-use crate::system::ParticleSystem;
+use crate::system::{min_image_disp, ParticleSystem};
 
 /// Result of a force evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -30,28 +30,58 @@ pub struct ForceStats {
 pub fn lj_cut(sys: &mut ParticleSystem, nl: &NeighborList, cutoff: f64) -> ForceStats {
     let rc2 = cutoff * cutoff;
     let mut stats = ForceStats::default();
-    for i in 0..sys.len() {
-        for &j in nl.neighbors_of(i) {
+    let box_len = sys.box_len;
+    let inv_box = 1.0 / box_len;
+    let n = sys.positions.len();
+    // Split borrows: positions/sigmas read-only, forces written.
+    let positions = &sys.positions;
+    let sigmas = &sys.sigmas;
+    let forces = &mut sys.forces;
+    // One bounds proof for the whole evaluation: every neighbor index the
+    // list stores is < num_particles, and all per-particle arrays have
+    // that length, so the inner loop can use unchecked indexing.
+    assert_eq!(nl.num_particles(), n, "list built for a different system");
+    assert!(sigmas.len() == n && forces.len() == n);
+    for i in 0..n {
+        let pi = positions[i];
+        let sigma_i = sigmas[i];
+        let neigh = nl.neighbors_of(i);
+        stats.pairs_examined += neigh.len() as u64;
+        // Accumulate particle i's force locally; one read-modify-write per
+        // particle instead of one per pair.
+        let mut fi = [0.0f64; 3];
+        for &j in neigh {
             let j = j as usize;
-            stats.pairs_examined += 1;
-            let d = sys.min_image(i, j);
+            // SAFETY: j < num_particles == n == length of every array,
+            // asserted above.
+            let (pj, sigma_j) = unsafe { (positions.get_unchecked(j), *sigmas.get_unchecked(j)) };
+            let d = min_image_disp(&pi, pj, box_len, inv_box);
             let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
             if r2 >= rc2 || r2 <= 0.0 {
                 continue;
             }
             stats.pairs_in_cutoff += 1;
-            let sigma = 0.5 * (sys.sigmas[i] + sys.sigmas[j]);
-            let s2 = sigma * sigma / r2;
+            let sigma = 0.5 * (sigma_i + sigma_j);
+            // One reciprocal per pair; both the σ²/r² ratio and the F/r
+            // denominator reuse it.
+            let inv_r2 = 1.0 / r2;
+            let s2 = sigma * sigma * inv_r2;
             let s6 = s2 * s2 * s2;
             let s12 = s6 * s6;
             // F/r magnitude; ε = 1.
-            let f_over_r = 24.0 * (2.0 * s12 - s6) / r2;
+            let f_over_r = 24.0 * (2.0 * s12 - s6) * inv_r2;
             stats.potential_energy += 4.0 * (s12 - s6);
+            // SAFETY: as above.
+            let fj = unsafe { forces.get_unchecked_mut(j) };
             for a in 0..3 {
                 let f = f_over_r * d[a];
-                sys.forces[i][a] -= f;
-                sys.forces[j][a] += f;
+                fi[a] -= f;
+                fj[a] += f;
             }
+        }
+        let f = &mut forces[i];
+        for a in 0..3 {
+            f[a] += fi[a];
         }
     }
     stats
@@ -69,38 +99,70 @@ pub fn lj_coulomb_cut(
     let rc2 = cutoff * cutoff;
     let mut stats = ForceStats::default();
     let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
-    for i in 0..sys.len() {
-        for &j in nl.neighbors_of(i) {
+    let box_len = sys.box_len;
+    let inv_box = 1.0 / box_len;
+    let n = sys.positions.len();
+    let positions = &sys.positions;
+    let sigmas = &sys.sigmas;
+    let charges = &sys.charges;
+    let forces = &mut sys.forces;
+    // One bounds proof for the whole evaluation (see `lj_cut`).
+    assert_eq!(nl.num_particles(), n, "list built for a different system");
+    assert!(sigmas.len() == n && charges.len() == n && forces.len() == n);
+    for i in 0..n {
+        let pi = positions[i];
+        let sigma_i = sigmas[i];
+        let q_i = charges[i];
+        let neigh = nl.neighbors_of(i);
+        stats.pairs_examined += neigh.len() as u64;
+        let mut fi = [0.0f64; 3];
+        for &j in neigh {
             let j = j as usize;
-            stats.pairs_examined += 1;
-            let d = sys.min_image(i, j);
+            // SAFETY: j < num_particles == n == length of every array,
+            // asserted above.
+            let (pj, sigma_j) = unsafe { (positions.get_unchecked(j), *sigmas.get_unchecked(j)) };
+            let d = min_image_disp(&pi, pj, box_len, inv_box);
             let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
             if r2 >= rc2 || r2 <= 0.0 {
                 continue;
             }
             stats.pairs_in_cutoff += 1;
-            let sigma = 0.5 * (sys.sigmas[i] + sys.sigmas[j]);
-            let s2 = sigma * sigma / r2;
+            let sigma = 0.5 * (sigma_i + sigma_j);
+            let inv_r2 = 1.0 / r2;
+            let s2 = sigma * sigma * inv_r2;
             let s6 = s2 * s2 * s2;
             let s12 = s6 * s6;
-            let mut f_over_r = 24.0 * (2.0 * s12 - s6) / r2;
+            let mut f_over_r = 24.0 * (2.0 * s12 - s6) * inv_r2;
             stats.potential_energy += 4.0 * (s12 - s6);
 
-            let qq = sys.charges[i] * sys.charges[j];
-            if qq.abs() > 0.0 {
-                let r = r2.sqrt();
-                let erfc_ar = erfc(alpha * r);
-                let coul_e = qq * erfc_ar / r;
-                stats.potential_energy += coul_e;
-                f_over_r += qq
-                    * (erfc_ar / r + two_over_sqrt_pi * alpha * (-alpha * alpha * r2).exp())
-                    / r2;
+            // `q_i == 0` rows skip the charge load entirely (predictable
+            // per-row); charged pairs share one exp(-α²r²) between erfc
+            // and the real-space force term instead of computing it twice.
+            if q_i != 0.0 {
+                // SAFETY: as above.
+                let qq = q_i * unsafe { *charges.get_unchecked(j) };
+                if qq.abs() > 0.0 {
+                    let r = r2.sqrt();
+                    let x = alpha * r;
+                    let gauss = (-x * x).exp();
+                    let erfc_ar = erfc_scaled(x) * gauss;
+                    let inv_r = 1.0 / r;
+                    let coul_e = qq * erfc_ar * inv_r;
+                    stats.potential_energy += coul_e;
+                    f_over_r += qq * (erfc_ar * inv_r + two_over_sqrt_pi * alpha * gauss) * inv_r2;
+                }
             }
+            // SAFETY: as above.
+            let fj = unsafe { forces.get_unchecked_mut(j) };
             for a in 0..3 {
                 let f = f_over_r * d[a];
-                sys.forces[i][a] -= f;
-                sys.forces[j][a] += f;
+                fi[a] -= f;
+                fj[a] += f;
             }
+        }
+        let f = &mut forces[i];
+        for a in 0..3 {
+            f[a] += fi[a];
         }
     }
     stats
@@ -113,28 +175,51 @@ pub fn lj_coulomb_cut(
 #[must_use]
 pub fn colloid(sys: &mut ParticleSystem, nl: &NeighborList, cutoff_factor: f64) -> ForceStats {
     let mut stats = ForceStats::default();
-    for i in 0..sys.len() {
-        for &j in nl.neighbors_of(i) {
+    let box_len = sys.box_len;
+    let inv_box = 1.0 / box_len;
+    let n = sys.positions.len();
+    let positions = &sys.positions;
+    let sigmas = &sys.sigmas;
+    let forces = &mut sys.forces;
+    // One bounds proof for the whole evaluation (see `lj_cut`).
+    assert_eq!(nl.num_particles(), n, "list built for a different system");
+    assert!(sigmas.len() == n && forces.len() == n);
+    for i in 0..n {
+        let pi = positions[i];
+        let sigma_i = sigmas[i];
+        let neigh = nl.neighbors_of(i);
+        stats.pairs_examined += neigh.len() as u64;
+        let mut fi = [0.0f64; 3];
+        for &j in neigh {
             let j = j as usize;
-            stats.pairs_examined += 1;
-            let d = sys.min_image(i, j);
+            // SAFETY: j < num_particles == n == length of every array,
+            // asserted above.
+            let (pj, sigma_j) = unsafe { (positions.get_unchecked(j), *sigmas.get_unchecked(j)) };
+            let d = min_image_disp(&pi, pj, box_len, inv_box);
             let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-            let sigma = 0.5 * (sys.sigmas[i] + sys.sigmas[j]);
+            let sigma = 0.5 * (sigma_i + sigma_j);
             let rc = cutoff_factor * sigma;
             if r2 >= rc * rc || r2 <= 0.0 {
                 continue;
             }
             stats.pairs_in_cutoff += 1;
-            let s2 = sigma * sigma / r2;
+            let inv_r2 = 1.0 / r2;
+            let s2 = sigma * sigma * inv_r2;
             let s6 = s2 * s2 * s2;
             let s12 = s6 * s6;
-            let f_over_r = 24.0 * (2.0 * s12 - s6) / r2;
+            let f_over_r = 24.0 * (2.0 * s12 - s6) * inv_r2;
             stats.potential_energy += 4.0 * (s12 - s6);
+            // SAFETY: as above.
+            let fj = unsafe { forces.get_unchecked_mut(j) };
             for a in 0..3 {
                 let f = f_over_r * d[a];
-                sys.forces[i][a] -= f;
-                sys.forces[j][a] += f;
+                fi[a] -= f;
+                fj[a] += f;
             }
+        }
+        let f = &mut forces[i];
+        for a in 0..3 {
+            f[a] += fi[a];
         }
     }
     stats
@@ -144,10 +229,15 @@ pub fn colloid(sys: &mut ParticleSystem, nl: &NeighborList, cutoff_factor: f64) 
 #[must_use]
 pub fn bonds(sys: &mut ParticleSystem) -> f64 {
     let mut energy = 0.0;
-    let bonds = sys.bonds.clone();
-    for b in &bonds {
+    let box_len = sys.box_len;
+    let inv_box = 1.0 / box_len;
+    // Split borrows: the bond table and positions are read-only while the
+    // forces are written, so no clone of the table is needed.
+    let positions = &sys.positions;
+    let forces = &mut sys.forces;
+    for b in &sys.bonds {
         let (i, j) = (b.i as usize, b.j as usize);
-        let d = sys.min_image(i, j);
+        let d = min_image_disp(&positions[i], &positions[j], box_len, inv_box);
         let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
         if r <= 0.0 {
             continue;
@@ -157,8 +247,8 @@ pub fn bonds(sys: &mut ParticleSystem) -> f64 {
         let f_over_r = b.k * dr / r;
         for a in 0..3 {
             let f = f_over_r * d[a];
-            sys.forces[i][a] += f;
-            sys.forces[j][a] -= f;
+            forces[i][a] += f;
+            forces[j][a] -= f;
         }
     }
     energy
@@ -168,11 +258,14 @@ pub fn bonds(sys: &mut ParticleSystem) -> f64 {
 #[must_use]
 pub fn angles(sys: &mut ParticleSystem) -> f64 {
     let mut energy = 0.0;
-    let angle_terms = sys.angles.clone();
-    for t in &angle_terms {
+    let box_len = sys.box_len;
+    let inv_box = 1.0 / box_len;
+    let positions = &sys.positions;
+    let forces = &mut sys.forces;
+    for t in &sys.angles {
         let (i, j, k) = (t.i as usize, t.j as usize, t.k_idx as usize);
-        let d1 = sys.min_image(j, i);
-        let d2 = sys.min_image(j, k);
+        let d1 = min_image_disp(&positions[j], &positions[i], box_len, inv_box);
+        let d2 = min_image_disp(&positions[j], &positions[k], box_len, inv_box);
         let r1 = (d1[0] * d1[0] + d1[1] * d1[1] + d1[2] * d1[2]).sqrt();
         let r2 = (d2[0] * d2[0] + d2[1] * d2[1] + d2[2] * d2[2]).sqrt();
         if r1 <= 0.0 || r2 <= 0.0 {
@@ -189,28 +282,34 @@ pub fn angles(sys: &mut ParticleSystem) -> f64 {
         for a in 0..3 {
             let g1 = (d2[a] / (r1 * r2) - cos_t * d1[a] / (r1 * r1)) * coeff;
             let g2 = (d1[a] / (r1 * r2) - cos_t * d2[a] / (r2 * r2)) * coeff;
-            sys.forces[i][a] += g1;
-            sys.forces[k][a] += g2;
-            sys.forces[j][a] -= g1 + g2;
+            forces[i][a] += g1;
+            forces[k][a] += g2;
+            forces[j][a] -= g1 + g2;
         }
     }
     energy
 }
 
+/// Scaled complement `erfc(x) / exp(-x²)` for `x ≥ 0` — the rational
+/// factor of Abramowitz–Stegun 7.1.26. Hot loops that already need the
+/// Gaussian multiply it back in, sharing one `exp` per pair.
+#[inline]
+#[must_use]
+pub fn erfc_scaled(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    t * (0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))))
+}
+
 /// Complementary error function (Abramowitz–Stegun 7.1.26, |ε| ≤ 1.5e-7).
 #[must_use]
 pub fn erfc(x: f64) -> f64 {
-    let sign = if x < 0.0 { -1.0 } else { 1.0 };
-    let x = x.abs();
-    let t = 1.0 / (1.0 + 0.3275911 * x);
-    let poly = t
-        * (0.254829592
-            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
-    let erf = 1.0 - poly * (-x * x).exp();
-    if sign < 0.0 {
-        1.0 + erf
+    let ax = x.abs();
+    let value = erfc_scaled(ax) * (-ax * ax).exp();
+    if x < 0.0 {
+        2.0 - value
     } else {
-        1.0 - erf
+        value
     }
 }
 

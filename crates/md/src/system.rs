@@ -10,6 +10,33 @@ use rand::{Rng, SeedableRng};
 /// A 3-vector.
 pub type Vec3 = [f64; 3];
 
+/// Round to the nearest integer (ties to even) in two additions.
+///
+/// Valid for |x| < 2⁵¹. On the baseline x86-64 target `f64::round()` lowers
+/// to a libm call — far too expensive for something executed three times
+/// per examined pair — while adding and subtracting 1.5·2⁵² forces the FPU
+/// to drop the fraction bits in round-to-nearest mode.
+#[inline]
+fn nearest(x: f64) -> f64 {
+    const SHIFT: f64 = 1.5 * (1u64 << 52) as f64;
+    (x + SHIFT) - SHIFT
+}
+
+/// Minimum-image displacement from `pi` to `pj` in a cubic box.
+///
+/// Takes the box reciprocal explicitly so pair loops hoist the division out
+/// of their hot path (one multiply per axis instead of one divide).
+#[inline]
+#[must_use]
+pub fn min_image_disp(pi: &Vec3, pj: &Vec3, box_len: f64, inv_box: f64) -> Vec3 {
+    let mut d = [0.0; 3];
+    for a in 0..3 {
+        let x = pj[a] - pi[a];
+        d[a] = x - box_len * nearest(x * inv_box);
+    }
+    d
+}
+
 /// A harmonic bond between two particles.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bond {
@@ -83,13 +110,12 @@ impl ParticleSystem {
     /// Minimum-image displacement from `i` to `j`.
     #[must_use]
     pub fn min_image(&self, i: usize, j: usize) -> Vec3 {
-        let mut d = [0.0; 3];
-        for a in 0..3 {
-            let mut x = self.positions[j][a] - self.positions[i][a];
-            x -= self.box_len * (x / self.box_len).round();
-            d[a] = x;
-        }
-        d
+        min_image_disp(
+            &self.positions[i],
+            &self.positions[j],
+            self.box_len,
+            1.0 / self.box_len,
+        )
     }
 
     /// Instantaneous kinetic energy.

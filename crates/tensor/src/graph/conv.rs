@@ -10,7 +10,24 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> u
     (input + 2 * pad - kernel) / stride + 1
 }
 
+/// Valid `ox` range for a kernel column: every `ox` in `lo..hi` maps to an
+/// in-bounds input column `ix = ox·stride + kx − pad`.
+#[inline]
+fn ox_range(ow: usize, ww: usize, stride: usize, pad: usize, kx: usize) -> (usize, usize) {
+    let lo = pad.saturating_sub(kx).div_ceil(stride);
+    let hi = if ww + pad > kx {
+        ((ww + pad - kx - 1) / stride + 1).min(ow)
+    } else {
+        0
+    };
+    (lo.min(hi), hi)
+}
+
 /// Forward convolution: `x[n,ic,h,w] ⊛ w[oc,ic,kh,kw] → [n,oc,oh,ow]`.
+///
+/// Row-kernel formulation: the padding tests are hoisted into a computed
+/// `ox` range per kernel column, so the innermost loop is a pure
+/// weight-times-row FMA the compiler can vectorize.
 #[must_use]
 pub fn conv_fwd(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
     let (n, ic, h, ww) = dims4(x);
@@ -24,26 +41,27 @@ pub fn conv_fwd(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
     let od = out.data_mut();
     for b in 0..n {
         for o in 0..oc {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for c in 0..ic {
-                        for ky in 0..kh {
+            let oplane = &mut od[(b * oc + o) * oh * ow..(b * oc + o + 1) * oh * ow];
+            for c in 0..ic {
+                let xplane = &xd[(b * ic + c) * h * ww..(b * ic + c + 1) * h * ww];
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let wk = wd[((o * ic + c) * kh + ky) * kw + kx];
+                        let (lo, hi) = ox_range(ow, ww, stride, pad, kx);
+                        for oy in 0..oh {
                             let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            for kx in 0..kw {
-                                let ix = (ox * stride + kx) as isize - pad as isize;
-                                if ix < 0 || ix >= ww as isize {
-                                    continue;
-                                }
-                                acc += xd[((b * ic + c) * h + iy as usize) * ww + ix as usize]
-                                    * wd[((o * ic + c) * kh + ky) * kw + kx];
+                            let xrow = &xplane[iy as usize * ww..(iy as usize + 1) * ww];
+                            let orow = &mut oplane[oy * ow..oy * ow + ow];
+                            let base = kx as isize - pad as isize;
+                            for (ox, out_v) in orow[lo..hi].iter_mut().enumerate() {
+                                let ix = ((ox + lo) * stride) as isize + base;
+                                *out_v += wk * xrow[ix as usize];
                             }
                         }
                     }
-                    od[((b * oc + o) * oh + oy) * ow + ox] = acc;
                 }
             }
         }
@@ -71,25 +89,24 @@ pub fn conv_dgrad(
     let xd = dx.data_mut();
     for b in 0..n {
         for o in 0..oc {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let g = dd[((b * oc + o) * oh + oy) * ow + ox];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    for c in 0..ic {
-                        for ky in 0..kh {
+            let dplane = &dd[(b * oc + o) * oh * ow..(b * oc + o + 1) * oh * ow];
+            for c in 0..ic {
+                let xplane = &mut xd[(b * ic + c) * h * ww..(b * ic + c + 1) * h * ww];
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let wk = wd[((o * ic + c) * kh + ky) * kw + kx];
+                        let (lo, hi) = ox_range(ow, ww, stride, pad, kx);
+                        for oy in 0..oh {
                             let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            for kx in 0..kw {
-                                let ix = (ox * stride + kx) as isize - pad as isize;
-                                if ix < 0 || ix >= ww as isize {
-                                    continue;
-                                }
-                                xd[((b * ic + c) * h + iy as usize) * ww + ix as usize] +=
-                                    g * wd[((o * ic + c) * kh + ky) * kw + kx];
+                            let xrow = &mut xplane[iy as usize * ww..(iy as usize + 1) * ww];
+                            let drow = &dplane[oy * ow..oy * ow + ow];
+                            let base = kx as isize - pad as isize;
+                            for (ox, &g) in drow[lo..hi].iter().enumerate() {
+                                let ix = ((ox + lo) * stride) as isize + base;
+                                xrow[ix as usize] += g * wk;
                             }
                         }
                     }
@@ -120,27 +137,27 @@ pub fn conv_wgrad(
     let wd = dw.data_mut();
     for b in 0..n {
         for o in 0..oc {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let g = dd[((b * oc + o) * oh + oy) * ow + ox];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    for c in 0..ic {
-                        for ky in 0..kh {
+            let dplane = &dd[(b * oc + o) * oh * ow..(b * oc + o + 1) * oh * ow];
+            for c in 0..ic {
+                let xplane = &xd[(b * ic + c) * h * ww..(b * ic + c + 1) * h * ww];
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let (lo, hi) = ox_range(ow, ww, stride, pad, kx);
+                        let base = kx as isize - pad as isize;
+                        let mut acc = 0.0f32;
+                        for oy in 0..oh {
                             let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            for kx in 0..kw {
-                                let ix = (ox * stride + kx) as isize - pad as isize;
-                                if ix < 0 || ix >= ww as isize {
-                                    continue;
-                                }
-                                wd[((o * ic + c) * kh + ky) * kw + kx] +=
-                                    g * xd[((b * ic + c) * h + iy as usize) * ww + ix as usize];
+                            let xrow = &xplane[iy as usize * ww..(iy as usize + 1) * ww];
+                            let drow = &dplane[oy * ow..oy * ow + ow];
+                            for (ox, &g) in drow[lo..hi].iter().enumerate() {
+                                let ix = ((ox + lo) * stride) as isize + base;
+                                acc += g * xrow[ix as usize];
                             }
                         }
+                        wd[((o * ic + c) * kh + ky) * kw + kx] += acc;
                     }
                 }
             }

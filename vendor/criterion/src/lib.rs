@@ -11,10 +11,25 @@
 //! Measurement is deliberately simple: per-sample wall-clock timing with an
 //! adaptive inner-iteration count sized so one bench stays within its
 //! measurement-time budget. Reported numbers are min/mean/max over samples —
-//! no outlier analysis, no saved baselines, no plots. CLI handling matches
-//! what `cargo bench` needs: flags (such as the injected `--bench`) are
-//! ignored and the first free argument is a substring filter on bench ids.
+//! no outlier analysis, no plots. CLI handling matches what `cargo bench`
+//! needs: flags (such as the injected `--bench`) are ignored and the first
+//! free argument is a substring filter on bench ids.
+//!
+//! Beyond the upstream API surface the shim adds the hooks Cactus' perf
+//! gate is built on:
+//!
+//! * every finished bench is recorded in a process-global registry, queryable
+//!   via [`results`] / [`median_of`] so benches can assert relations between
+//!   their own ids (e.g. "batched ≥5× faster than scalar");
+//! * [`finalize`] (invoked automatically by `criterion_main!`) writes a
+//!   machine-readable `BENCH_<area>.json` snapshot — bench id → median
+//!   seconds — into the directory named by `CACTUS_BENCH_JSON`, the
+//!   artifact `cactus-bench`'s `bench_gate` binary diffs against committed
+//!   baselines;
+//! * `CACTUS_BENCH_QUICK=1` clamps sample counts and measurement budgets so
+//!   CI can walk every bench quickly.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Hint for how `iter_batched` amortizes setup; the shim times one routine
@@ -43,6 +58,75 @@ impl Default for Config {
             measurement_time: Duration::from_secs(2),
         }
     }
+}
+
+impl Config {
+    /// Apply `CACTUS_BENCH_QUICK`: cap samples and budget so a full bench
+    /// binary finishes in seconds. Medians stay medians of the same routine,
+    /// so quick-mode snapshots remain comparable to quick-mode baselines.
+    fn effective(self) -> Self {
+        if quick_mode() {
+            Self {
+                sample_size: self.sample_size.min(3),
+                measurement_time: self.measurement_time.min(Duration::from_millis(500)),
+            }
+        } else {
+            self
+        }
+    }
+}
+
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| {
+        std::env::var("CACTUS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// One finished benchmark, as recorded in the process-global registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full bench id (`group/name` for grouped benches).
+    pub id: String,
+    /// Median seconds per iteration across samples.
+    pub median_s: f64,
+    /// Number of timed samples behind the median.
+    pub samples: usize,
+}
+
+fn registry() -> &'static Mutex<Vec<BenchResult>> {
+    static REGISTRY: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Median of a non-empty sample set.
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
+/// All benches finished so far in this process, in completion order.
+#[must_use]
+pub fn results() -> Vec<BenchResult> {
+    registry().lock().map(|r| r.clone()).unwrap_or_default()
+}
+
+/// Median seconds of a finished bench by exact id (`None` if it has not run
+/// — e.g. it was filtered out on the command line).
+#[must_use]
+pub fn median_of(id: &str) -> Option<f64> {
+    registry()
+        .lock()
+        .ok()?
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.median_s)
 }
 
 /// The benchmark harness entry point.
@@ -189,12 +273,22 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, filter: Option<&str>, config: Con
             return;
         }
     }
+    let config = config.effective();
     let mut bencher = Bencher {
         config,
         samples: Vec::with_capacity(config.sample_size),
     };
     f(&mut bencher);
     report(id, &bencher.samples);
+    if !bencher.samples.is_empty() {
+        if let Ok(mut reg) = registry().lock() {
+            reg.push(BenchResult {
+                id: id.to_string(),
+                median_s: median(&bencher.samples),
+                samples: bencher.samples.len(),
+            });
+        }
+    }
 }
 
 fn report(id: &str, samples: &[f64]) {
@@ -227,6 +321,96 @@ fn fmt_time(secs: f64) -> String {
     }
 }
 
+/// Area name for the snapshot file: `CACTUS_BENCH_AREA` if set, otherwise
+/// the executable's file stem with cargo's trailing `-<hash>` stripped
+/// (`engine-3f9a12bc…` → `engine`).
+fn snapshot_area() -> String {
+    if let Ok(area) = std::env::var("CACTUS_BENCH_AREA") {
+        if !area.is_empty() {
+            return area;
+        }
+    }
+    let stem = std::env::args()
+        .next()
+        .map(std::path::PathBuf::from)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((head, tail))
+            if !head.is_empty()
+                && tail.len() == 16
+                && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            head.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Serialize the registry as the flat `BENCH_<area>.json` schema consumed
+/// by `bench_gate`: `{"area": ..., "schema": 1, "benches": {id: median_s}}`.
+fn snapshot_json(area: &str, entries: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"area\": {},\n", json_string(area)));
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"benches\": {\n");
+    for (i, r) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        // Finite f64 Display output is valid JSON; guard the degenerate
+        // cases so the file always parses.
+        let v = if r.median_s.is_finite() {
+            r.median_s
+        } else {
+            0.0
+        };
+        out.push_str(&format!("    {}: {}{}\n", json_string(&r.id), v, sep));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (ids and areas are ASCII in practice).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Flush the bench registry to `$CACTUS_BENCH_JSON/BENCH_<area>.json`.
+///
+/// Called automatically at the end of the `criterion_main!`-generated
+/// `main`; a no-op when `CACTUS_BENCH_JSON` is unset or no bench ran.
+pub fn finalize() {
+    let Ok(dir) = std::env::var("CACTUS_BENCH_JSON") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let entries = results();
+    if entries.is_empty() {
+        return;
+    }
+    let area = snapshot_area();
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{area}.json"));
+    let body = snapshot_json(&area, &entries);
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
+        eprintln!("criterion shim: failed to write {}: {e}", path.display());
+        return;
+    }
+    println!("wrote bench snapshot {}", path.display());
+}
+
 /// Bundle benchmark functions into a group runner.
 #[macro_export]
 macro_rules! criterion_group {
@@ -245,12 +429,13 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `main` running the listed groups.
+/// Generate `main` running the listed groups, then flush the snapshot.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -297,6 +482,43 @@ mod tests {
             b.iter(|| 1u32);
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn registry_records_medians() {
+        run_bench("registry/probe", None, fast_config(), |b| b.iter(|| 1u32));
+        let m = median_of("registry/probe").expect("bench must be registered");
+        assert!(m >= 0.0);
+        assert!(results().iter().any(|r| r.id == "registry/probe"));
+        assert_eq!(median_of("registry/absent"), None);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let entries = vec![
+            BenchResult {
+                id: "a/b".into(),
+                median_s: 0.5,
+                samples: 3,
+            },
+            BenchResult {
+                id: "c\"d".into(),
+                median_s: f64::NAN,
+                samples: 1,
+            },
+        ];
+        let s = snapshot_json("engine", &entries);
+        assert!(s.contains("\"area\": \"engine\""));
+        assert!(s.contains("\"a/b\": 0.5,"));
+        assert!(s.contains("\"c\\\"d\": 0"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 
     #[test]
