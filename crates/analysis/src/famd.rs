@@ -8,6 +8,17 @@
 //! centered. A plain PCA of the combined matrix then extracts the principal
 //! dimensions. The first few dimensions act as a denoised feature space for
 //! the hierarchical clustering of Figure 9.
+//!
+//! Fitting and transforming are split: [`Famd::fit`] learns a reusable
+//! [`FamdModel`] — the frozen normalization statistics (per-column mean/std,
+//! per-category proportions) plus the principal axes — and keeps the
+//! training scores for the figure pipelines. [`FamdModel::encode`] projects
+//! any later observation into the same space, bit-identically to the scores
+//! the fit produced for its own rows, so an online index
+//! (`cactus-simindex`) and the batch figure generators share one encoder.
+//! The model serializes to a versioned text form stamped with
+//! `cactus_gpu::MODEL_VERSION`: coordinates are only comparable between
+//! encoders fitted on profiles from the same simulator model.
 
 use std::collections::BTreeMap;
 
@@ -15,11 +26,324 @@ use crate::matrix::Matrix;
 use crate::pca::{self, Pca};
 use crate::stats;
 
-/// A fitted FAMD model.
+/// Serialization schema of [`FamdModel::to_text`].
+const SCHEMA: u32 = 1;
+
+/// Frozen normalization statistics for one quantitative column.
+#[derive(Debug, Clone, PartialEq)]
+struct ColumnStats {
+    mean: f64,
+    std: f64,
+}
+
+/// One retained category of a qualitative variable. Categories with
+/// `p ∈ {0, 1}` are dropped at fit time (a constant indicator carries no
+/// information), so every stored proportion is strictly inside `(0, 1)`.
+#[derive(Debug, Clone, PartialEq)]
+struct Category {
+    label: String,
+    p: f64,
+}
+
+/// The reusable half of a FAMD fit: frozen normalization statistics and the
+/// principal axes, without the training scores. [`FamdModel::encode`]
+/// projects a new observation into the fitted space; the result for a
+/// training row is bit-identical to the score row [`Famd::fit`] computed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamdModel {
+    quant: Vec<ColumnStats>,
+    quals: Vec<Vec<Category>>,
+    /// Principal axes: columns are components in encoded-column space.
+    components: Matrix,
+    explained_variance: Vec<f64>,
+}
+
+impl FamdModel {
+    /// Number of encoded columns (quantitative + retained indicators).
+    #[must_use]
+    pub fn encoded_cols(&self) -> usize {
+        self.quant.len() + self.quals.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Number of quantitative columns the model was fitted on.
+    #[must_use]
+    pub fn quant_cols(&self) -> usize {
+        self.quant.len()
+    }
+
+    /// Number of qualitative variables the model was fitted on.
+    #[must_use]
+    pub fn qual_vars(&self) -> usize {
+        self.quals.len()
+    }
+
+    /// Explained variance per principal dimension, descending.
+    #[must_use]
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Number of dimensions needed to retain `ratio` of the variance (same
+    /// rule as [`Pca::components_for_ratio`]).
+    #[must_use]
+    pub fn dims_for_ratio(&self, ratio: f64) -> usize {
+        let total: f64 = self.explained_variance.iter().sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, v) in self.explained_variance.iter().enumerate() {
+            acc += v / total;
+            if acc >= ratio - 1e-12 {
+                return i + 1;
+            }
+        }
+        self.explained_variance.len()
+    }
+
+    /// Encode one observation (`quant_row` in fit column order, `qual_row`
+    /// one label per fitted qualitative variable) into the normalized
+    /// indicator space — z-scores against the frozen means/stds, scaled
+    /// centered indicators against the frozen proportions. An unseen
+    /// category encodes as "none of the retained indicators" (all
+    /// `-p·scale` terms), which is exactly how a dropped constant category
+    /// encoded at fit time.
+    #[must_use]
+    pub fn encode_raw(&self, quant_row: &[f64], qual_row: &[&str]) -> Vec<f64> {
+        let mut z = Vec::with_capacity(self.encoded_cols());
+        for (stats, &x) in self.quant.iter().zip(quant_row) {
+            z.push(if stats.std > 0.0 {
+                (x - stats.mean) / stats.std
+            } else {
+                0.0
+            });
+        }
+        for (categories, &label) in self.quals.iter().zip(qual_row) {
+            for category in categories {
+                // Identical arithmetic to the fit-time encoding so training
+                // rows reproduce bit-exactly.
+                let p = category.p;
+                let scale = 1.0 / p.sqrt();
+                let mean = p * scale;
+                let ind = if label == category.label { 1.0 } else { 0.0 };
+                z.push(ind * scale - mean);
+            }
+        }
+        z
+    }
+
+    /// Project one observation onto the principal dimensions: the frozen
+    /// encoding of [`FamdModel::encode_raw`] followed by the fitted axes.
+    /// For a row the model was fitted on, this reproduces the corresponding
+    /// [`Famd::coordinates`] row bit-for-bit.
+    ///
+    /// `quant_row` and `qual_row` shorter than the fitted column counts
+    /// encode the missing entries as if absent (mean / unseen category);
+    /// extra entries are ignored.
+    #[must_use]
+    pub fn encode(&self, quant_row: &[f64], qual_row: &[&str]) -> Vec<f64> {
+        let z = self.encode_raw(quant_row, qual_row);
+        let dims = self.components.cols();
+        let mut out = vec![0.0; dims];
+        // Mirror Matrix::matmul exactly (k-ascending accumulation with the
+        // zero-skip) so encoded coordinates match fit-time scores bitwise.
+        for (k, &a) in z.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (c, slot) in out.iter_mut().enumerate() {
+                *slot += a * self.components[(k, c)];
+            }
+        }
+        out
+    }
+
+    /// [`FamdModel::encode`] truncated to the first `k` dimensions.
+    #[must_use]
+    pub fn encode_truncated(&self, quant_row: &[f64], qual_row: &[&str], k: usize) -> Vec<f64> {
+        let mut coords = self.encode(quant_row, qual_row);
+        coords.truncate(k);
+        coords
+    }
+
+    /// Serialize to the versioned text form. The header pins both this
+    /// format's schema and the simulator's `MODEL_VERSION`: encoded
+    /// coordinates are only comparable between models fitted on profiles
+    /// from the same simulator revision, so a loader on a newer revision
+    /// must refuse the file rather than silently mix spaces.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "cactus-famd schema {SCHEMA} model {}\n",
+            cactus_gpu::MODEL_VERSION
+        );
+        out.push_str(&format!("quant {}\n", self.quant.len()));
+        for s in &self.quant {
+            out.push_str(&format!("{} {}\n", s.mean, s.std));
+        }
+        out.push_str(&format!("qual {}\n", self.quals.len()));
+        for categories in &self.quals {
+            out.push_str(&format!("var {}\n", categories.len()));
+            for c in categories {
+                // Proportion first: labels may contain spaces.
+                out.push_str(&format!("{} {}\n", c.p, c.label));
+            }
+        }
+        out.push_str(&format!(
+            "components {} {}\n",
+            self.components.rows(),
+            self.components.cols()
+        ));
+        for r in 0..self.components.rows() {
+            let row: Vec<String> = (0..self.components.cols())
+                .map(|c| self.components[(r, c)].to_string())
+                .collect();
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+        let ev: Vec<String> = self
+            .explained_variance
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        out.push_str(&format!("explained {}\n", ev.join(" ")));
+        out
+    }
+
+    /// Parse the text form written by [`FamdModel::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed line, an unknown schema, or a
+    /// `MODEL_VERSION` mismatch.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty famd model text")?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        match parts.as_slice() {
+            ["cactus-famd", "schema", schema, "model", model] => {
+                let schema: u32 = schema
+                    .parse()
+                    .map_err(|_| format!("bad schema number in {header:?}"))?;
+                if schema != SCHEMA {
+                    return Err(format!("unsupported famd schema {schema} (want {SCHEMA})"));
+                }
+                let model: u32 = model
+                    .parse()
+                    .map_err(|_| format!("bad model version in {header:?}"))?;
+                if model != cactus_gpu::MODEL_VERSION {
+                    return Err(format!(
+                        "famd model fitted on simulator model {model}, this build is {}; refit",
+                        cactus_gpu::MODEL_VERSION
+                    ));
+                }
+            }
+            _ => return Err(format!("bad famd model header {header:?}")),
+        }
+
+        let count_after = |line: Option<&str>, key: &str| -> Result<usize, String> {
+            let line = line.ok_or(format!("missing {key:?} line"))?;
+            line.strip_prefix(key)
+                .and_then(|rest| rest.trim().parse().ok())
+                .ok_or(format!("bad {key:?} line: {line:?}"))
+        };
+
+        let n_quant = count_after(lines.next(), "quant")?;
+        let mut quant = Vec::with_capacity(n_quant);
+        for _ in 0..n_quant {
+            let line = lines.next().ok_or("truncated quant stats")?;
+            let mut it = line.split_whitespace().map(str::parse::<f64>);
+            match (it.next(), it.next()) {
+                (Some(Ok(mean)), Some(Ok(std))) => quant.push(ColumnStats { mean, std }),
+                _ => return Err(format!("bad quant stats line: {line:?}")),
+            }
+        }
+
+        let n_qual = count_after(lines.next(), "qual")?;
+        let mut quals = Vec::with_capacity(n_qual);
+        for _ in 0..n_qual {
+            let n_cat = count_after(lines.next(), "var")?;
+            let mut categories = Vec::with_capacity(n_cat);
+            for _ in 0..n_cat {
+                let line = lines.next().ok_or("truncated category list")?;
+                let (p, label) = line
+                    .split_once(' ')
+                    .ok_or(format!("bad category line: {line:?}"))?;
+                let p: f64 = p
+                    .parse()
+                    .map_err(|_| format!("bad category proportion: {line:?}"))?;
+                categories.push(Category {
+                    label: label.to_owned(),
+                    p,
+                });
+            }
+            quals.push(categories);
+        }
+
+        let shape_line = lines.next().ok_or("missing components header")?;
+        let (rows, cols) = match shape_line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["components", r, c] => (
+                r.parse::<usize>()
+                    .map_err(|_| format!("bad components rows: {shape_line:?}"))?,
+                c.parse::<usize>()
+                    .map_err(|_| format!("bad components cols: {shape_line:?}"))?,
+            ),
+            _ => return Err(format!("bad components header {shape_line:?}")),
+        };
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows {
+            let line = lines.next().ok_or("truncated components matrix")?;
+            for tok in line.split_whitespace() {
+                data.push(
+                    tok.parse::<f64>()
+                        .map_err(|_| format!("bad component value {tok:?}"))?,
+                );
+            }
+        }
+        if data.len() != rows * cols {
+            return Err(format!(
+                "components matrix has {} values, expected {}",
+                data.len(),
+                rows * cols
+            ));
+        }
+        let components = Matrix::from_rows(rows, cols, data);
+
+        let ev_line = lines.next().ok_or("missing explained line")?;
+        let ev_body = ev_line
+            .strip_prefix("explained")
+            .ok_or(format!("bad explained line {ev_line:?}"))?;
+        let mut explained_variance = Vec::new();
+        for tok in ev_body.split_whitespace() {
+            explained_variance.push(
+                tok.parse::<f64>()
+                    .map_err(|_| format!("bad explained value {tok:?}"))?,
+            );
+        }
+
+        let model = Self {
+            quant,
+            quals,
+            components,
+            explained_variance,
+        };
+        if model.encoded_cols() != model.components.rows() {
+            return Err(format!(
+                "components matrix has {} rows, expected {} encoded columns",
+                model.components.rows(),
+                model.encoded_cols()
+            ));
+        }
+        Ok(model)
+    }
+}
+
+/// A fitted FAMD: the reusable [`FamdModel`] plus the training scores the
+/// figure pipelines read back.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Famd {
     pca: Pca,
-    encoded_cols: usize,
+    model: FamdModel,
 }
 
 impl Famd {
@@ -38,51 +362,66 @@ impl Famd {
             assert_eq!(col.len(), n, "qualitative column length mismatch");
         }
 
-        // Count encoded columns: quantitative + one per category.
-        let mut encoded: Vec<Vec<f64>> = Vec::new();
+        // Freeze the normalization statistics, then encode through them —
+        // the one encoding path shared with later queries.
+        let quant_stats: Vec<ColumnStats> = (0..quant.cols())
+            .map(|c| {
+                let col = quant.col(c);
+                ColumnStats {
+                    mean: stats::mean(&col),
+                    std: stats::std_dev(&col),
+                }
+            })
+            .collect();
 
-        // Quantitative: z-scores.
-        for c in 0..quant.cols() {
-            encoded.push(stats::zscore(&quant.col(c)));
-        }
-
-        // Qualitative: scaled, centered indicators.
+        let mut quals = Vec::with_capacity(qual.len());
         for col in qual {
             let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
             for v in col {
                 *counts.entry(v.as_str()).or_insert(0) += 1;
             }
-            for (category, count) in counts {
-                let p = count as f64 / n as f64;
-                if p <= 0.0 || p >= 1.0 {
+            let categories: Vec<Category> = counts
+                .into_iter()
+                .filter_map(|(label, count)| {
+                    let p = count as f64 / n as f64;
                     // Constant indicator carries no information.
-                    continue;
-                }
-                let scale = 1.0 / p.sqrt();
-                let mean = p * scale;
-                encoded.push(
-                    col.iter()
-                        .map(|v| {
-                            let ind = if v == category { 1.0 } else { 0.0 };
-                            ind * scale - mean
-                        })
-                        .collect(),
-                );
-            }
+                    (p > 0.0 && p < 1.0).then(|| Category {
+                        label: label.to_owned(),
+                        p,
+                    })
+                })
+                .collect();
+            quals.push(categories);
         }
 
-        let cols = encoded.len();
+        let stats_model = FamdModel {
+            quant: quant_stats,
+            quals,
+            components: Matrix::zeros(0, 0), // filled after the PCA below
+            explained_variance: Vec::new(),
+        };
+
+        let cols = stats_model.encoded_cols();
         let mut z = Matrix::zeros(n, cols);
-        for (c, colv) in encoded.iter().enumerate() {
-            for (r, &v) in colv.iter().enumerate() {
+        for r in 0..n {
+            let quant_row = quant.row(r);
+            let qual_row: Vec<&str> = qual.iter().map(|col| col[r].as_str()).collect();
+            for (c, v) in stats_model
+                .encode_raw(quant_row, &qual_row)
+                .into_iter()
+                .enumerate()
+            {
                 z[(r, c)] = v;
             }
         }
 
-        Famd {
-            pca: pca::fit_centered(&z),
-            encoded_cols: cols,
-        }
+        let pca = pca::fit_centered(&z);
+        let model = FamdModel {
+            components: pca.components.clone(),
+            explained_variance: pca.explained_variance.clone(),
+            ..stats_model
+        };
+        Famd { pca, model }
     }
 
     /// The underlying PCA of the encoded table.
@@ -91,10 +430,22 @@ impl Famd {
         &self.pca
     }
 
+    /// The reusable encoder: frozen normalization statistics + axes.
+    #[must_use]
+    pub fn model(&self) -> &FamdModel {
+        &self.model
+    }
+
+    /// Extract the encoder, dropping the training scores.
+    #[must_use]
+    pub fn into_model(self) -> FamdModel {
+        self.model
+    }
+
     /// Number of encoded columns (quantitative + scaled indicators).
     #[must_use]
     pub fn encoded_cols(&self) -> usize {
-        self.encoded_cols
+        self.model.encoded_cols()
     }
 
     /// Observation coordinates on the first `k` principal dimensions — the
@@ -173,5 +524,123 @@ mod tests {
         let quant = Matrix::from_rows(3, 1, vec![1.0, 2.0, 3.0]);
         let qual = vec![labels(&["a", "b"])];
         let _ = Famd::fit(&quant, &qual);
+    }
+
+    /// The fixed mixed table used by the encoder equivalence/golden tests.
+    fn golden_table() -> (Matrix, Vec<Vec<String>>) {
+        let quant = Matrix::from_rows(
+            6,
+            2,
+            vec![
+                1.0, 10.0, //
+                2.0, 8.0, //
+                3.0, 9.0, //
+                4.0, 3.0, //
+                5.0, 2.0, //
+                6.0, 1.0,
+            ],
+        );
+        let qual = vec![
+            labels(&["m", "m", "m", "c", "c", "c"]),
+            labels(&["bw", "lat", "bw", "lat", "bw", "lat"]),
+        ];
+        (quant, qual)
+    }
+
+    /// `FamdModel::encode` must reproduce every training score row
+    /// bit-for-bit: the index and the figure pipeline share one space.
+    #[test]
+    fn encode_reproduces_training_scores_bitwise() {
+        let (quant, qual) = golden_table();
+        let famd = Famd::fit(&quant, &qual);
+        let scores = &famd.pca().scores;
+        for r in 0..quant.rows() {
+            let qual_row: Vec<&str> = qual.iter().map(|col| col[r].as_str()).collect();
+            let coords = famd.model().encode(quant.row(r), &qual_row);
+            assert_eq!(coords.len(), scores.cols());
+            for (c, &v) in coords.iter().enumerate() {
+                assert!(
+                    v.to_bits() == scores[(r, c)].to_bits(),
+                    "row {r} dim {c}: encode {v:e} != score {:e}",
+                    scores[(r, c)]
+                );
+            }
+        }
+    }
+
+    /// Golden pin of encoded coordinates on the fixed table: any change to
+    /// the normalization, encoding order, or eigensolver shows up here.
+    #[test]
+    fn golden_encoded_coordinates() {
+        let (quant, qual) = golden_table();
+        let model = Famd::fit(&quant, &qual).into_model();
+        assert_eq!(model.encoded_cols(), 6);
+        let got = model.encode_truncated(&[1.0, 10.0], &["m", "bw"], 2);
+        let want = [2.338_355_692_388_738, 0.332_547_753_665_701_94];
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
+        }
+        // A novel observation lands between the fitted groups.
+        let mid = model.encode_truncated(&[3.5, 5.5], &["m", "bw"], 2);
+        assert!(mid[0].abs() < want[0].abs());
+    }
+
+    /// Serialization round-trips the model exactly: the reloaded encoder
+    /// produces bit-identical coordinates.
+    #[test]
+    fn model_text_round_trips_bitwise() {
+        let (quant, qual) = golden_table();
+        let model = Famd::fit(&quant, &qual).into_model();
+        let text = model.to_text();
+        let reloaded = FamdModel::from_text(&text).expect("parse own serialization");
+        assert_eq!(model, reloaded);
+        let a = model.encode(&[2.5, 4.0], &["c", "lat"]);
+        let b = reloaded.encode(&[2.5, 4.0], &["c", "lat"]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn model_text_rejects_version_and_schema_mismatch() {
+        let (quant, qual) = golden_table();
+        let model = Famd::fit(&quant, &qual).into_model();
+        let text = model.to_text();
+        let header = format!(
+            "cactus-famd schema {SCHEMA} model {}",
+            cactus_gpu::MODEL_VERSION
+        );
+        assert!(text.starts_with(&header));
+
+        let stale = text.replacen(
+            &format!("model {}", cactus_gpu::MODEL_VERSION),
+            "model 1",
+            1,
+        );
+        let err = FamdModel::from_text(&stale).expect_err("stale model version");
+        assert!(err.contains("simulator model 1"), "{err}");
+
+        let bad_schema = text.replacen(&format!("schema {SCHEMA}"), "schema 99", 1);
+        assert!(FamdModel::from_text(&bad_schema).is_err());
+        assert!(FamdModel::from_text("garbage\n").is_err());
+        assert!(FamdModel::from_text("").is_err());
+    }
+
+    /// Unseen categories encode like a dropped constant category: all
+    /// retained indicators read "absent".
+    #[test]
+    fn unseen_category_encodes_as_absent() {
+        let (quant, qual) = golden_table();
+        let model = Famd::fit(&quant, &qual).into_model();
+        let unseen = model.encode_raw(&[1.0, 10.0], &["nope", "bw"]);
+        let seen = model.encode_raw(&[1.0, 10.0], &["m", "bw"]);
+        assert_eq!(unseen.len(), seen.len());
+        // The quantitative part is unchanged; within the first qualitative
+        // block the "m" indicator (categories are BTreeMap-ordered: c at
+        // column 2, m at column 3) must not fire for the unseen label.
+        assert_eq!(unseen[0], seen[0]);
+        assert_eq!(unseen[1], seen[1]);
+        assert_eq!(unseen[2], seen[2], "\"c\" indicator is absent in both");
+        assert!(unseen[3] < seen[3], "indicator must not fire for unseen");
     }
 }

@@ -475,18 +475,37 @@ fn tracez(ctx: cactus_obs::SpanCtx<'_>, query: Option<&str>) -> Forwarded {
 
 /// The shard key for a request path. Profile endpoints
 /// (`/v1/<endpoint>/<device>/<scale>/<workload>`) key on the full tuple so
-/// every view of one profile lands on the same shard cache; anything else
-/// keys on the whole path.
+/// every view of one profile lands on the same shard cache; similarity
+/// reference queries (`/v1/similar?device=&scale=&workload=`) key on that
+/// triple so repeated queries about one profile land on the backend whose
+/// index already ingested it; anything else keys on the whole path
+/// (inline-vector and stats queries thereby share one backend's index).
 #[must_use]
 pub fn routing_key(target: &str) -> String {
-    let path = target.split('?').next().unwrap_or(target);
-    let parts: Vec<&str> = path.trim_matches('/').split('/').collect();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let trimmed = path.trim_matches('/');
+    if trimmed == "v1/similar" || trimmed == "v1/similar/stats" {
+        let param = |name: &str| {
+            query?.split('&').find_map(|pair| {
+                let (k, v) = pair.split_once('=')?;
+                (k == name).then_some(v)
+            })
+        };
+        if let (Some(d), Some(s), Some(w)) = (param("device"), param("scale"), param("workload")) {
+            return format!("similar/{d}/{s}/{w}");
+        }
+        return trimmed.to_owned();
+    }
+    let parts: Vec<&str> = trimmed.split('/').collect();
     if let ["v1", rest @ ..] = parts.as_slice() {
         if rest.len() == 4 {
             return rest.join("/");
         }
     }
-    path.trim_matches('/').to_owned()
+    trimmed.to_owned()
 }
 
 /// Write a forwarded (or locally produced) response in the same wire shape
@@ -568,6 +587,22 @@ mod tests {
         );
         assert_eq!(routing_key("/v1/workloads"), "v1/workloads");
         assert_eq!(routing_key("/other/path"), "other/path");
+    }
+
+    #[test]
+    fn routing_key_shards_similar_queries_on_the_triple() {
+        assert_eq!(
+            routing_key("/v1/similar?device=rtx-3080&scale=tiny&workload=GMS&k=3"),
+            "similar/rtx-3080/tiny/GMS"
+        );
+        assert_eq!(
+            routing_key("/v1/similar/stats?device=rtx-3080&scale=tiny&workload=GMS"),
+            "similar/rtx-3080/tiny/GMS"
+        );
+        // Vector and stats queries without a triple share the path key so
+        // they reach one backend's (seeded) index consistently.
+        assert_eq!(routing_key("/v1/similar?vector=1,2,3&k=2"), "v1/similar");
+        assert_eq!(routing_key("/v1/similar/stats"), "v1/similar/stats");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Rule `no_panic`: daemon paths must not contain panic sites.
 //!
-//! Applies to non-test code in the `serve`, `gateway`, and `obs` crates
+//! Applies to non-test code in the `serve`, `gateway`, `obs`, and
+//! `simindex` crates (the similarity index runs inside serve workers)
 //! plus the `gpu` files the daemon's cold-simulate path runs through: the
 //! engine pool, the launch engine, and the batched cache simulator/trace
 //! generator (every serve cache miss replays traces through them).
@@ -21,7 +22,7 @@ use crate::scan::{SourceFile, Workspace};
 const RULE: &str = "no_panic";
 
 /// Crates whose whole `src/` tree is a daemon path.
-const DAEMON_CRATES: &[&str] = &["serve", "gateway", "obs"];
+const DAEMON_CRATES: &[&str] = &["serve", "gateway", "obs", "simindex"];
 
 /// Individual `gpu` files on the daemon's cold-simulate path: the engine
 /// pool, the launch engine it hands out, and the batched cache

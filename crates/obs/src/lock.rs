@@ -50,6 +50,7 @@ pub const CHECK_ENABLED: bool = cfg!(any(debug_assertions, feature = "lock-check
 /// |   60 | `CONN_POOL`         | `gateway::connpool` per-backend idle list  |
 /// |   70 | `HEALTH`            | `gateway::health` backend states           |
 /// |   80 | `LATENCY_WINDOW`    | `gateway::metrics` sliding latency ring    |
+/// |   85 | `SIMINDEX`          | `serve::similar` similarity-index state    |
 /// |   90 | `CLIENT_CONN`       | `serve::client` keep-alive connection      |
 /// |   95 | `METRICS_REGISTRY`  | `obs::registry` name map (cold path)       |
 /// |  100 | `TRACER`            | `obs::trace` span ring (innermost leaf)    |
@@ -64,6 +65,7 @@ pub mod rank {
     pub const CONN_POOL: u32 = 60;
     pub const HEALTH: u32 = 70;
     pub const LATENCY_WINDOW: u32 = 80;
+    pub const SIMINDEX: u32 = 85;
     pub const CLIENT_CONN: u32 = 90;
     pub const METRICS_REGISTRY: u32 = 95;
     pub const TRACER: u32 = 100;

@@ -37,7 +37,11 @@ use crate::lock::{rank, RankedMutex};
 /// | `serve.profile` | serve, profile resolution on a cache miss          |
 /// | `serve.store`   | serve, profile-store lookup                        |
 /// | `serve.simulate`| serve, single-flight simulation of a store miss    |
+/// | `serve.similar` | serve, one `/v1/similar` query end to end          |
 /// | `engine.launch` | engine pool, one simulated kernel launch           |
+/// | `simindex.encode` | simindex, FAMD projection of a kernel profile    |
+/// | `simindex.search` | simindex, pruned k-NN probe of the vector index  |
+/// | `simindex.recluster` | simindex, bounded local re-cluster pass       |
 pub const SPAN_NAMES: &[&str] = &[
     "gateway.route",
     "proxy.attempt",
@@ -46,7 +50,11 @@ pub const SPAN_NAMES: &[&str] = &[
     "serve.profile",
     "serve.store",
     "serve.simulate",
+    "serve.similar",
     "engine.launch",
+    "simindex.encode",
+    "simindex.search",
+    "simindex.recluster",
 ];
 
 /// A 64-bit trace id, rendered as 16 lowercase hex digits. Never zero.

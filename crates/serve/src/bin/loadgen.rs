@@ -13,7 +13,10 @@
 //! summary (p50/p90/p99), a status histogram, and the per-target request
 //! distribution — so the same binary drives one daemon, a fleet, or the
 //! gateway in front of it. `503` responses are counted separately so
-//! backpressure shows up as pushback, not as errors.
+//! backpressure shows up as pushback, not as errors. With
+//! `--similar DEVICE/SCALE/WORKLOAD` every fourth request becomes a
+//! `/v1/similar` reference query for that triple, mixing stateful
+//! similarity traffic into the profile load.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -35,14 +38,20 @@ usage: loadgen --target HOST:PORT [--target HOST:PORT ...] [options]
   --clients N        concurrent closed-loop clients (default 4)
   --requests N       total requests across all clients (default 200)
   --path PATH        request path (default /v1/profile/rtx-3080/tiny/GMS)
+  --similar TRIPLE   DEVICE/SCALE/WORKLOAD; every 4th request becomes a
+                     /v1/similar reference query for that triple
   --help             show this help
 ";
+
+/// With `--similar`, one request in this many goes to `/v1/similar`.
+const SIMILAR_EVERY: u64 = 4;
 
 struct Args {
     targets: Vec<SocketAddr>,
     clients: usize,
     requests: u64,
     path: String,
+    similar_path: Option<String>,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
@@ -50,6 +59,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
     let mut clients = 4usize;
     let mut requests = 200u64;
     let mut path = "/v1/profile/rtx-3080/tiny/GMS".to_owned();
+    let mut similar_path = None;
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" {
             return Ok(None);
@@ -76,6 +86,17 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
                     .map_err(|_| format!("--requests: invalid number {value:?}"))?;
             }
             "--path" => path = value,
+            "--similar" => {
+                let parts: Vec<&str> = value.split('/').collect();
+                let [device, scale, workload] = parts.as_slice() else {
+                    return Err(format!(
+                        "--similar: expected DEVICE/SCALE/WORKLOAD, got {value:?}"
+                    ));
+                };
+                similar_path = Some(format!(
+                    "/v1/similar?device={device}&scale={scale}&workload={workload}"
+                ));
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -87,6 +108,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
         clients: clients.max(1),
         requests,
         path,
+        similar_path,
     }))
 }
 
@@ -118,6 +140,7 @@ fn main() -> ExitCode {
         ..Tally::default()
     }));
     let path = Arc::new(args.path);
+    let similar_path = Arc::new(args.similar_path);
     let targets = Arc::new(args.targets);
     let budget = args.requests;
     let started = Instant::now();
@@ -127,6 +150,7 @@ fn main() -> ExitCode {
             let issued = Arc::clone(&issued);
             let tally = Arc::clone(&tally);
             let path = Arc::clone(&path);
+            let similar_path = Arc::clone(&similar_path);
             let targets = Arc::clone(&targets);
             std::thread::spawn(move || {
                 // One keep-alive connection per target, reused across this
@@ -143,8 +167,12 @@ fn main() -> ExitCode {
                         break;
                     }
                     let target = usize::try_from(slot).unwrap_or(usize::MAX) % targets.len();
+                    let request_path = match similar_path.as_ref() {
+                        Some(sp) if slot % SIMILAR_EVERY == SIMILAR_EVERY - 1 => sp.as_str(),
+                        _ => path.as_str(),
+                    };
                     let start = Instant::now();
-                    let outcome = conns[target].get(&path);
+                    let outcome = conns[target].get(request_path);
                     let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                     let mut tally = tally.lock().unwrap_or_else(|e| e.into_inner());
                     tally.per_target[target] += 1;
@@ -184,6 +212,9 @@ fn main() -> ExitCode {
         targets.len()
     );
     println!("  path: {path}");
+    if let Some(sp) = similar_path.as_ref() {
+        println!("  similar: {sp} (every {SIMILAR_EVERY}th request)");
+    }
     if wall.as_secs_f64() > 0.0 {
         println!(
             "  throughput: {:.1} req/s",

@@ -135,6 +135,58 @@ pub struct ProfileQuery<'a> {
     pub workload: &'a str,
 }
 
+/// One reference similarity query on `/v1/similar`, by URL slugs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimilarQuery<'a> {
+    /// Device preset slug, e.g. `rtx-3080`.
+    pub device: &'a str,
+    /// Scale slug: `tiny`, `small`, or `profile`.
+    pub scale: &'a str,
+    /// Workload name, e.g. `GMS`.
+    pub workload: &'a str,
+    /// Kernel to search for (`None` = the profile's dominant kernel).
+    pub kernel: Option<&'a str>,
+    /// Neighbors to return (`None` = the server default).
+    pub k: Option<usize>,
+}
+
+/// One row of a `/v1/similar` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarHit {
+    /// 1-based rank (ascending by distance).
+    pub rank: usize,
+    /// Stored profile id (`device/scale/workload/kernel`).
+    pub id: String,
+    /// Euclidean distance in the encoded metric space.
+    pub distance: f64,
+}
+
+/// Parse the `/v1/similar` CSV body (`#` comments, header, then
+/// `rank,id,distance` rows).
+fn parse_similar(body: &str) -> Result<Vec<SimilarHit>, ClientError> {
+    let mut hits = Vec::new();
+    for line in body.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("rank,") {
+            continue;
+        }
+        let bad = || ClientError::Parse(format!("bad similar row {line:?}"));
+        let (rank, rest) = line.split_once(',').ok_or_else(bad)?;
+        let (id, distance) = rest.rsplit_once(',').ok_or_else(bad)?;
+        let id = if id.starts_with('"') && id.ends_with('"') && id.len() >= 2 {
+            id[1..id.len() - 1].replace("\"\"", "\"")
+        } else {
+            id.to_owned()
+        };
+        hits.push(SimilarHit {
+            rank: rank.parse().map_err(|_| bad())?,
+            id,
+            distance: distance.parse().map_err(|_| bad())?,
+        });
+    }
+    Ok(hits)
+}
+
 /// Configures a [`Client`] before construction.
 #[derive(Debug, Clone, Copy)]
 pub struct ClientBuilder {
@@ -301,6 +353,63 @@ impl Client {
             return Err(reply.into_error());
         }
         read_profile(&reply.body).map_err(|e| ClientError::Parse(e.to_string()))
+    }
+
+    /// Reference similarity query: ingest-and-search one profile's kernels
+    /// via `/v1/similar?device=&scale=&workload=`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, non-200 statuses (as [`ClientError::Api`] when the
+    /// server sent the envelope), and unparseable bodies.
+    pub fn similar(&self, query: SimilarQuery<'_>) -> Result<Vec<SimilarHit>, ClientError> {
+        let SimilarQuery {
+            device,
+            scale,
+            workload,
+            kernel,
+            k,
+        } = query;
+        let mut path = format!("/v1/similar?device={device}&scale={scale}&workload={workload}");
+        if let Some(kernel) = kernel {
+            path.push_str(&format!("&kernel={kernel}"));
+        }
+        if let Some(k) = k {
+            path.push_str(&format!("&k={k}"));
+        }
+        let reply = self.get(&path)?;
+        if reply.status != 200 {
+            return Err(reply.into_error());
+        }
+        parse_similar(&reply.body)
+    }
+
+    /// Inline similarity query: search for an explicit `MetricId::ALL`-order
+    /// metric vector via `/v1/similar?vector=`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, non-200 statuses (including the `400` an unseeded
+    /// index answers), and unparseable bodies.
+    pub fn similar_vector(
+        &self,
+        vector: &[f64],
+        k: Option<usize>,
+    ) -> Result<Vec<SimilarHit>, ClientError> {
+        let joined = vector
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut path = format!("/v1/similar?vector={joined}");
+        if let Some(k) = k {
+            path.push_str(&format!("&k={k}"));
+        }
+        let reply = self.get(&path)?;
+        if reply.status != 200 {
+            return Err(reply.into_error());
+        }
+        parse_similar(&reply.body)
     }
 }
 
@@ -529,6 +638,23 @@ mod tests {
         assert!(read_reply(&mut "HTTP/1.1 200 OK\r\n".as_bytes()).is_err());
         assert!(read_reply(&mut "garbage\r\n\r\nbody".as_bytes()).is_err());
         assert!(read_reply(&mut "".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn similar_csv_parses_rows_and_skips_comments() {
+        let body = "# query: rtx-3080/tiny/GMS/force\n\
+                    # index: 12 vectors in 3 cells, 2 clusters\n\
+                    # search: k=2 probed=5 pruned=7\n\
+                    rank,id,distance\n\
+                    1,rtx-3080/tiny/GMS/force,0.000000\n\
+                    2,\"rtx-3080/tiny/GMS/odd,name\",1.250000\n";
+        let hits = parse_similar(body).expect("parse");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].rank, 1);
+        assert_eq!(hits[0].id, "rtx-3080/tiny/GMS/force");
+        assert_eq!(hits[0].distance, 0.0);
+        assert_eq!(hits[1].id, "rtx-3080/tiny/GMS/odd,name");
+        assert!(parse_similar("rank,id,distance\nnot-a-row\n").is_err());
     }
 
     #[test]

@@ -43,7 +43,8 @@ pub mod routes;
 pub mod server;
 pub mod service;
 pub mod signal;
+pub mod similar;
 pub mod singleflight;
 
-pub use client::{Client, ClientBuilder, Connection, ProfileQuery};
+pub use client::{Client, ClientBuilder, Connection, ProfileQuery, SimilarHit, SimilarQuery};
 pub use server::{ServeConfig, Server};

@@ -45,6 +45,10 @@ pub fn respond(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Response
         "/metricsz" | "/v1/metricsz" => Response::ok(state.render_metrics(), TEXT),
         "/v1/tracez" => tracez(state, req),
         "/v1/workloads" => cached(state, "workloads", CSV, workloads_catalog),
+        // Similarity responses are stateful (each query may grow the
+        // index), so they bypass the response cache.
+        "/v1/similar" => crate::similar::similar(state, req, ctx),
+        "/v1/similar/stats" => crate::similar::stats(state),
         _ => route_triple(state, req, ctx),
     }
 }
@@ -79,7 +83,8 @@ fn route_triple(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Respons
         _ => {
             return Response::error(
                 404,
-                "unknown route; try /v1/healthz, /v1/metricsz, /v1/tracez, /v1/workloads, or \
+                "unknown route; try /v1/healthz, /v1/metricsz, /v1/tracez, /v1/workloads, \
+                 /v1/similar, /v1/similar/stats, or \
                  /v1/{profile|kernels|roofline|dominant}/<device>/<scale>/<workload>",
             )
         }
@@ -241,7 +246,7 @@ fn dominant_csv(workload: &str, profile: &cactus_profiler::Profile, threshold: f
     out
 }
 
-fn csv_escape(s: &str) -> String {
+pub(crate) fn csv_escape(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {

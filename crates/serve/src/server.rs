@@ -39,6 +39,7 @@ use crate::metrics::ServerMetrics;
 use crate::net;
 use crate::routes;
 use crate::service::ProfileService;
+use crate::similar::SimService;
 
 /// How long the accept loop sleeps between polls when idle. Accepted
 /// connections are processed back to back; this only bounds the latency of
@@ -105,6 +106,8 @@ pub struct ServerState {
     pub registry: MetricsRegistry,
     /// Span ring (and optional JSONL log) behind `/v1/tracez`.
     pub tracer: Tracer,
+    /// The online kernel-similarity service behind `/v1/similar`.
+    pub sim: SimService,
     config: ServeConfig,
     /// Values owned elsewhere (cache, service, config), mirrored into
     /// registry gauges at scrape time so one renderer covers everything.
@@ -118,6 +121,14 @@ struct ScrapedGauges {
     cache_misses: Gauge,
     cache_entries: Gauge,
     memo_hit_rate: Gauge,
+    simindex_size: Gauge,
+    simindex_cells: Gauge,
+    simindex_clusters: Gauge,
+    simindex_queries: Gauge,
+    simindex_probes: Gauge,
+    simindex_pruned: Gauge,
+    simindex_inserts: Gauge,
+    simindex_reclusters: Gauge,
 }
 
 impl ScrapedGauges {
@@ -133,6 +144,34 @@ impl ScrapedGauges {
             memo_hit_rate: registry.gauge(
                 "cactus_serve_engine_memo_hit_rate",
                 "fraction of launches replayed from memo caches",
+            )?,
+            simindex_size: registry
+                .gauge("cactus_simindex_size", "vectors in the similarity index")?,
+            simindex_cells: registry.gauge(
+                "cactus_simindex_cells",
+                "coarse cells in the index partition",
+            )?,
+            simindex_clusters: registry
+                .gauge("cactus_simindex_clusters", "online similarity clusters")?,
+            simindex_queries: registry.gauge(
+                "cactus_simindex_queries_total",
+                "similarity searches answered",
+            )?,
+            simindex_probes: registry.gauge(
+                "cactus_simindex_probes_total",
+                "full distance computations across similarity searches",
+            )?,
+            simindex_pruned: registry.gauge(
+                "cactus_simindex_pruned_total",
+                "vectors skipped by pruning across similarity searches",
+            )?,
+            simindex_inserts: registry.gauge(
+                "cactus_simindex_inserts_total",
+                "vectors inserted into the similarity index",
+            )?,
+            simindex_reclusters: registry.gauge(
+                "cactus_simindex_reclusters_total",
+                "bounded local re-cluster passes",
             )?,
         })
     }
@@ -150,6 +189,15 @@ impl ServerState {
         self.scraped.cache_entries.set(self.cache.len() as f64);
         let memo = self.service.engine_memo_stats();
         self.scraped.memo_hit_rate.set(memo.hit_rate());
+        let sim = self.sim.snapshot();
+        self.scraped.simindex_size.set(sim.index.size as f64);
+        self.scraped.simindex_cells.set(sim.index.cells as f64);
+        self.scraped.simindex_clusters.set(sim.clusters as f64);
+        self.scraped.simindex_queries.set(sim.index.queries as f64);
+        self.scraped.simindex_probes.set(sim.index.probes as f64);
+        self.scraped.simindex_pruned.set(sim.index.pruned as f64);
+        self.scraped.simindex_inserts.set(sim.index.inserts as f64);
+        self.scraped.simindex_reclusters.set(sim.reclusters as f64);
         self.registry.render()
     }
 }
@@ -194,6 +242,7 @@ impl Server {
             metrics,
             registry,
             tracer,
+            sim: SimService::new(),
             config: config.clone(),
             scraped,
         });

@@ -10,7 +10,7 @@ use cactus_bench::store::save_set_in;
 use cactus_bench::ProfiledWorkload;
 use cactus_core::SuiteScale;
 use cactus_serve::client::ClientError;
-use cactus_serve::{Client, ProfileQuery, ServeConfig, Server};
+use cactus_serve::{Client, ProfileQuery, ServeConfig, Server, SimilarQuery};
 
 /// A server on an ephemeral port with a unique empty store directory.
 fn start(workers: usize, queue: usize) -> (Server, Client, std::path::PathBuf) {
@@ -333,6 +333,142 @@ fn store_backed_profiles_skip_simulation() {
     assert_eq!(served, seeded, "store round-trip must be bit-exact");
     assert_eq!(metric(&client, "cactus_serve_simulations_total"), 0.0);
     assert_eq!(metric(&client, "cactus_serve_store_hits_total"), 1.0);
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `/v1/similar` end to end: the first reference query lazily fits the
+/// encoder and seeds the index from the profile's kernels, the query
+/// kernel comes back at distance zero, inline vector queries work once
+/// seeded (and 400 before), stats and scraped gauges reflect the corpus,
+/// and the span tree lands in `/v1/tracez`.
+#[test]
+fn similar_queries_ingest_search_and_trace_end_to_end() {
+    let (server, client, dir) = start(2, 16);
+
+    // Before any ingest the index is empty: inline vector queries answer
+    // 400 with a seeding hint, and the stats page says so.
+    let err = client
+        .similar_vector(&[1.0; cactus_simindex::VECTOR_DIMS], Some(3))
+        .expect_err("unseeded index must reject vector queries");
+    assert_eq!(err.status(), Some(400), "got {err}");
+    let stats = client.get("/v1/similar/stats").expect("stats");
+    assert_eq!(stats.status, 200);
+    assert!(
+        stats.body.starts_with("fitted false"),
+        "unseeded stats: {:?}",
+        stats.body
+    );
+
+    // A traced reference query seeds the index from the GMS/tiny profile
+    // and must find the query kernel itself at distance zero.
+    let trace = cactus_obs::TraceId::mint();
+    let reply = client
+        .get_traced(
+            "/v1/similar?device=rtx-3080&scale=tiny&workload=GMS&k=3",
+            Some(trace),
+        )
+        .expect("reference similar");
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    assert!(
+        reply.body.contains("# query: rtx-3080/tiny/GMS/"),
+        "query comment missing: {}",
+        reply.body
+    );
+
+    let hits = client
+        .similar(SimilarQuery {
+            device: "rtx-3080",
+            scale: "tiny",
+            workload: "GMS",
+            kernel: None,
+            k: Some(5),
+        })
+        .expect("typed similar");
+    assert!(!hits.is_empty());
+    assert_eq!(hits[0].rank, 1);
+    assert_eq!(hits[0].distance, 0.0, "self-match must be exact");
+    assert!(
+        hits[0].id.starts_with("rtx-3080/tiny/GMS/"),
+        "top hit {:?}",
+        hits[0].id
+    );
+    assert!(
+        hits.windows(2).all(|w| w[0].distance <= w[1].distance),
+        "distances must ascend: {hits:?}"
+    );
+
+    // Naming a stored kernel searches for that kernel; an unknown name
+    // is 404.
+    let local = cactus_core::run("GMS", SuiteScale::Tiny);
+    let first = &local.kernels()[0];
+    let named = client
+        .similar(SimilarQuery {
+            device: "rtx-3080",
+            scale: "tiny",
+            workload: "GMS",
+            kernel: Some(&first.name),
+            k: Some(5),
+        })
+        .expect("named-kernel similar");
+    let own_id = format!("rtx-3080/tiny/GMS/{}", first.name);
+    assert_eq!(named[0].distance, 0.0);
+    assert!(
+        named.iter().any(|h| h.id == own_id && h.distance == 0.0),
+        "named kernel must match itself: {named:?}"
+    );
+    let err = client
+        .similar(SimilarQuery {
+            device: "rtx-3080",
+            scale: "tiny",
+            workload: "GMS",
+            kernel: Some("no-such-kernel"),
+            k: None,
+        })
+        .expect_err("unknown kernel");
+    assert_eq!(err.status(), Some(404), "got {err}");
+
+    // The raw metric vector of a stored kernel, sent inline, encodes to
+    // the same point: it must come back at distance zero.
+    let inline = client
+        .similar_vector(&first.metrics.vector(), Some(5))
+        .expect("inline vector similar");
+    assert_eq!(inline[0].distance, 0.0);
+    assert!(
+        inline.iter().any(|h| h.id == own_id && h.distance == 0.0),
+        "inline vector must rediscover its kernel: {inline:?}"
+    );
+
+    // Stats and scraped gauges reflect the seeded corpus: one vector per
+    // distinct kernel name, and every query above was counted.
+    let stats = client.get("/v1/similar/stats").expect("stats").body;
+    assert!(stats.starts_with("fitted true"), "seeded stats: {stats:?}");
+    assert!(
+        stats.contains("proxies "),
+        "proxy subset missing: {stats:?}"
+    );
+    let distinct: std::collections::BTreeSet<&str> =
+        local.kernels().iter().map(|k| k.name.as_str()).collect();
+    assert_eq!(
+        metric(&client, "cactus_simindex_size"),
+        distinct.len() as f64
+    );
+    assert!(metric(&client, "cactus_simindex_queries_total") >= 4.0);
+    assert!(metric(&client, "cactus_simindex_inserts_total") >= 1.0);
+
+    // The traced request's span tree is in the ring.
+    let tracez = client
+        .get(&format!("/v1/tracez?trace={trace}"))
+        .expect("tracez");
+    assert_eq!(tracez.status, 200);
+    for span in ["serve.similar", "simindex.encode", "simindex.search"] {
+        assert!(
+            tracez.body.contains(span),
+            "span {span} missing from trace: {}",
+            tracez.body
+        );
+    }
 
     server.join();
     let _ = std::fs::remove_dir_all(&dir);

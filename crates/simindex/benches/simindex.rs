@@ -1,0 +1,139 @@
+//! Similarity-index benchmarks at the 100k-vector scale the ISSUE targets:
+//!
+//! * `simindex/build-100k` — insert 100k clustered vectors from empty,
+//!   including every doubling repartition along the way.
+//! * `simindex/query-pruned-100k` — k-NN through the coarse-cell index
+//!   with triangle-inequality pruning.
+//! * `simindex/query-brute-100k` — the same queries scored against every
+//!   stored vector (the exactness baseline the pruned path must match).
+//! * `simindex/insert-incremental` — steady-state insert throughput into
+//!   the already-built index (nearest-cell assignment, no rebuild).
+//!
+//! After the timed groups the harness asserts the pruning contract at
+//! scale: averaged over a fresh query batch, the pruned search probes
+//! fewer than 25% of the stored vectors while returning exactly the
+//! brute-force result.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cactus_simindex::SimIndex;
+
+const N: usize = 100_000;
+const DIM: usize = 6;
+const K: usize = 10;
+/// Behavioral families in the synthetic corpus — mirrors the paper's
+/// finding that real workloads concentrate into a handful of clusters.
+const FAMILIES: usize = 24;
+
+/// Deterministic clustered corpus: `FAMILIES` centers in a unit box, each
+/// vector a center plus small uniform jitter.
+fn corpus(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..FAMILIES)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-4.0..4.0)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let center = &centers[i % FAMILIES];
+            center
+                .iter()
+                .map(|&c| c + rng.gen_range(-0.25..0.25))
+                .collect()
+        })
+        .collect()
+}
+
+fn build(points: &[Vec<f64>]) -> SimIndex {
+    let mut index = SimIndex::new(DIM);
+    for (i, v) in points.iter().enumerate() {
+        index.insert(&format!("k{i:06}"), v).expect("insert");
+    }
+    index
+}
+
+fn bench_simindex(c: &mut Criterion) {
+    let points = corpus(N, 7);
+    let queries = corpus(256, 1312);
+
+    let mut g = c.benchmark_group("simindex");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    g.bench_function("build-100k", |b| b.iter(|| build(black_box(&points)).len()));
+
+    let mut index = build(&points);
+    let mut qi = 0usize;
+    g.bench_function("query-pruned-100k", |b| {
+        b.iter(|| {
+            let q = &queries[qi % queries.len()];
+            qi += 1;
+            index
+                .search(black_box(q), K)
+                .expect("search")
+                .neighbors
+                .len()
+        })
+    });
+
+    let mut qi = 0usize;
+    g.bench_function("query-brute-100k", |b| {
+        b.iter(|| {
+            let q = &queries[qi % queries.len()];
+            qi += 1;
+            index.brute_force(black_box(q), K).expect("brute").len()
+        })
+    });
+
+    let mut fresh = corpus(4096, 2024).into_iter();
+    let mut next_id = N;
+    g.bench_function("insert-incremental", |b| {
+        b.iter(|| {
+            let v = fresh.next().unwrap_or_else(|| vec![0.5; DIM]);
+            let id = format!("x{next_id:07}");
+            next_id += 1;
+            index.insert(black_box(&id), &v).expect("insert")
+        })
+    });
+    g.finish();
+
+    // The acceptance contract, asserted where the 100k index already
+    // exists: pruned == brute force exactly, probing <25% of the store.
+    let before = index.stats();
+    let mut probed_total = 0usize;
+    for q in &queries {
+        let pruned = index.search(q, K).expect("search");
+        let brute = index.brute_force(q, K).expect("brute");
+        assert_eq!(pruned.neighbors, brute, "pruned search must be exact");
+        assert_eq!(
+            pruned.probed + pruned.pruned,
+            index.len(),
+            "every stored vector is either probed or pruned"
+        );
+        probed_total += pruned.probed;
+    }
+    let fraction = probed_total as f64 / (queries.len() * index.len()) as f64;
+    assert!(
+        fraction < 0.25,
+        "pruned search probed {:.1}% of {} vectors (budget 25%)",
+        fraction * 100.0,
+        index.len()
+    );
+    let after = index.stats();
+    println!(
+        "simindex summary: {} vectors in {} cells | verification probe fraction {:.2}% \
+         | lifetime probes {} pruned {} over {} queries",
+        after.size,
+        after.cells,
+        fraction * 100.0,
+        after.probes - before.probes,
+        after.pruned - before.pruned,
+        after.queries - before.queries,
+    );
+}
+
+criterion_group!(benches, bench_simindex);
+criterion_main!(benches);
