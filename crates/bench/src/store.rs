@@ -132,9 +132,26 @@ pub fn save_set_in(
         out.push_str(&write_profile(&p.profile));
     }
     // Write-then-rename so a crashed writer never leaves a torn set behind.
-    let tmp = path.with_extension("profiles.tmp");
-    std::fs::write(&tmp, out)?;
-    std::fs::rename(&tmp, &path)?;
+    // The temp name is unique per writer (pid + sequence) so two concurrent
+    // savers cannot rename each other's half-written bytes into place, and
+    // it lives next to the target so the rename stays within one
+    // filesystem (atomicity of rename only holds there). The fsync before
+    // the swap means a crash right after the rename still leaves a fully
+    // durable file — rename-before-durable could surface an empty set
+    // after power loss.
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("profiles.tmp.{}.{seq}", std::process::id()));
+    let write = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, out.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, &path)
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
     Ok(path)
 }
 
@@ -352,6 +369,48 @@ mod tests {
             reader.join().expect("reader thread");
         });
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two writers race each other. Unique temp names mean neither can
+    /// rename the other's in-progress bytes into place, so every
+    /// intermediate and final state parses as one of the two sets.
+    #[test]
+    fn concurrent_savers_never_publish_each_others_temp() {
+        let dir = tmp_store("two-writers");
+        let full = sample_set();
+        let half = vec![full[0].clone()];
+        const ROUNDS: usize = 50;
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                for _ in 0..ROUNDS {
+                    save_set_in(&dir, "cactus", &half).expect("writer a");
+                }
+            });
+            let b = scope.spawn(|| {
+                for _ in 0..ROUNDS {
+                    save_set_in(&dir, "cactus", &full).expect("writer b");
+                }
+            });
+            a.join().expect("writer a thread");
+            b.join().expect("writer b thread");
+        });
+        let loaded = load_set_in(&dir, "cactus").expect("final state parses");
+        assert!(loaded.len() == half.len() || loaded.len() == full.len());
+        let leftovers: Vec<_> = std::fs::read_dir(path_parent(&dir))
+            .expect("set dir")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert_eq!(leftovers, Vec::<String>::new(), "temp files cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn path_parent(dir: &Path) -> PathBuf {
+        set_path_in(dir, "cactus")
+            .parent()
+            .expect("set path has a dir")
+            .to_path_buf()
     }
 
     #[test]

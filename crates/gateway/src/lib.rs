@@ -44,6 +44,7 @@ pub mod proxy;
 pub mod ring;
 pub mod server;
 pub mod supervisor;
+pub mod sync;
 
 pub use health::{HealthState, HealthTracker};
 pub use proxy::{RoutePolicy, Router};

@@ -129,6 +129,14 @@ pub struct GatewayMetrics {
     pub hedges: Counter,
     /// Hedge requests whose response won the race.
     pub hedge_wins: Counter,
+    /// Store records pushed to follower replicas after a profile forward.
+    pub store_replications: Counter,
+    /// Replica pushes that failed (transport error or non-200).
+    pub store_replication_failures: Counter,
+    /// Anti-entropy passes run for re-admitted backends.
+    pub store_syncs: Counter,
+    /// Records copied to re-admitted backends by anti-entropy.
+    pub store_sync_records: Counter,
     /// End-to-end gateway latency (request read to response written), µs.
     pub latency: Histogram,
     /// Per-backend accounting, indexed by ring position.
@@ -221,6 +229,22 @@ impl GatewayMetrics {
             hedge_wins: registry.counter(
                 "cactus_gateway_hedge_wins_total",
                 "hedge requests whose response won the race",
+            )?,
+            store_replications: registry.counter(
+                "cactus_gateway_store_replications_total",
+                "store records pushed to follower replicas",
+            )?,
+            store_replication_failures: registry.counter(
+                "cactus_gateway_store_replication_failures_total",
+                "replica pushes that failed",
+            )?,
+            store_syncs: registry.counter(
+                "cactus_gateway_store_syncs_total",
+                "anti-entropy passes for re-admitted backends",
+            )?,
+            store_sync_records: registry.counter(
+                "cactus_gateway_store_sync_records_total",
+                "records copied by anti-entropy",
             )?,
             latency: registry.histogram(
                 "cactus_gateway_latency",

@@ -26,10 +26,12 @@
 //! carry the same id. Synthesized errors (`no backends`, `all attempts
 //! failed`) are the shared JSON envelope.
 
+use std::collections::HashSet;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cactus_obs::lock::{rank, RankedMutex};
 use cactus_obs::{ApiError, SpanCtx, TraceId};
 use cactus_serve::client::{ClientError, HttpReply};
 
@@ -77,6 +79,9 @@ pub struct Forwarded {
     pub status: u16,
     pub content_type: String,
     pub body: String,
+    /// Ring index of the backend whose reply this is; `None` for
+    /// gateway-local and synthesized responses.
+    pub backend: Option<usize>,
 }
 
 /// The shared routing state: ring + health + pool + counters.
@@ -87,6 +92,10 @@ pub struct Router {
     pub pool: Arc<ConnPool>,
     pub metrics: Arc<GatewayMetrics>,
     policy: RoutePolicy,
+    /// Routing keys whose profile record has already been pushed to its
+    /// follower replica this process lifetime — replication is idempotent,
+    /// so this is purely a de-duplication of repeat reads.
+    replicated: RankedMutex<HashSet<String>>,
 }
 
 enum Attempt {
@@ -113,6 +122,71 @@ impl Router {
             pool,
             metrics,
             policy,
+            replicated: RankedMutex::new(
+                rank::REPLICATED_KEYS,
+                "gateway.replicated_keys",
+                HashSet::new(),
+            ),
+        }
+    }
+
+    /// The replica set for `key`: the first two backends in *raw* ring
+    /// order, independent of current health. Health-independence is the
+    /// point — the set names where a record *should* live, so anti-entropy
+    /// can repair a backend that was down when the record was written.
+    #[must_use]
+    pub fn replica_set(&self, key: &str) -> Vec<usize> {
+        self.ring.candidates(key).into_iter().take(2).collect()
+    }
+
+    /// True when `key`'s record was already pushed to its follower this
+    /// process lifetime; marks it when not. One CAS-style check so repeat
+    /// reads don't re-push.
+    pub fn mark_replicated(&self, key: &str) -> bool {
+        !self.replicated.lock().insert(key.to_owned())
+    }
+
+    /// Forget a [`mark_replicated`](Self::mark_replicated) claim — used
+    /// when the copy that claimed the key could not read the source record,
+    /// so a later read retries the replication.
+    pub fn unmark_replicated(&self, key: &str) {
+        self.replicated.lock().remove(key);
+    }
+
+    /// One `GET path` exchange with backend `i` over the pool, outside the
+    /// retry/hedge machinery — the control-plane primitive replication and
+    /// anti-entropy build on. `Some(body)` on a 200, `None` otherwise.
+    #[must_use]
+    pub fn fetch(&self, i: usize, path: &str, trace: Option<TraceId>) -> Option<String> {
+        let mut conn = self.pool.checkout(i);
+        match conn.get_traced(path, trace) {
+            Ok(reply) if reply.status == 200 => {
+                self.pool.checkin(i, conn);
+                Some(reply.body)
+            }
+            Ok(_) => {
+                self.pool.checkin(i, conn);
+                None
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Push one store record to backend `i` via
+    /// `POST /v1/store/record/<key>`. True when the backend stored it.
+    #[must_use]
+    pub fn push_record(&self, i: usize, key: &str, body: &str, trace: Option<TraceId>) -> bool {
+        let mut conn = self.pool.checkout(i);
+        match conn.post_traced(&format!("/v1/store/record/{key}"), body, trace) {
+            Ok(reply) if reply.status == 200 => {
+                self.pool.checkin(i, conn);
+                true
+            }
+            Ok(_) => {
+                self.pool.checkin(i, conn);
+                false
+            }
+            Err(_) => false,
         }
     }
 
@@ -188,6 +262,7 @@ impl Router {
                             .unwrap_or("text/plain; charset=utf-8")
                             .to_owned(),
                         body: reply.body,
+                        backend: Some(winner),
                     };
                 }
                 (Attempt::Saturated(reply), _) => last_saturated = Some(reply),
@@ -205,6 +280,7 @@ impl Router {
                     .unwrap_or("text/plain; charset=utf-8")
                     .to_owned(),
                 body: reply.body,
+                backend: None,
             }
         } else {
             synth(502, "all backends failed")
@@ -331,6 +407,7 @@ fn synth(status: u16, message: &str) -> Forwarded {
         status,
         content_type: "application/json".to_owned(),
         body: ApiError::new(status, message).to_json(),
+        backend: None,
     }
 }
 

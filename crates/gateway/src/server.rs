@@ -46,6 +46,7 @@ use crate::health::{HealthState, HealthTracker};
 use crate::metrics::{render_metrics, GatewayMetrics};
 use crate::proxy::{Forwarded, RoutePolicy, Router};
 use crate::ring::HashRing;
+use crate::sync;
 
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
 const HEALTH_TICK: Duration = Duration::from_millis(50);
@@ -199,13 +200,15 @@ impl Gateway {
 
         let health_thread = {
             let shutdown = Arc::clone(&shutdown);
-            let health = Arc::clone(&health);
+            let router = Arc::clone(&router);
+            let tracer = Arc::clone(&tracer);
             let probe_interval = config.probe_interval;
             let probe_timeout = config.probe_timeout;
             let backend_addrs = backends.clone();
             std::thread::spawn(move || {
                 health_loop(
-                    &health,
+                    &router,
+                    &tracer,
                     &backend_addrs,
                     probe_interval,
                     probe_timeout,
@@ -381,6 +384,7 @@ fn handle_connection(
                         status: 400,
                         content_type: "application/json".to_owned(),
                         body: ApiError::new(400, format!("bad request: {e}")).to_json(),
+                        backend: None,
                     },
                     false,
                     None,
@@ -418,6 +422,7 @@ fn respond(
             status: 405,
             content_type: "application/json".to_owned(),
             body: ApiError::new(405, "only GET is supported").to_json(),
+            backend: None,
         };
     }
     match request.path.as_str() {
@@ -425,13 +430,21 @@ fn respond(
             status: 200,
             content_type: "text/plain; charset=utf-8".to_owned(),
             body: "ok\n".to_owned(),
+            backend: None,
         },
         "/metricsz" | "/v1/metricsz" => Forwarded {
             status: 200,
             content_type: "text/plain; charset=utf-8".to_owned(),
             body: render_metrics(&router.metrics, &router.health, &router.pool, backend_addrs),
+            backend: None,
         },
         "/v1/tracez" => tracez(ctx, request.query.as_deref()),
+        "/v1/store/manifest" => Forwarded {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".to_owned(),
+            body: sync::fleet_manifest(router, backend_addrs),
+            backend: None,
+        },
         _ => {
             // Re-assemble the full target so query strings survive the
             // trip to the backend.
@@ -439,7 +452,16 @@ fn respond(
                 Some(q) => format!("{}?{q}", request.path),
                 None => request.path.clone(),
             };
-            router.forward(&target, &routing_key(&target), Some(ctx))
+            let response = router.forward(&target, &routing_key(&target), Some(ctx));
+            // A 200 profile answer means the winning backend durably holds
+            // the record; copy it to the key's follower replica while the
+            // request is still warm (deduped per key per process).
+            if response.status == 200 {
+                if let Some(winner) = response.backend {
+                    sync::replicate_after_forward(router, &target, winner, Some(ctx));
+                }
+            }
+            response
         }
     }
 }
@@ -461,6 +483,7 @@ fn tracez(ctx: cactus_obs::SpanCtx<'_>, query: Option<&str>) -> Forwarded {
                     format!("invalid trace id {bad:?}; expected 16 hex digits"),
                 )
                 .to_json(),
+                backend: None,
             }
         }
         Some(Ok(id)) => Some(id),
@@ -470,6 +493,7 @@ fn tracez(ctx: cactus_obs::SpanCtx<'_>, query: Option<&str>) -> Forwarded {
         status: 200,
         content_type: "application/x-ndjson".to_owned(),
         body: ctx.tracer().render(filter),
+        backend: None,
     }
 }
 
@@ -535,16 +559,20 @@ fn write_response<W: Write>(
     out.write_all(wire.as_bytes())
 }
 
-/// The health thread: promote cooled-down ejections to half-open, and
+/// The health thread: promote cooled-down ejections to half-open,
 /// (optionally) actively probe routable backends so failures are noticed
-/// even when no traffic is flowing.
+/// even when no traffic is flowing, and run one store anti-entropy pass
+/// for every backend that just passed its half-open trial — a re-admitted
+/// backend may have missed replicated writes while it was away.
 fn health_loop(
-    health: &HealthTracker,
+    router: &Arc<Router>,
+    tracer: &Tracer,
     backend_addrs: &[SocketAddr],
     probe_interval: Option<Duration>,
     probe_timeout: Duration,
     shutdown: &AtomicBool,
 ) {
+    let health = &router.health;
     let mut last_probe = Instant::now();
     while !shutdown.load(Ordering::SeqCst) {
         health.tick();
@@ -566,6 +594,11 @@ fn health_loop(
                     }
                 }
             }
+        }
+        // Re-admissions are flagged by the data path and the probes alike;
+        // each one gets exactly one repair pass here, off the request path.
+        for i in router.health.take_readmitted() {
+            let _ = sync::anti_entropy(router, tracer, i);
         }
         std::thread::sleep(HEALTH_TICK);
     }

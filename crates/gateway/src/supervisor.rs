@@ -42,15 +42,26 @@ impl Supervisor {
     /// first slot only if it names port 0; every slot binds ephemerally and
     /// then pins the resolved address).
     ///
+    /// When `base` carries a `store_dir`, each slot gets its own `slot-<i>`
+    /// subdirectory of it: the embedded store's segment files assume a
+    /// single writer per directory, so two backends sharing one tree would
+    /// corrupt each other. The subdirectory is pinned in the slot's config,
+    /// so a restarted backend reopens *its own* segments — which is what
+    /// makes kill/restart durability and anti-entropy testable in-process.
+    ///
     /// # Errors
     ///
     /// Propagates the first bind failure; already-started backends are shut
     /// down before returning.
     pub fn spawn_fleet(n: usize, base: &ServeConfig) -> io::Result<Self> {
         let mut slots = Vec::with_capacity(n);
-        for _ in 0..n {
+        for i in 0..n {
             let mut config = base.clone();
             config.addr = "127.0.0.1:0".to_owned();
+            config.store_dir = base
+                .store_dir
+                .as_ref()
+                .map(|dir| dir.join(format!("slot-{i}")));
             match Server::start(config.clone()) {
                 Ok(server) => {
                     // Pin the resolved port so a restart reuses it.

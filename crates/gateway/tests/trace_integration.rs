@@ -35,6 +35,9 @@ fn start_pair() -> (Gateway, Server, std::path::PathBuf) {
         workers: 2,
         queue: 16,
         store_dir: Some(dir.clone()),
+        // Disable the response cache (and with it the startup warmer) so a
+        // routed request exercises the store path and files its span tree.
+        cache_capacity: 0,
         ..ServeConfig::default()
     })
     .expect("start backend");

@@ -119,14 +119,17 @@ fn is_served(path: &str, served: &BTreeSet<String>, endpoints: &[String]) -> boo
     served.iter().any(|s| wildcard_eq(path, s))
 }
 
-/// Segment-wise equality where a `{…}` consumer segment matches anything.
+/// Segment-wise equality where a `{…}` segment on either side matches
+/// anything: consumers interpolate into concrete served paths, and served
+/// route templates (`/v1/store/record/{key}`) cover concrete consumed
+/// paths.
 fn wildcard_eq(consumed: &str, served: &str) -> bool {
     let a: Vec<&str> = consumed.trim_matches('/').split('/').collect();
     let b: Vec<&str> = served.trim_matches('/').split('/').collect();
     a.len() == b.len()
         && a.iter()
             .zip(&b)
-            .all(|(ca, cb)| ca == cb || ca.contains('{'))
+            .all(|(ca, cb)| ca == cb || ca.contains('{') || cb.contains('{'))
 }
 
 fn check_spans(ws: &Workspace, findings: &mut Vec<Finding>) {

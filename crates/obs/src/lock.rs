@@ -45,9 +45,12 @@ pub const CHECK_ENABLED: bool = cfg!(any(debug_assertions, feature = "lock-check
 /// |   20 | `SINGLEFLIGHT_MAP`  | `serve::singleflight` in-flight map        |
 /// |   30 | `SINGLEFLIGHT_SLOT` | `serve::singleflight` per-key result slot  |
 /// |   40 | `RESPONSE_CACHE`    | `serve::cache` LRU                         |
+/// |   42 | `STORE_WRITER`      | `store` active-segment writer              |
+/// |   45 | `STORE_INDEX`       | `store` key→location index                 |
 /// |   50 | `ENGINE_POOL_IDLE`  | `gpu::pool` idle-engine list               |
 /// |   55 | `ENGINE_POOL_STATS` | `gpu::pool` checkout counters              |
 /// |   60 | `CONN_POOL`         | `gateway::connpool` per-backend idle list  |
+/// |   65 | `REPLICATED_KEYS`   | `gateway::proxy` already-replicated key set|
 /// |   70 | `HEALTH`            | `gateway::health` backend states           |
 /// |   80 | `LATENCY_WINDOW`    | `gateway::metrics` sliding latency ring    |
 /// |   85 | `SIMINDEX`          | `serve::similar` similarity-index state    |
@@ -60,9 +63,12 @@ pub mod rank {
     pub const SINGLEFLIGHT_MAP: u32 = 20;
     pub const SINGLEFLIGHT_SLOT: u32 = 30;
     pub const RESPONSE_CACHE: u32 = 40;
+    pub const STORE_WRITER: u32 = 42;
+    pub const STORE_INDEX: u32 = 45;
     pub const ENGINE_POOL_IDLE: u32 = 50;
     pub const ENGINE_POOL_STATS: u32 = 55;
     pub const CONN_POOL: u32 = 60;
+    pub const REPLICATED_KEYS: u32 = 65;
     pub const HEALTH: u32 = 70;
     pub const LATENCY_WINDOW: u32 = 80;
     pub const SIMINDEX: u32 = 85;

@@ -42,6 +42,10 @@ use crate::lock::{rank, RankedMutex};
 /// | `simindex.encode` | simindex, FAMD projection of a kernel profile    |
 /// | `simindex.search` | simindex, pruned k-NN probe of the vector index  |
 /// | `simindex.recluster` | simindex, bounded local re-cluster pass       |
+/// | `store.append`  | store, one durable record append (fsync included)  |
+/// | `store.get`     | store, one indexed record read + CRC check         |
+/// | `store.compact` | store, one background compaction pass              |
+/// | `store.sync`    | gateway, replication or anti-entropy record push   |
 pub const SPAN_NAMES: &[&str] = &[
     "gateway.route",
     "proxy.attempt",
@@ -55,6 +59,10 @@ pub const SPAN_NAMES: &[&str] = &[
     "simindex.encode",
     "simindex.search",
     "simindex.recluster",
+    "store.append",
+    "store.get",
+    "store.compact",
+    "store.sync",
 ];
 
 /// A 64-bit trace id, rendered as 16 lowercase hex digits. Never zero.

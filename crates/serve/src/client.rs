@@ -303,10 +303,38 @@ impl Client {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
-        // One write_all per request head: fragment-per-write on a raw
-        // socket triggers Nagle + delayed-ACK stalls (~40 ms) on the peer.
-        let head = request_head(path, self.addr, false, trace);
-        stream.write_all(head.as_bytes())?;
+        // One write_all per request: fragment-per-write on a raw socket
+        // triggers Nagle + delayed-ACK stalls (~40 ms) on the peer.
+        let wire = request_wire("GET", path, self.addr, false, trace, "");
+        stream.write_all(wire.as_bytes())?;
+        let mut reader = BufReader::new(stream);
+        read_reply(&mut reader)
+    }
+
+    /// Issue one `POST path` with a text body and parse the reply
+    /// (whatever its status). Used to push store records between nodes.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors and unparseable response heads.
+    pub fn post_traced(
+        &self,
+        path: &str,
+        body: &str,
+        trace: Option<TraceId>,
+    ) -> Result<HttpReply, ClientError> {
+        if self.keep_alive {
+            let mut guard = self.conn.lock();
+            return guard
+                .get_or_insert_with(|| Connection::new(self.addr, self.timeout))
+                .post_traced(path, body, trace);
+        }
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let wire = request_wire("POST", path, self.addr, false, trace, body);
+        stream.write_all(wire.as_bytes())?;
         let mut reader = BufReader::new(stream);
         read_reply(&mut reader)
     }
@@ -413,15 +441,29 @@ impl Client {
     }
 }
 
-/// Serialize one GET request head (single `write_all`, see call sites).
-fn request_head(path: &str, addr: SocketAddr, keep_alive: bool, trace: Option<TraceId>) -> String {
+/// Serialize one full request — head plus optional body — as a single
+/// string (single `write_all`, see call sites). An empty `body` emits no
+/// `content-length` header, matching the server's GET-only fast path.
+fn request_wire(
+    method: &str,
+    path: &str,
+    addr: SocketAddr,
+    keep_alive: bool,
+    trace: Option<TraceId>,
+    body: &str,
+) -> String {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let mut head = format!("GET {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: {connection}\r\n");
+    let mut wire =
+        format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: {connection}\r\n");
     if let Some(trace) = trace {
-        head.push_str(&format!("{TRACE_HEADER}: {trace}\r\n"));
+        wire.push_str(&format!("{TRACE_HEADER}: {trace}\r\n"));
     }
-    head.push_str("\r\n");
-    head
+    if !body.is_empty() {
+        wire.push_str(&format!("content-length: {}\r\n", body.len()));
+    }
+    wire.push_str("\r\n");
+    wire.push_str(body);
+    wire
 }
 
 /// A keep-alive connection: one `TcpStream` reused across sequential
@@ -502,15 +544,42 @@ impl Connection {
         path: &str,
         trace: Option<TraceId>,
     ) -> Result<HttpReply, ClientError> {
+        self.request("GET", path, "", trace)
+    }
+
+    /// Issue one `POST path` with a text body, reusing the open stream
+    /// when possible. Used by the gateway to push store records to
+    /// backends (replication and anti-entropy sync).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors (after the one stale-stream retry) and unparseable
+    /// response heads.
+    pub fn post_traced(
+        &mut self,
+        path: &str,
+        body: &str,
+        trace: Option<TraceId>,
+    ) -> Result<HttpReply, ClientError> {
+        self.request("POST", path, body, trace)
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        trace: Option<TraceId>,
+    ) -> Result<HttpReply, ClientError> {
         let reused = self.stream.is_some();
-        match self.try_get(path, trace) {
+        match self.try_request(method, path, body, trace) {
             Ok(reply) => Ok(reply),
             Err(e) => {
                 // A reused stream may have been closed server-side between
                 // requests; retry exactly once on a fresh dial.
                 self.stream = None;
                 if reused {
-                    self.try_get(path, trace)
+                    self.try_request(method, path, body, trace)
                 } else {
                     Err(e)
                 }
@@ -518,7 +587,13 @@ impl Connection {
         }
     }
 
-    fn try_get(&mut self, path: &str, trace: Option<TraceId>) -> Result<HttpReply, ClientError> {
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        trace: Option<TraceId>,
+    ) -> Result<HttpReply, ClientError> {
         let reused = self.stream.is_some();
         if self.stream.is_none() {
             let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
@@ -531,8 +606,8 @@ impl Connection {
         // lint:allow(no_panic, ensure_connected() filled the stream on the line above)
         let reader = self.stream.as_mut().expect("stream just ensured");
         // Single write_all, same Nagle/delayed-ACK reasoning as Client::get.
-        let head = request_head(path, self.addr, true, trace);
-        reader.get_mut().write_all(head.as_bytes())?;
+        let wire = request_wire(method, path, self.addr, true, trace, body);
+        reader.get_mut().write_all(wire.as_bytes())?;
         reader.get_mut().flush()?;
         let reply = read_reply(reader);
         match &reply {

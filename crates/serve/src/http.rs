@@ -23,7 +23,12 @@ use cactus_obs::{ApiError, TraceId, TRACE_HEADER};
 /// Upper bound on the request head (request line + headers), in bytes.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// A parsed request head.
+/// Upper bound on a request body (`Content-Length`), in bytes. Only the
+/// store-record ingestion endpoint accepts bodies; profile documents are
+/// well under this.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Request method, uppercased (`GET`, `POST`, …).
@@ -35,6 +40,8 @@ pub struct Request {
     /// Header name/value pairs in wire order, names lowercased, values
     /// trimmed of surrounding whitespace.
     pub headers: Vec<(String, String)>,
+    /// Request body (empty unless the client sent a `Content-Length`).
+    pub body: String,
 }
 
 impl Request {
@@ -131,11 +138,12 @@ fn decode_line(raw: &[u8]) -> Result<String, HttpError> {
     Ok(text.trim_end_matches(['\r', '\n']).to_owned())
 }
 
-/// Read and parse one request head from `reader`. The reader is positioned
-/// exactly past the head's terminating blank line on success, so a
-/// keep-alive server can call this again on the same reader for the next
-/// request. (The API is GET-only; no request ever carries a meaningful
-/// body.)
+/// Read and parse one request from `reader`. The reader is positioned
+/// exactly past the head's terminating blank line — plus any declared
+/// body — on success, so a keep-alive server can call this again on the
+/// same reader for the next request. Bodies are read eagerly when a
+/// `Content-Length` header is present (capped at [`MAX_BODY_BYTES`]) and
+/// must be UTF-8; the API's only body-bearing requests carry profile text.
 ///
 /// # Errors
 ///
@@ -158,6 +166,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
         headers.push(parse_header_line(&line)?);
     }
 
+    let body = read_body(reader, &headers)?;
+
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
         None => (target.to_owned(), None),
@@ -167,7 +177,42 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
         path,
         query,
         headers,
+        body,
     })
+}
+
+/// Read the declared body, if any. Transfer encodings are not supported —
+/// a `Transfer-Encoding` header is malformed here (the framing could not
+/// be trusted otherwise).
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    headers: &[(String, String)],
+) -> Result<String, HttpError> {
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported".to_owned(),
+        ));
+    }
+    let Some((_, value)) = headers.iter().find(|(n, _)| n == "content-length") else {
+        return Ok(String::new());
+    };
+    let length: usize = value
+        .parse()
+        .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+    if length > MAX_BODY_BYTES {
+        return Err(HttpError::Malformed(format!(
+            "content-length {length} exceeds {MAX_BODY_BYTES}"
+        )));
+    }
+    let mut body = vec![0u8; length];
+    std::io::Read::read_exact(reader, &mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::ClosedEarly
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+    String::from_utf8(body).map_err(|_| HttpError::Malformed("non-UTF-8 body".to_owned()))
 }
 
 /// Strict request-line parse: exactly `METHOD SP TARGET SP HTTP/1.x`, single
@@ -424,6 +469,44 @@ mod tests {
         let second = read_request(&mut reader).expect("second");
         assert_eq!(second.path, "/b");
         assert!(second.wants_close());
+    }
+
+    #[test]
+    fn body_is_read_to_content_length() {
+        let raw = b"POST /v1/store/record/a/b/c HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /next HTTP/1.1\r\n\r\n";
+        let mut reader = &raw[..];
+        let first = read_request(&mut reader).expect("post");
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, "hello");
+        // The reader sits exactly past the body: keep-alive still works.
+        let second = read_request(&mut reader).expect("next");
+        assert_eq!(second.path, "/next");
+        assert_eq!(second.body, "");
+    }
+
+    #[test]
+    fn rejects_bad_bodies() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        let oversized = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(oversized.as_bytes()),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Truncated body: connection died mid-upload.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::ClosedEarly)
+        ));
     }
 
     #[test]

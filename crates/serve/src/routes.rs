@@ -28,17 +28,37 @@ use crate::service::{Triple, DEVICE_SLUGS, SCALE_SLUGS};
 /// [`route_triple`].
 pub const TRIPLE_ENDPOINTS: [&str; 4] = ["profile", "kernels", "roofline", "dominant"];
 
+/// Raw durable-store record routes: `GET` reads the stored record
+/// verbatim (no simulation fallthrough), `POST` ingests one — the
+/// gateway's replication and anti-entropy pushes land here. Listed in
+/// both spellings so `cactus-lint`'s surface rule accepts consumer paths
+/// built from a joined `device/scale/workload` key or from the triple's
+/// parts.
+pub const STORE_RECORD_ROUTE: &str = "/v1/store/record/{key}";
+/// Triple-shaped spelling of [`STORE_RECORD_ROUTE`].
+pub const STORE_RECORD_TRIPLE_ROUTE: &str = "/v1/store/record/{device}/{scale}/{workload}";
+
 /// Content type of CSV bodies.
 const CSV: &str = "text/csv; charset=utf-8";
 /// Content type of plain-text bodies (health, profiles, metrics).
-const TEXT: &str = "text/plain; charset=utf-8";
+pub(crate) const TEXT: &str = "text/plain; charset=utf-8";
 
 /// Route one parsed request to a response. `ctx` is the request's
 /// `serve.request` span; handlers hang their sub-spans off it.
 #[must_use]
 pub fn respond(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Response {
-    if req.method != "GET" {
-        return Response::error(405, format!("method {} not allowed; use GET", req.method));
+    let record_key = req.path.strip_prefix("/v1/store/record/");
+    if req.method != "GET" && !(req.method == "POST" && record_key.is_some()) {
+        return Response::error(
+            405,
+            format!(
+                "method {} not allowed; use GET (POST is accepted only on {STORE_RECORD_ROUTE})",
+                req.method
+            ),
+        );
+    }
+    if let Some(key) = record_key {
+        return store_record(state, req, key, ctx);
     }
     match req.path.as_str() {
         "/healthz" | "/v1/healthz" => Response::ok("ok\n", TEXT),
@@ -49,8 +69,90 @@ pub fn respond(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Response
         // index), so they bypass the response cache.
         "/v1/similar" => crate::similar::similar(state, req, ctx),
         "/v1/similar/stats" => crate::similar::stats(state),
+        // Store pages are stateful (appends and compaction move them),
+        // so they bypass the response cache too.
+        "/v1/store/manifest" => Response::ok(state.service.store().manifest(), TEXT),
+        "/v1/store/statz" => Response::ok(store_statz(state), TEXT),
         _ => route_triple(state, req, ctx),
     }
+}
+
+/// `GET`/`POST /v1/store/record/<device>/<scale>/<workload>`: the raw
+/// durable-store surface used by gateway replication and anti-entropy.
+///
+/// `GET` answers the stored record verbatim whatever its model version
+/// (anti-entropy copies bytes; relevance is the *receiver's* concern) and
+/// never falls through to simulation. `POST` validates the body as a
+/// profile document and appends it at this node's `MODEL_VERSION`.
+fn store_record(state: &ServerState, req: &Request, key: &str, ctx: SpanCtx<'_>) -> Response {
+    let segments: Vec<&str> = key.split('/').collect();
+    if segments.len() != 3 || segments.iter().any(|s| s.is_empty()) {
+        return Response::error(
+            404,
+            "store record keys have the shape <device>/<scale>/<workload>",
+        );
+    }
+    if req.method == "POST" {
+        let mut span = ctx.child("store.sync");
+        span.tag("key", key);
+        span.tag("bytes", req.body.len().to_string());
+        return match state.service.ingest_record(key, &req.body) {
+            Ok(()) => Response::ok("stored\n", TEXT),
+            Err(msg) => {
+                span.tag("error", msg.clone());
+                Response::error(400, format!("record rejected: {msg}"))
+            }
+        };
+    }
+    let mut span = ctx.child("store.get");
+    span.tag("key", key);
+    match state.service.store().get(key) {
+        Ok(Some(record)) => {
+            span.tag("version", record.version.to_string());
+            match String::from_utf8(record.value) {
+                Ok(body) => Response::ok(body, TEXT),
+                Err(_) => Response::error(500, "stored record is not UTF-8"),
+            }
+        }
+        Ok(None) => Response::error(404, format!("no stored record for {key:?}")),
+        Err(e) => {
+            span.tag("error", e.to_string());
+            Response::error(500, format!("store read failed: {e}"))
+        }
+    }
+}
+
+/// `/v1/store/statz`: one plain-text page of storage-engine state.
+fn store_statz(state: &ServerState) -> String {
+    let store = state.service.store();
+    let s = store.stats();
+    format!(
+        "cactus-store statz\n\
+         dir {}\n\
+         digest {:016x}\n\
+         segments {}\n\
+         live_records {}\n\
+         dead_records {}\n\
+         live_bytes {}\n\
+         dead_bytes {}\n\
+         appends {}\n\
+         gets {}\n\
+         compactions {}\n\
+         imported {}\n\
+         truncations {}\n",
+        store.dir().display(),
+        store.manifest_digest(),
+        s.segments,
+        s.live_records,
+        s.dead_records,
+        s.live_bytes,
+        s.dead_bytes,
+        s.appends,
+        s.gets,
+        s.compactions,
+        s.imported,
+        s.truncations,
+    )
 }
 
 /// `/v1/tracez[?trace=ID]`: the span ring as JSON lines, optionally
@@ -84,7 +186,8 @@ fn route_triple(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Respons
             return Response::error(
                 404,
                 "unknown route; try /v1/healthz, /v1/metricsz, /v1/tracez, /v1/workloads, \
-                 /v1/similar, /v1/similar/stats, or \
+                 /v1/similar, /v1/similar/stats, /v1/store/manifest, /v1/store/statz, \
+                 /v1/store/record/<device>/<scale>/<workload>, or \
                  /v1/{profile|kernels|roofline|dominant}/<device>/<scale>/<workload>",
             )
         }

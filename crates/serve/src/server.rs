@@ -30,10 +30,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cactus_gpu::MODEL_VERSION;
 use cactus_obs::lock::{rank, RankedMutex};
 use cactus_obs::{Gauge, MetricsRegistry, TraceId, Tracer};
 
-use crate::cache::ResponseCache;
+use crate::cache::{CachedResponse, ResponseCache};
 use crate::http::{self, HttpError, Response};
 use crate::metrics::ServerMetrics;
 use crate::net;
@@ -129,6 +130,16 @@ struct ScrapedGauges {
     simindex_pruned: Gauge,
     simindex_inserts: Gauge,
     simindex_reclusters: Gauge,
+    store_segments: Gauge,
+    store_live_records: Gauge,
+    store_dead_records: Gauge,
+    store_live_bytes: Gauge,
+    store_dead_bytes: Gauge,
+    store_appends: Gauge,
+    store_gets: Gauge,
+    store_compactions: Gauge,
+    store_imported: Gauge,
+    store_truncations: Gauge,
 }
 
 impl ScrapedGauges {
@@ -173,6 +184,40 @@ impl ScrapedGauges {
                 "cactus_simindex_reclusters_total",
                 "bounded local re-cluster passes",
             )?,
+            store_segments: registry.gauge(
+                "cactus_store_segments",
+                "segment files in the durable store",
+            )?,
+            store_live_records: registry.gauge(
+                "cactus_store_live_records",
+                "records the store index points at",
+            )?,
+            store_dead_records: registry.gauge(
+                "cactus_store_dead_records",
+                "superseded records awaiting compaction",
+            )?,
+            store_live_bytes: registry
+                .gauge("cactus_store_live_bytes", "payload bytes of live records")?,
+            store_dead_bytes: registry.gauge(
+                "cactus_store_dead_bytes",
+                "payload bytes reclaimable by compaction",
+            )?,
+            store_appends: registry
+                .gauge("cactus_store_appends_total", "records appended since open")?,
+            store_gets: registry
+                .gauge("cactus_store_gets_total", "store point reads since open")?,
+            store_compactions: registry.gauge(
+                "cactus_store_compactions_total",
+                "compaction passes since open",
+            )?,
+            store_imported: registry.gauge(
+                "cactus_store_imported_total",
+                "records imported from the legacy filesystem tree",
+            )?,
+            store_truncations: registry.gauge(
+                "cactus_store_truncations_total",
+                "torn segment tails truncated during recovery",
+            )?,
         })
     }
 }
@@ -198,6 +243,21 @@ impl ServerState {
         self.scraped.simindex_pruned.set(sim.index.pruned as f64);
         self.scraped.simindex_inserts.set(sim.index.inserts as f64);
         self.scraped.simindex_reclusters.set(sim.reclusters as f64);
+        let store = self.service.store().stats();
+        self.scraped.store_segments.set(store.segments as f64);
+        self.scraped
+            .store_live_records
+            .set(store.live_records as f64);
+        self.scraped
+            .store_dead_records
+            .set(store.dead_records as f64);
+        self.scraped.store_live_bytes.set(store.live_bytes as f64);
+        self.scraped.store_dead_bytes.set(store.dead_bytes as f64);
+        self.scraped.store_appends.set(store.appends as f64);
+        self.scraped.store_gets.set(store.gets as f64);
+        self.scraped.store_compactions.set(store.compactions as f64);
+        self.scraped.store_imported.set(store.imported as f64);
+        self.scraped.store_truncations.set(store.truncations as f64);
         self.registry.render()
     }
 }
@@ -209,6 +269,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
     state: Arc<ServerState>,
 }
 
@@ -230,7 +291,7 @@ impl Server {
         let metrics = ServerMetrics::register(&registry).map_err(|_| registered())?;
         let scraped = ScrapedGauges::register(&registry).map_err(|_| registered())?;
         let service = ProfileService::with_registry(config.store_dir.clone(), &registry)
-            .map_err(|_| registered())?;
+            .map_err(io::Error::other)?;
         let mut tracer = Tracer::new(config.trace_capacity);
         if let Some(path) = &config.span_log {
             tracer = tracer.with_span_log(path)?;
@@ -246,6 +307,7 @@ impl Server {
             config: config.clone(),
             scraped,
         });
+        warm_cache(&state, config.cache_capacity);
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue.max(1));
         let rx = Arc::new(RankedMutex::new(
@@ -270,11 +332,18 @@ impl Server {
             std::thread::spawn(move || accept_loop(&listener, &tx, &state, &shutdown))
         };
 
+        let compactor = {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || compactor_loop(&state, &shutdown))
+        };
+
         Ok(Self {
             addr,
             shutdown,
             accept: Some(accept),
             workers,
+            compactor: Some(compactor),
             state,
         })
     }
@@ -306,6 +375,9 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(compactor) = self.compactor.take() {
+            let _ = compactor.join();
+        }
     }
 
     /// Drop every cached response and pooled engine (benches use this to
@@ -313,6 +385,76 @@ impl Server {
     pub fn reset_caches(&self) {
         self.state.cache.clear();
         self.state.service.reset();
+    }
+}
+
+/// Warm the response cache from the durable store at startup. A record
+/// already at this binary's `MODEL_VERSION` is byte-identical to the
+/// `/v1/profile` body it would produce, so a restarted daemon serves its
+/// persisted working set from the very first request — no re-simulation,
+/// no cold LRU.
+fn warm_cache(state: &ServerState, capacity: usize) {
+    if capacity == 0 {
+        return;
+    }
+    let store = state.service.store();
+    let mut warmed = 0usize;
+    for entry in store.entries() {
+        if warmed >= capacity {
+            break;
+        }
+        if entry.version != MODEL_VERSION {
+            continue;
+        }
+        let Ok(Some(record)) = store.get(&entry.key) else {
+            continue;
+        };
+        let Ok(body) = String::from_utf8(record.value) else {
+            continue;
+        };
+        state.cache.put(
+            &format!("profile/{}", entry.key),
+            CachedResponse {
+                content_type: routes::TEXT,
+                body,
+            },
+        );
+        warmed += 1;
+    }
+}
+
+/// How often the background compactor polls the store for reclaimable
+/// segments. Compaction itself only runs when `maybe_compact`'s dead-byte
+/// threshold trips, so the steady-state cost of the loop is one stats
+/// read per interval.
+const COMPACT_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Background compaction: poll `maybe_compact` until shutdown. Emits one
+/// `store.compact` span per pass that actually ran (or failed) — idle
+/// polls stay out of the trace ring.
+fn compactor_loop(state: &ServerState, shutdown: &AtomicBool) {
+    const TICK: Duration = Duration::from_millis(20);
+    let mut idle = Duration::ZERO;
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(TICK);
+        idle += TICK;
+        if idle < COMPACT_INTERVAL {
+            continue;
+        }
+        idle = Duration::ZERO;
+        match state.service.store().maybe_compact() {
+            Ok(None) => {}
+            Ok(Some(report)) => {
+                let mut span = state.tracer.ctx(TraceId::mint()).child("store.compact");
+                span.tag("victims", report.victims.to_string());
+                span.tag("copied", report.copied.to_string());
+                span.tag("reclaimed_bytes", report.reclaimed_bytes.to_string());
+            }
+            Err(e) => {
+                let mut span = state.tracer.ctx(TraceId::mint()).child("store.compact");
+                span.tag("error", e.to_string());
+            }
+        }
     }
 }
 

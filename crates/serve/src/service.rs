@@ -1,7 +1,10 @@
 //! The profile service: resolves (device preset, scale, workload) triples
 //! to [`Profile`]s through the two lower levels of the serving hierarchy —
-//! the on-disk profile store, then live simulation coalesced by
-//! single-flight and executed on pooled memoizing engines.
+//! the durable `cactus-store` segment log, then live simulation coalesced
+//! by single-flight and executed on pooled memoizing engines. Simulated
+//! profiles are appended back to the store (fsync'd before the index
+//! admits them), so a restart serves yesterday's corpus instead of
+//! starting cold.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -10,9 +13,11 @@ use cactus_bench::store;
 use cactus_core::{workloads, SuiteScale, Workload};
 use cactus_gpu::engine::MemoStats;
 use cactus_gpu::pool::{GpuPool, PoolInstruments};
-use cactus_gpu::Device;
-use cactus_obs::{Counter, MetricsRegistry, RegistryError, SpanCtx};
+use cactus_gpu::{Device, MODEL_VERSION};
+use cactus_obs::{Counter, MetricsRegistry, SpanCtx};
+use cactus_profiler::store as profile_store;
 use cactus_profiler::Profile;
+use cactus_store::Store;
 use cactus_suites::Benchmark;
 
 use crate::singleflight::SingleFlight;
@@ -70,14 +75,6 @@ impl ServableWorkload {
         match self {
             ServableWorkload::Cactus(w) => w.abbr,
             ServableWorkload::Prt(b) => b.name,
-        }
-    }
-
-    /// The store set file this workload would live in.
-    fn store_set(&self) -> &'static str {
-        match self {
-            ServableWorkload::Cactus(_) => "cactus",
-            ServableWorkload::Prt(_) => "prt",
         }
     }
 }
@@ -166,17 +163,17 @@ pub struct ProfileService {
     pools: Vec<(&'static str, GpuPool)>,
     /// In-flight lookups; the value carries whether the store satisfied it.
     flight: SingleFlight<(Arc<Profile>, bool)>,
-    store_dir: PathBuf,
+    store: Arc<Store>,
     store_hits: Counter,
     simulations: Counter,
 }
 
 impl ProfileService {
-    /// A service reading the profile store from `store_dir` (defaults to
+    /// A service backed by a store rooted at `store_dir` (defaults to
     /// [`store::store_dir`] when `None`), counting into a private registry.
     #[must_use]
     pub fn new(store_dir: Option<PathBuf>) -> Self {
-        // lint:allow(no_panic, fresh private registry cannot collide)
+        // lint:allow(no_panic, fresh private registry cannot collide and the caller picked the dir)
         Self::with_registry(store_dir, &MetricsRegistry::new())
             .expect("fresh registry has no collisions")
     }
@@ -184,28 +181,38 @@ impl ProfileService {
     /// A service whose counters (store hits, simulations, engine memo
     /// traffic, engines created) register in `registry` under
     /// `cactus_serve_*` names. Registry counters are monotonic: they keep
-    /// counting across [`ProfileService::reset`].
+    /// counting across [`ProfileService::reset`]. Opens (creating if
+    /// needed) the durable store under `store_dir`, importing any legacy
+    /// filesystem profile tree found there on first open.
     ///
     /// # Errors
     ///
-    /// Fails if any of those names is already registered.
+    /// Fails if any metric name is already registered or the store cannot
+    /// be opened/recovered.
     pub fn with_registry(
         store_dir: Option<PathBuf>,
         registry: &MetricsRegistry,
-    ) -> Result<Self, RegistryError> {
+    ) -> Result<Self, String> {
+        let reg = |e: cactus_obs::RegistryError| e.to_string();
         let instruments = PoolInstruments {
-            memo_hits: registry.counter(
-                "cactus_serve_engine_memo_hits_total",
-                "launches replayed from a warm memo cache",
-            )?,
-            memo_misses: registry.counter(
-                "cactus_serve_engine_memo_misses_total",
-                "launches simulated from scratch",
-            )?,
-            engines_created: registry.counter(
-                "cactus_serve_engines_created_total",
-                "engines created across all pools",
-            )?,
+            memo_hits: registry
+                .counter(
+                    "cactus_serve_engine_memo_hits_total",
+                    "launches replayed from a warm memo cache",
+                )
+                .map_err(reg)?,
+            memo_misses: registry
+                .counter(
+                    "cactus_serve_engine_memo_misses_total",
+                    "launches simulated from scratch",
+                )
+                .map_err(reg)?,
+            engines_created: registry
+                .counter(
+                    "cactus_serve_engines_created_total",
+                    "engines created across all pools",
+                )
+                .map_err(reg)?,
         };
         let pools = DEVICE_SLUGS
             .iter()
@@ -218,19 +225,33 @@ impl ProfileService {
                 )
             })
             .collect();
+        let dir = store_dir.unwrap_or_else(store::store_dir);
+        let durable = Store::open(&dir)
+            .map_err(|e| format!("cannot open profile store at {}: {e}", dir.display()))?;
         Ok(Self {
             pools,
             flight: SingleFlight::new(),
-            store_dir: store_dir.unwrap_or_else(store::store_dir),
-            store_hits: registry.counter(
-                "cactus_serve_store_hits_total",
-                "profiles answered from the on-disk store",
-            )?,
-            simulations: registry.counter(
-                "cactus_serve_simulations_total",
-                "profiles computed by live simulation",
-            )?,
+            store: Arc::new(durable),
+            store_hits: registry
+                .counter(
+                    "cactus_serve_store_hits_total",
+                    "profiles answered from the durable store",
+                )
+                .map_err(reg)?,
+            simulations: registry
+                .counter(
+                    "cactus_serve_simulations_total",
+                    "profiles computed by live simulation",
+                )
+                .map_err(reg)?,
         })
+    }
+
+    /// The durable store behind this service (shared with the server's
+    /// warming, compaction, and `/v1/store/*` routes).
+    #[must_use]
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
     }
 
     /// Resolve one triple to a profile: profile store first, then live
@@ -253,7 +274,8 @@ impl ProfileService {
         let (result, leader) = self.flight.run(&key, || {
             let store_hit = {
                 let mut span = ctx.map(|c| c.child("serve.store"));
-                let profile = self.load_from_store(triple);
+                let profile =
+                    self.load_from_store(&key, span.as_ref().map(cactus_obs::SpanGuard::ctx));
                 if let Some(span) = &mut span {
                     span.tag("hit", if profile.is_some() { "true" } else { "false" });
                 }
@@ -271,6 +293,7 @@ impl ProfileService {
                 }
                 self.simulate(triple, span.as_ref().map(cactus_obs::SpanGuard::ctx))
             };
+            self.append_to_store(&key, &profile, ctx);
             Ok((Arc::new(profile), false))
         });
         let (profile, from_store) = result?;
@@ -282,16 +305,68 @@ impl ProfileService {
         Ok((profile, source))
     }
 
-    /// The store is only keyed for RTX 3080 profile-scale sets (see
-    /// `cactus_bench::store`); anything else always simulates.
-    fn load_from_store(&self, triple: &Triple) -> Option<Profile> {
-        if triple.scale != SuiteScale::Profile || triple.device_slug != "rtx-3080" {
+    /// Probe the durable store for the triple's key. Records at a stale
+    /// `MODEL_VERSION` are misses — the caller re-simulates and the new
+    /// append supersedes them (compaction reclaims the bytes later).
+    fn load_from_store(&self, key: &str, ctx: Option<SpanCtx<'_>>) -> Option<Profile> {
+        let mut span = ctx.map(|c| c.child("store.get"));
+        let record = match self.store.get(key) {
+            Ok(record) => record?,
+            Err(e) => {
+                eprintln!("cactus-serve: store get {key} failed: {e}");
+                if let Some(span) = &mut span {
+                    span.tag("error", e.to_string());
+                }
+                return None;
+            }
+        };
+        if let Some(span) = &mut span {
+            span.tag("version", record.version.to_string());
+        }
+        if record.version != MODEL_VERSION {
             return None;
         }
-        let set = store::load_set_in(&self.store_dir, triple.workload.store_set())?;
-        set.into_iter()
-            .find(|p| p.name == triple.workload.name())
-            .map(|p| p.profile)
+        let text = String::from_utf8(record.value).ok()?;
+        match profile_store::read_profile(&text) {
+            Ok(profile) => Some(profile),
+            Err(e) => {
+                eprintln!("cactus-serve: store record {key} does not parse: {e}");
+                None
+            }
+        }
+    }
+
+    /// Append a freshly simulated profile to the durable store. Failures
+    /// are logged, not fatal — serving beats durability here, and the next
+    /// identical request simply simulates again.
+    fn append_to_store(&self, key: &str, profile: &Profile, ctx: Option<SpanCtx<'_>>) {
+        let text = profile_store::write_profile(profile);
+        let mut span = ctx.map(|c| c.child("store.append"));
+        if let Some(span) = &mut span {
+            span.tag("bytes", text.len().to_string());
+        }
+        if let Err(e) = self.store.append(key, MODEL_VERSION, text.as_bytes()) {
+            eprintln!("cactus-serve: store append {key} failed: {e}");
+            if let Some(span) = &mut span {
+                span.tag("error", e.to_string());
+            }
+        }
+    }
+
+    /// Validate and durably ingest one externally supplied profile record
+    /// (the gateway's replication and anti-entropy pushes). The value must
+    /// parse as a `cactus-profile v1` document; it is stored verbatim at
+    /// the current [`MODEL_VERSION`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unparseable bodies or store
+    /// failures.
+    pub fn ingest_record(&self, key: &str, text: &str) -> Result<(), String> {
+        profile_store::read_profile(text).map_err(|e| format!("body is not a profile: {e}"))?;
+        self.store
+            .append(key, MODEL_VERSION, text.as_bytes())
+            .map_err(|e| format!("store append failed: {e}"))
     }
 
     fn simulate(&self, triple: &Triple, ctx: Option<SpanCtx<'_>>) -> Profile {
@@ -407,9 +482,17 @@ mod tests {
         assert!(Triple::resolve("rtx-3080", "tiny", "nope").is_err());
     }
 
+    fn fresh_store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cactus-serve-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn simulation_matches_direct_run_and_counts_once() {
-        let svc = ProfileService::new(Some(std::env::temp_dir().join("cactus-serve-no-store")));
+        let dir = fresh_store_dir("counts-once");
+        let svc = ProfileService::new(Some(dir.clone()));
         let t = Triple::resolve("rtx-3080", "tiny", "GMS").expect("resolve");
         let (p, source) = svc.profile(&t, None).expect("profile");
         assert_eq!(source, ProfileSource::Simulated);
@@ -418,18 +501,32 @@ mod tests {
         assert_eq!(svc.store_hits(), 0);
         assert!(svc.engine_memo_stats().launches() > 0);
 
-        // A second call is a fresh flight (no response cache at this layer)
-        // but reuses the pooled engine's warm memo cache.
-        let (_, _) = svc.profile(&t, None).expect("profile again");
-        assert_eq!(svc.simulations(), 2);
+        // The simulation was appended to the durable store, so a second
+        // call (a fresh flight — no response cache at this layer) is a
+        // store hit and the result is bit-identical.
+        let (p2, source2) = svc.profile(&t, None).expect("profile again");
+        assert_eq!(source2, ProfileSource::Store);
+        assert_eq!(*p2, *p);
+        assert_eq!(svc.simulations(), 1, "store hit did not re-simulate");
+        assert_eq!(svc.store_hits(), 1);
         assert_eq!(svc.engines(), 1, "engine was reused, not recreated");
+
+        // And the corpus survives a restart: a fresh service over the same
+        // directory recovers the record without simulating.
+        let svc2 = ProfileService::new(Some(dir.clone()));
+        let (p3, source3) = svc2.profile(&t, None).expect("profile after restart");
+        assert_eq!(source3, ProfileSource::Store);
+        assert_eq!(*p3, *p);
+        assert_eq!(svc2.simulations(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn simulation_records_a_span_tree_under_the_caller() {
         let tracer = cactus_obs::Tracer::new(64);
         let trace = cactus_obs::TraceId::mint();
-        let svc = ProfileService::new(Some(std::env::temp_dir().join("cactus-serve-no-store")));
+        let dir = fresh_store_dir("span-tree");
+        let svc = ProfileService::new(Some(dir.clone()));
         let t = Triple::resolve("rtx-3080", "tiny", "GMS").expect("resolve");
         {
             let mut root = tracer.ctx(trace).child("serve.profile");
@@ -441,9 +538,11 @@ mod tests {
         assert_eq!(
             names,
             [
+                "store.get",
                 "serve.store",
                 "engine.launch",
                 "serve.simulate",
+                "store.append",
                 "serve.profile"
             ],
             "children finish (and file) before their parents"

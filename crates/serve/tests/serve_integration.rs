@@ -296,8 +296,10 @@ fn graceful_shutdown_drains_in_flight_requests() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Profile-scale requests for rtx-3080 are served from the profile store
-/// when a set exists, without simulating.
+/// Profile-scale requests for rtx-3080 are served from durable storage
+/// when a legacy set exists, without simulating: the set is imported into
+/// the store on open and the startup warmer pre-loads the response cache
+/// from it, so the very first request is an LRU hit.
 #[test]
 fn store_backed_profiles_skip_simulation() {
     let dir = std::env::temp_dir().join(format!("cactus-serve-it-store-{}", std::process::id()));
@@ -332,7 +334,87 @@ fn store_backed_profiles_skip_simulation() {
         .expect("store-backed profile");
     assert_eq!(served, seeded, "store round-trip must be bit-exact");
     assert_eq!(metric(&client, "cactus_serve_simulations_total"), 0.0);
+    // The warmer answered from the LRU, so the store level itself was
+    // never consulted at request time — it was read once at startup.
+    assert_eq!(metric(&client, "cactus_serve_store_hits_total"), 0.0);
+    assert!(metric(&client, "cactus_serve_cache_hits_total") >= 1.0);
+    assert!(metric(&client, "cactus_store_imported_total") >= 1.0);
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The raw store surface end to end: manifest and statz pages render, a
+/// record GET answers the stored bytes verbatim, and a record POST
+/// ingests a document that later profile requests serve without
+/// simulating (the path gateway replication and anti-entropy use).
+#[test]
+fn store_endpoints_round_trip() {
+    let (server, client, dir) = start(2, 16);
+
+    // Simulate once so the store holds a record.
+    let profile = client
+        .profile(ProfileQuery {
+            device: "rtx-3080",
+            scale: "tiny",
+            workload: "GMS",
+        })
+        .expect("profile");
+
+    let manifest = client.get("/v1/store/manifest").expect("manifest");
+    assert_eq!(manifest.status, 200);
+    assert!(
+        manifest.body.starts_with("cactus-store manifest v1\n"),
+        "got {}",
+        manifest.body
+    );
+    assert!(manifest.body.contains("rtx-3080/tiny/GMS"));
+
+    let statz = client.get("/v1/store/statz").expect("statz");
+    assert_eq!(statz.status, 200);
+    assert!(statz.body.contains("live_records 1"), "got {}", statz.body);
+
+    // The raw record is byte-identical to the profile endpoint's body.
+    let key = "rtx-3080/tiny/GMS";
+    let record = client
+        .get(&format!("/v1/store/record/{key}"))
+        .expect("record");
+    assert_eq!(record.status, 200);
+    let body = client.get("/v1/profile/rtx-3080/tiny/GMS").expect("body");
+    assert_eq!(record.body, body.body);
+
+    // POST the document under another key: the next profile request for
+    // that triple is a store hit, not a second simulation.
+    let small = "rtx-3080/small/GMS";
+    let posted = client
+        .post_traced(&format!("/v1/store/record/{small}"), &record.body, None)
+        .expect("post");
+    assert_eq!(posted.status, 200, "got {}", posted.body);
+    let replicated = client
+        .profile(ProfileQuery {
+            device: "rtx-3080",
+            scale: "small",
+            workload: "GMS",
+        })
+        .expect("replicated profile");
+    assert_eq!(replicated, profile);
+    assert_eq!(metric(&client, "cactus_serve_simulations_total"), 1.0);
     assert_eq!(metric(&client, "cactus_serve_store_hits_total"), 1.0);
+
+    // Garbage documents are rejected; absent records 404 without
+    // falling through to simulation.
+    let bad = client
+        .post_traced(
+            "/v1/store/record/rtx-3080/tiny/BAD",
+            "not a profile\n",
+            None,
+        )
+        .expect("bad post");
+    assert_eq!(bad.status, 400);
+    let missing = client
+        .get("/v1/store/record/rtx-3080/tiny/SRAD")
+        .expect("missing record");
+    assert_eq!(missing.status, 404);
 
     server.join();
     let _ = std::fs::remove_dir_all(&dir);

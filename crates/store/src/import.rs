@@ -1,0 +1,282 @@
+//! One-shot migration of a legacy filesystem profile tree into the store.
+//!
+//! Before `cactus-store`, profiles lived in a directory tree written by
+//! `cactus-bench`'s set store:
+//!
+//! ```text
+//! <root>/<device-slug>/<scale>-v<MODEL_VERSION>/<set>.profiles
+//! ```
+//!
+//! where each `.profiles` file is a `cactus-profile-set v1` document:
+//! header, `model_version N`, `device <name>`, `scale <slug>`,
+//! `entries K`, then per entry an `e <suite>\t<workload>` tag followed by
+//! an embedded `cactus-profile v1` block. The import parses that shape
+//! with plain string operations (no `cactus-profiler` dependency — the
+//! blocks are stored verbatim, not re-encoded) and appends each entry
+//! under the serving key `device/scale/workload` at the set's model
+//! version. Unparseable files are skipped with a note on stderr rather
+//! than failing the open: a half-imported corpus still beats a cold one.
+
+use crate::Store;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Magic first line of a legacy set file.
+const SET_HEADER: &str = "cactus-profile-set v1";
+
+/// Import every legacy set file under `root` into `store`. Returns the
+/// number of records appended. Called automatically by
+/// [`Store::open_with`] when the store is empty and
+/// [`crate::StoreOptions::import_legacy`] is set; the store's own
+/// `segments/` subdirectory is ignored.
+///
+/// # Errors
+///
+/// Propagates append failures (a failed append means the store itself is
+/// unhealthy); malformed legacy files are skipped, not errors.
+pub fn import_legacy_tree(store: &Store, root: &Path) -> io::Result<u64> {
+    let mut imported = 0u64;
+    let Ok(devices) = fs::read_dir(root) else {
+        return Ok(0);
+    };
+    for device in devices.flatten() {
+        if !device.path().is_dir() {
+            continue;
+        }
+        let device_slug = device.file_name().to_string_lossy().into_owned();
+        if device_slug == "segments" {
+            continue;
+        }
+        let Ok(scales) = fs::read_dir(device.path()) else {
+            continue;
+        };
+        for scale_dir in scales.flatten() {
+            let dir_name = scale_dir.file_name().to_string_lossy().into_owned();
+            // `<scale>-v<N>`; the version inside the file is authoritative,
+            // the path component just locates candidates.
+            let Some((scale, _version)) = split_scale_dir(&dir_name) else {
+                continue;
+            };
+            let Ok(files) = fs::read_dir(scale_dir.path()) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let path = file.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("profiles") {
+                    continue;
+                }
+                let Ok(text) = fs::read_to_string(&path) else {
+                    continue;
+                };
+                match import_set(store, &device_slug, scale, &text) {
+                    Ok(n) => imported += n,
+                    Err(ImportError::Io(e)) => return Err(e),
+                    Err(ImportError::Malformed(reason)) => {
+                        eprintln!(
+                            "cactus-store: skipping legacy set {}: {reason}",
+                            path.display()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(imported)
+}
+
+/// `"profile-v2"` → `("profile", 2)`.
+fn split_scale_dir(name: &str) -> Option<(&str, u32)> {
+    let (scale, v) = name.rsplit_once("-v")?;
+    let version: u32 = v.parse().ok()?;
+    if scale.is_empty() {
+        return None;
+    }
+    Some((scale, version))
+}
+
+enum ImportError {
+    Io(io::Error),
+    Malformed(String),
+}
+
+impl From<io::Error> for ImportError {
+    fn from(e: io::Error) -> Self {
+        ImportError::Io(e)
+    }
+}
+
+fn malformed(reason: impl Into<String>) -> ImportError {
+    ImportError::Malformed(reason.into())
+}
+
+/// Parse one legacy set document and append its entries.
+fn import_set(
+    store: &Store,
+    device_slug: &str,
+    scale: &str,
+    text: &str,
+) -> Result<u64, ImportError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| malformed("empty file"))?;
+    if header != SET_HEADER {
+        return Err(malformed(format!("bad header {header:?}")));
+    }
+    let version_line = lines
+        .next()
+        .ok_or_else(|| malformed("missing model_version"))?;
+    let version: u32 = version_line
+        .strip_prefix("model_version ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| malformed(format!("bad model_version line {version_line:?}")))?;
+    let device_line = lines.next().ok_or_else(|| malformed("missing device"))?;
+    if !device_line.starts_with("device ") {
+        return Err(malformed(format!("bad device line {device_line:?}")));
+    }
+    let scale_line = lines.next().ok_or_else(|| malformed("missing scale"))?;
+    if scale_line.strip_prefix("scale ") != Some(scale) {
+        return Err(malformed(format!(
+            "scale line {scale_line:?} does not match directory scale {scale:?}"
+        )));
+    }
+    let entries_line = lines.next().ok_or_else(|| malformed("missing entries"))?;
+    let entries: usize = entries_line
+        .strip_prefix("entries ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| malformed(format!("bad entries line {entries_line:?}")))?;
+
+    let mut imported = 0u64;
+    for _ in 0..entries {
+        let tag = lines.next().ok_or_else(|| malformed("truncated entry"))?;
+        let (_suite, name) = tag
+            .strip_prefix("e ")
+            .and_then(|rest| rest.split_once('\t'))
+            .ok_or_else(|| malformed(format!("bad entry tag {tag:?}")))?;
+
+        // Profile block: header line, `kernels <n>`, n kernel lines —
+        // re-joined verbatim so the stored value is byte-identical to the
+        // legacy encoding.
+        let p_header = lines
+            .next()
+            .ok_or_else(|| malformed("truncated before profile header"))?;
+        let count_line = lines
+            .next()
+            .ok_or_else(|| malformed("truncated before kernel count"))?;
+        let count: usize = count_line
+            .strip_prefix("kernels ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| malformed(format!("bad kernel count {count_line:?}")))?;
+        let mut block = String::new();
+        block.push_str(p_header);
+        block.push('\n');
+        block.push_str(count_line);
+        block.push('\n');
+        for _ in 0..count {
+            let k = lines
+                .next()
+                .ok_or_else(|| malformed("truncated inside profile"))?;
+            block.push_str(k);
+            block.push('\n');
+        }
+        let key = format!("{device_slug}/{scale}/{name}");
+        store.append(&key, version, block.as_bytes())?;
+        imported += 1;
+    }
+    Ok(imported)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreOptions;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cactus-store-import-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fake_profile_block() -> String {
+        let mut b = String::from("cactus-profile v1\nkernels 1\n");
+        b.push_str("k\tgemm\t4\t3ff0000000000000\t100\t3ff0000000000000");
+        for _ in 0..18 {
+            b.push_str("\t3ff0000000000000");
+        }
+        b.push('\n');
+        b
+    }
+
+    fn write_legacy_set(root: &Path) {
+        let dir = root.join("rtx-3080").join("profile-v2");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let block = fake_profile_block();
+        let mut text = String::new();
+        text.push_str("cactus-profile-set v1\n");
+        text.push_str("model_version 2\n");
+        text.push_str("device RTX 3080\n");
+        text.push_str("scale profile\n");
+        text.push_str("entries 2\n");
+        text.push_str("e md\tlennard-jones\n");
+        text.push_str(&block);
+        text.push_str("e graph\tbfs\n");
+        text.push_str(&block);
+        fs::write(dir.join("cactus.profiles"), text).expect("write set");
+    }
+
+    #[test]
+    fn first_open_imports_a_legacy_tree() {
+        let root = temp_dir("first-open");
+        write_legacy_set(&root);
+        let store = Store::open_with(
+            &root,
+            StoreOptions {
+                import_legacy: true,
+                ..StoreOptions::default()
+            },
+        )
+        .expect("open");
+        assert_eq!(store.stats().imported, 2);
+        let rec = store
+            .get("rtx-3080/profile/lennard-jones")
+            .expect("get")
+            .expect("imported");
+        assert_eq!(rec.version, 2);
+        assert_eq!(rec.value, fake_profile_block().as_bytes());
+        assert!(store.get("rtx-3080/profile/bfs").expect("get").is_some());
+
+        // A second open sees a non-empty store and does not re-import.
+        drop(store);
+        let store = Store::open_with(
+            &root,
+            StoreOptions {
+                import_legacy: true,
+                ..StoreOptions::default()
+            },
+        )
+        .expect("reopen");
+        assert_eq!(store.stats().imported, 0);
+        assert_eq!(store.stats().live_records, 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn malformed_sets_are_skipped_not_fatal() {
+        let root = temp_dir("malformed");
+        let dir = root.join("rtx-3080").join("profile-v2");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join("broken.profiles"), "not a set file\n").expect("write");
+        let store = Store::open_with(
+            &root,
+            StoreOptions {
+                import_legacy: true,
+                ..StoreOptions::default()
+            },
+        )
+        .expect("open");
+        assert_eq!(store.stats().imported, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+}
