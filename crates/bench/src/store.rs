@@ -4,23 +4,28 @@
 //! suite and the Parboil/Rodinia/Tango comparison set, both at Profile
 //! scale. Re-simulating them in each binary dominated wall-clock time, so
 //! the store serializes the sets to `results/profiles/` (bit-exact; see
-//! [`cactus_profiler::store`]) keyed by device, scale, and
-//! [`cactus_gpu::MODEL_VERSION`]:
+//! [`cactus_profiler::store`]) keyed by catalog device id, scale, and the
+//! combined model version ([`cactus_gpu::MODEL_VERSION`] plus the
+//! per-device descriptor revision from the catalog):
 //!
 //! ```text
-//! results/profiles/<device-slug>/<scale>-v<model-version>/cactus.profiles
-//! results/profiles/<device-slug>/<scale>-v<model-version>/prt.profiles
+//! results/profiles/<device-id>/<scale>-v<model-version>.<device-rev>/cactus.profiles
+//! results/profiles/<device-id>/<scale>-v<model-version>.<device-rev>/prt.profiles
 //! ```
 //!
 //! [`cactus_profiles_cached`] / [`prt_profiles_cached`] load from the store
 //! when a valid entry exists and otherwise simulate (in parallel) and
 //! populate it. A model-parameter bump changes the path *and* the embedded
-//! version line, so stale profiles can never be read back. Pass `--no-cache`
-//! to any binary (or set `CACTUS_NO_CACHE=1`) to force re-simulation; the
-//! fresh result overwrites the store.
+//! version lines, so stale profiles can never be read back; the embedded
+//! `device_id` line additionally pins a set to the catalog id it was
+//! simulated for, so a file moved (or a catalog id renamed) across device
+//! directories is rejected rather than silently served as the wrong
+//! hardware. Pass `--no-cache` to any binary (or set `CACTUS_NO_CACHE=1`)
+//! to force re-simulation; the fresh result overwrites the store.
 
 use crate::ProfiledWorkload;
-use cactus_gpu::{Device, MODEL_VERSION};
+use cactus_gpu::catalog::{self, CatalogEntry};
+use cactus_gpu::MODEL_VERSION;
 use cactus_profiler::store::{read_profile, write_profile};
 
 use std::path::{Path, PathBuf};
@@ -88,25 +93,33 @@ fn cached(set: &str, compute: fn() -> Vec<ProfiledWorkload>) -> Vec<ProfiledWork
     profiles
 }
 
-/// Path of one set file under `dir` for the current device/scale/version.
+/// The catalog entry the cached fig/table sets are simulated for (the
+/// paper's platform).
+#[must_use]
+pub fn default_device() -> &'static CatalogEntry {
+    // lint:allow(no_panic, rtx-3080 is a founding catalog id)
+    catalog::by_id("rtx-3080").expect("rtx-3080 is in the catalog")
+}
+
+/// Path of one set file under `dir` for the default device (the paper's
+/// RTX 3080) at the current scale/version.
 #[must_use]
 pub fn set_path_in(dir: &Path, set: &str) -> PathBuf {
-    let slug = device_slug(&Device::rtx3080());
-    dir.join(slug)
-        .join(format!("{SCALE_SLUG}-v{MODEL_VERSION}"))
+    set_path_for(dir, default_device(), set)
+}
+
+/// Path of one set file under `dir` for `entry`: keyed by the catalog id
+/// and the combined model version (global model version `.` per-device
+/// descriptor revision), so retuning one device invalidates only that
+/// device's sets.
+#[must_use]
+pub fn set_path_for(dir: &Path, entry: &CatalogEntry, set: &str) -> PathBuf {
+    dir.join(entry.id)
+        .join(format!("{SCALE_SLUG}-v{}", entry.store_version()))
         .join(format!("{set}.profiles"))
 }
 
-fn device_slug(device: &Device) -> String {
-    device
-        .name
-        .to_lowercase()
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-        .collect()
-}
-
-/// Serialize one profile set to its store path. Returns the path written.
+/// Serialize one profile set to the default device's store path.
 ///
 /// # Errors
 ///
@@ -116,7 +129,22 @@ pub fn save_set_in(
     set: &str,
     profiles: &[ProfiledWorkload],
 ) -> std::io::Result<PathBuf> {
-    let path = set_path_in(dir, set);
+    save_set_for(dir, default_device(), set, profiles)
+}
+
+/// Serialize one profile set to `entry`'s store path. Returns the path
+/// written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_set_for(
+    dir: &Path,
+    entry: &CatalogEntry,
+    set: &str,
+    profiles: &[ProfiledWorkload],
+) -> std::io::Result<PathBuf> {
+    let path = set_path_for(dir, entry, set);
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -124,7 +152,9 @@ pub fn save_set_in(
     out.push_str(SET_HEADER);
     out.push('\n');
     out.push_str(&format!("model_version {MODEL_VERSION}\n"));
-    out.push_str(&format!("device {}\n", Device::rtx3080().name));
+    out.push_str(&format!("device {}\n", entry.device().name));
+    out.push_str(&format!("device_id {}\n", entry.id));
+    out.push_str(&format!("device_rev {}\n", entry.rev));
     out.push_str(&format!("scale {SCALE_SLUG}\n"));
     out.push_str(&format!("entries {}\n", profiles.len()));
     for p in profiles {
@@ -155,13 +185,23 @@ pub fn save_set_in(
     Ok(path)
 }
 
-/// Load one profile set from its store path. `None` means "simulate
-/// instead": missing file, version/device mismatch, or any parse failure.
+/// Load one profile set from the default device's store path. `None` means
+/// "simulate instead": missing file, version/device mismatch, or any parse
+/// failure.
 #[must_use]
 pub fn load_set_in(dir: &Path, set: &str) -> Option<Vec<ProfiledWorkload>> {
-    let path = set_path_in(dir, set);
+    load_set_for(dir, default_device(), set)
+}
+
+/// Load one profile set from `entry`'s store path. The embedded
+/// `device_id` / `device_rev` lines must match `entry` exactly — a set
+/// simulated for one catalog id is never served as another, even if its
+/// file ends up under the wrong directory.
+#[must_use]
+pub fn load_set_for(dir: &Path, entry: &CatalogEntry, set: &str) -> Option<Vec<ProfiledWorkload>> {
+    let path = set_path_for(dir, entry, set);
     let text = std::fs::read_to_string(&path).ok()?;
-    match parse_set(&text) {
+    match parse_set(entry, &text) {
         Ok(profiles) => Some(profiles),
         Err(reason) => {
             eprintln!("profile store: ignoring {}: {reason}", path.display());
@@ -170,7 +210,7 @@ pub fn load_set_in(dir: &Path, set: &str) -> Option<Vec<ProfiledWorkload>> {
     }
 }
 
-fn parse_set(text: &str) -> Result<Vec<ProfiledWorkload>, String> {
+fn parse_set(entry: &CatalogEntry, text: &str) -> Result<Vec<ProfiledWorkload>, String> {
     let mut lines = text.lines();
     let expect = |lines: &mut std::str::Lines<'_>, want: &str| -> Result<(), String> {
         let got = lines
@@ -184,7 +224,9 @@ fn parse_set(text: &str) -> Result<Vec<ProfiledWorkload>, String> {
     };
     expect(&mut lines, SET_HEADER)?;
     expect(&mut lines, &format!("model_version {MODEL_VERSION}"))?;
-    expect(&mut lines, &format!("device {}", Device::rtx3080().name))?;
+    expect(&mut lines, &format!("device {}", entry.device().name))?;
+    expect(&mut lines, &format!("device_id {}", entry.id))?;
+    expect(&mut lines, &format!("device_rev {}", entry.rev))?;
     expect(&mut lines, &format!("scale {SCALE_SLUG}"))?;
 
     let entries_line = lines.next().ok_or("missing entries line")?;
@@ -418,7 +460,57 @@ mod tests {
         let p = set_path_in(Path::new("/store"), "cactus");
         let s = p.to_string_lossy();
         assert!(s.contains("rtx-3080"), "{s}");
-        assert!(s.contains(&format!("profile-v{MODEL_VERSION}")), "{s}");
+        let entry = default_device();
+        assert!(
+            s.contains(&format!("profile-v{MODEL_VERSION}.{}", entry.rev)),
+            "{s}"
+        );
         assert!(s.ends_with("cactus.profiles"), "{s}");
+        // A different catalog device keys a disjoint path.
+        let other = catalog::by_id("rtx-3060").expect("catalog entry");
+        let q = set_path_for(Path::new("/store"), other, "cactus");
+        assert_ne!(p, q);
+        assert!(q.to_string_lossy().contains("rtx-3060"));
+    }
+
+    /// The rename/move hazard the layout guards against: a set simulated
+    /// for one catalog id that ends up under another id's directory (a
+    /// catalog rename, a hand-copied store) must be rejected, not served
+    /// as the wrong hardware.
+    #[test]
+    fn device_id_mismatch_invalidates() {
+        let dir = tmp_store("device-mismatch");
+        let set = sample_set();
+        let saved = save_set_in(&dir, "cactus", &set).expect("save under rtx-3080");
+
+        let other = catalog::by_id("rtx-3060").expect("catalog entry");
+        let moved = set_path_for(&dir, other, "cactus");
+        std::fs::create_dir_all(moved.parent().expect("parent")).expect("mkdir");
+        std::fs::copy(&saved, &moved).expect("simulate a catalog rename");
+
+        assert!(
+            load_set_for(&dir, other, "cactus").is_none(),
+            "a set embedded with device_id rtx-3080 must not load as rtx-3060"
+        );
+        // The original keeps loading under its own id.
+        assert!(load_set_in(&dir, "cactus").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Per-device revision is part of the key: a set written at one rev is
+    /// invisible (clean miss) at another, so retuning one device never
+    /// serves its stale profiles.
+    #[test]
+    fn per_device_rev_keys_the_layout() {
+        let dir = tmp_store("rev-key");
+        let set = sample_set();
+        save_set_in(&dir, "cactus", &set).expect("save");
+        let entry = default_device();
+        let bumped = CatalogEntry {
+            rev: entry.rev + 1,
+            ..*entry
+        };
+        assert!(load_set_for(&dir, &bumped, "cactus").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

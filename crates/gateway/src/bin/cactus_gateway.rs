@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cactus-gateway [--addr HOST:PORT]
-//!                (--backend HOST:PORT ... | --fleet N [--store-dir PATH])
+//!                (--backend HOST:PORT ... | --fleet N [--store-dir PATH]
+//!                 [--fleet-devices SETS])
 //!                [--workers N] [--queue N] [--no-hedge]
 //!                [--hedge-floor-ms MS] [--eject-after N] [--cooldown-ms MS]
 //!                [--health-interval-ms MS] [--port-file PATH]
@@ -29,6 +30,11 @@ usage: cactus-gateway [options]
   --addr HOST:PORT          bind address (default 127.0.0.1:7080; port 0 = ephemeral)
   --backend HOST:PORT       backend to route to; repeat for a fleet
   --fleet N                 spawn N in-process cactus-serve backends instead
+  --fleet-devices SETS      per-backend modeled-device sets for --fleet:
+                            semicolon-separated slots of comma-separated
+                            catalog ids, e.g. \"rtx-3080,a100;uhd-630\"
+                            (empty slot = full catalog; slot count must
+                            match --fleet N)
   --store-dir PATH          profile-store directory for --fleet backends
   --workers N               gateway worker threads (default 8)
   --queue N                 accepted connections allowed to wait (default 128)
@@ -47,6 +53,7 @@ struct Args {
     config: GatewayConfig,
     backends: Vec<SocketAddr>,
     fleet: usize,
+    fleet_devices: Option<Vec<Vec<String>>>,
     store_dir: Option<String>,
     port_file: Option<String>,
 }
@@ -64,6 +71,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
         },
         backends: Vec::new(),
         fleet: 0,
+        fleet_devices: None,
         store_dir: None,
         port_file: None,
     };
@@ -88,6 +96,20 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
                     .map_err(|_| "--backend: invalid address".to_string())?,
             ),
             "--fleet" => parsed.fleet = parse_num(&flag, &value()?)?,
+            "--fleet-devices" => {
+                parsed.fleet_devices = Some(
+                    value()?
+                        .split(';')
+                        .map(|slot| {
+                            slot.split(',')
+                                .map(str::trim)
+                                .filter(|id| !id.is_empty())
+                                .map(ToOwned::to_owned)
+                                .collect()
+                        })
+                        .collect(),
+                );
+            }
             "--store-dir" => parsed.store_dir = Some(value()?),
             "--workers" => parsed.config.workers = parse_num(&flag, &value()?)?,
             "--queue" => parsed.config.queue = parse_num(&flag, &value()?)?,
@@ -113,6 +135,18 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
     }
     if !parsed.backends.is_empty() && parsed.fleet > 0 {
         return Err("--backend and --fleet are mutually exclusive".to_owned());
+    }
+    if let Some(sets) = &parsed.fleet_devices {
+        if parsed.fleet == 0 {
+            return Err("--fleet-devices requires --fleet".to_owned());
+        }
+        if sets.len() != parsed.fleet {
+            return Err(format!(
+                "--fleet-devices names {} slot(s) but --fleet is {}",
+                sets.len(),
+                parsed.fleet
+            ));
+        }
     }
     Ok(Parsed::Run(Box::new(parsed)))
 }
@@ -149,11 +183,21 @@ fn run(args: Args) -> ExitCode {
             store_dir: args.store_dir.as_ref().map(Into::into),
             ..ServeConfig::default()
         };
-        match Supervisor::spawn_fleet(args.fleet, &base) {
+        let spawned = match &args.fleet_devices {
+            Some(sets) => Supervisor::spawn_heterogeneous(sets, &base),
+            None => Supervisor::spawn_fleet(args.fleet, &base),
+        };
+        match spawned {
             Ok(fleet) => {
                 let addrs = fleet.addrs();
                 for (i, addr) in addrs.iter().enumerate() {
-                    eprintln!("cactus-gateway: backend[{i}] listening on http://{addr}/");
+                    let devices = match &args.fleet_devices {
+                        Some(sets) if !sets[i].is_empty() => sets[i].join(","),
+                        _ => "full catalog".to_owned(),
+                    };
+                    eprintln!(
+                        "cactus-gateway: backend[{i}] listening on http://{addr}/ ({devices})"
+                    );
                 }
                 supervisor = Some(fleet);
                 addrs
@@ -178,7 +222,9 @@ fn run(args: Args) -> ExitCode {
         }
     };
     let addr = gateway.addr();
-    eprintln!("cactus-gateway: routing on http://{addr}/ (try /v1/healthz, /v1/metricsz)");
+    eprintln!(
+        "cactus-gateway: routing on http://{addr}/ (try /v1/healthz, /v1/devices, /v1/compare)"
+    );
     if let Some(path) = &args.port_file {
         if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
             eprintln!("cactus-gateway: cannot write port file {path}: {e}");

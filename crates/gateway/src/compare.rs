@@ -1,0 +1,460 @@
+//! Cross-device comparison: `GET /v1/compare/<scale>/<workload>?devices=a,b`.
+//!
+//! The gateway fans one profile fetch per requested device out to the
+//! owning backends in parallel (each leg goes through the full
+//! device-aware [`Router::forward`] machinery — capability filtering,
+//! failover, hedging — and feeds replication exactly like a direct client
+//! request), then synthesizes one cross-device table:
+//!
+//! * per-kernel roofline placement on every device (intensity class and
+//!   boundedness, computed against each device's own roofline);
+//! * whole-workload speedup ratios against the first requested device;
+//! * **bottleneck shifts** — kernels whose boundedness class differs
+//!   between devices, i.e. where moving hardware moves the wall.
+//!
+//! Rendered as JSON (default) or CSV (`format=csv`). The CSV's per-kernel
+//! columns are formatted by the same `{:.6}` rules as a single backend's
+//! `/v1/roofline` rows, so a device's slice of the comparison is
+//! byte-identical to asking that backend directly — the comparison adds
+//! information, it never re-derives it.
+//!
+//! Failure semantics: any leg that does not answer `200` fails the whole
+//! comparison, and the first failing leg's response (in requested device
+//! order) is returned verbatim — so an unknown workload surfaces the
+//! backend's own `404` envelope, and a fleet that models neither device
+//! surfaces the router's synthesized `404`.
+
+use std::sync::Arc;
+
+use cactus_analysis::roofline::Roofline;
+use cactus_gpu::by_id;
+use cactus_obs::{ApiError, SpanCtx};
+use cactus_profiler::{store as profile_store, Profile};
+use cactus_serve::http::Request;
+
+use crate::proxy::{Forwarded, Router};
+use crate::server::routing_key;
+use crate::sync;
+
+/// One device's leg of the comparison.
+struct Leg {
+    id: &'static str,
+    profile: Profile,
+    roofline: Roofline,
+}
+
+/// Answer `/v1/compare/<scale>/<workload>`. See the module docs.
+pub fn compare(router: &Arc<Router>, request: &Request, ctx: SpanCtx<'_>) -> Forwarded {
+    router.metrics.compare_requests.inc();
+    let response = compare_inner(router, request, ctx);
+    if response.status != 200 {
+        router.metrics.compare_failures.inc();
+    }
+    response
+}
+
+fn compare_inner(router: &Arc<Router>, request: &Request, ctx: SpanCtx<'_>) -> Forwarded {
+    let rest = request
+        .path
+        .strip_prefix("/v1/compare/")
+        .unwrap_or_default();
+    let segs: Vec<&str> = rest.split('/').filter(|s| !s.is_empty()).collect();
+    let [scale, workload] = segs.as_slice() else {
+        return envelope(
+            404,
+            "compare expects /v1/compare/<scale>/<workload>?devices=a,b",
+        );
+    };
+
+    let param = |name: &str| {
+        request.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name && !v.is_empty()).then_some(v)
+        })
+    };
+    let format = param("format").unwrap_or("json");
+    if format != "json" && format != "csv" {
+        return envelope(400, &format!("unknown format {format:?}; use json or csv"));
+    }
+    let Some(raw_devices) = param("devices") else {
+        return envelope(400, "compare requires ?devices=<id>,<id>[,...]");
+    };
+
+    // Resolve every requested slug against the catalog up front (the same
+    // edge check forwarded requests get), de-duplicating while preserving
+    // request order — the first device is the speedup baseline.
+    let mut ids: Vec<&'static str> = Vec::new();
+    for slug in raw_devices.split(',').filter(|s| !s.is_empty()) {
+        let Some(entry) = by_id(slug) else {
+            let known = cactus_gpu::catalog::device_ids().join(", ");
+            return envelope(
+                404,
+                &format!("unknown device {slug:?}; the catalog has: {known}"),
+            );
+        };
+        if !ids.contains(&entry.id) {
+            ids.push(entry.id);
+        }
+    }
+    if ids.len() < 2 {
+        return envelope(400, "compare needs at least two distinct devices");
+    }
+
+    let mut span = ctx.child("gateway.compare");
+    span.tag("scale", (*scale).to_owned());
+    span.tag("workload", (*workload).to_owned());
+    span.tag("devices", ids.join(","));
+    let leg_ctx = span.ctx();
+
+    // One leg per device, raced in parallel. Each leg is an ordinary
+    // routed profile fetch: capability filtering keeps it on backends that
+    // model the device, and a 200 feeds replication as usual.
+    let outcomes: Vec<(usize, Forwarded)> = std::thread::scope(|s| {
+        let handles: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let target = format!("/v1/profile/{id}/{scale}/{workload}");
+                let router = Arc::clone(router);
+                s.spawn(move || {
+                    router.metrics.compare_fanout.inc();
+                    let reply = router.forward(&target, &routing_key(&target), Some(leg_ctx));
+                    if reply.status == 200 {
+                        if let Some(winner) = reply.backend {
+                            sync::replicate_after_forward(&router, &target, winner, Some(leg_ctx));
+                        }
+                    }
+                    (i, reply)
+                })
+            })
+            .collect();
+        let mut outcomes: Vec<(usize, Forwarded)> =
+            handles.into_iter().filter_map(|h| h.join().ok()).collect();
+        outcomes.sort_by_key(|(i, _)| *i);
+        outcomes
+    });
+
+    // A failed leg fails the comparison; its response explains why.
+    if let Some((i, bad)) = outcomes.iter().find(|(_, r)| r.status != 200) {
+        span.tag("failed_device", ids[*i].to_owned());
+        return Forwarded {
+            status: bad.status,
+            content_type: bad.content_type.clone(),
+            body: bad.body.clone(),
+            backend: bad.backend,
+        };
+    }
+
+    let mut legs = Vec::with_capacity(ids.len());
+    for (i, reply) in &outcomes {
+        let id = ids[*i];
+        let Ok(profile) = profile_store::read_profile(&reply.body) else {
+            return envelope(
+                502,
+                &format!("backend returned an unparseable profile for device {id:?}"),
+            );
+        };
+        // `by_id` succeeded above; the entry is still there.
+        let Some(entry) = by_id(id) else {
+            return envelope(502, &format!("device {id:?} vanished from the catalog"));
+        };
+        legs.push(Leg {
+            id,
+            roofline: Roofline::for_device(&entry.device()),
+            profile,
+        });
+    }
+
+    let body = match format {
+        "csv" => render_csv(scale, workload, &legs),
+        _ => render_json(scale, workload, &legs),
+    };
+    span.tag("status", "200");
+    Forwarded {
+        status: 200,
+        content_type: if format == "csv" {
+            "text/csv; charset=utf-8".to_owned()
+        } else {
+            "application/json".to_owned()
+        },
+        body,
+        backend: None,
+    }
+}
+
+/// Kernel names in presentation order: the baseline device's profile order,
+/// then any kernel the baseline lacks, in the order other devices list it.
+fn kernel_order(legs: &[Leg]) -> Vec<String> {
+    let mut order: Vec<String> = Vec::new();
+    for leg in legs {
+        for k in leg.profile.kernels() {
+            if !order.contains(&k.name) {
+                order.push(k.name.clone());
+            }
+        }
+    }
+    order
+}
+
+/// The boundedness label for `kernel` on `leg`, if the leg ran it.
+fn boundedness_of(leg: &Leg, kernel: &str) -> Option<&'static str> {
+    let k = leg.profile.kernels().iter().find(|k| k.name == kernel)?;
+    Some(leg.roofline.boundedness_class(k.metrics.gips).label())
+}
+
+/// Did `kernel`'s boundedness class change between any two devices that ran
+/// it? That is the comparison's headline signal: the kernel hits a
+/// different wall on different hardware.
+fn shifted(legs: &[Leg], kernel: &str) -> bool {
+    let mut labels = legs.iter().filter_map(|l| boundedness_of(l, kernel));
+    match labels.next() {
+        Some(first) => labels.any(|l| l != first),
+        None => false,
+    }
+}
+
+/// The leg's dominant kernel: largest total time, ties broken by name so
+/// the answer is deterministic.
+fn dominant(leg: &Leg) -> Option<&cactus_profiler::KernelStats> {
+    leg.profile.kernels().iter().min_by(|a, b| {
+        b.total_time_s
+            .partial_cmp(&a.total_time_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    })
+}
+
+fn render_csv(scale: &str, workload: &str, legs: &[Leg]) -> String {
+    let Some(baseline) = legs.first() else {
+        return String::new();
+    };
+    let baseline_total = baseline.profile.total_time_s();
+    let mut out = format!("# compare: {scale}/{workload}\n");
+    out.push_str(&format!(
+        "# devices: {}\n# baseline: {}\n",
+        legs.iter().map(|l| l.id).collect::<Vec<_>>().join(" "),
+        baseline.id
+    ));
+    for leg in legs {
+        let total = leg.profile.total_time_s();
+        out.push_str(&format!("# total_time_s {} {:e}\n", leg.id, total));
+        out.push_str(&format!(
+            "# speedup_vs_baseline {} {:.6}\n",
+            leg.id,
+            speedup(baseline_total, total)
+        ));
+        if let Some(k) = dominant(leg) {
+            out.push_str(&format!("# dominant_kernel {} {}\n", leg.id, k.name));
+        }
+    }
+    out.push_str(
+        "device,kernel,instruction_intensity,gips,time_share,intensity_class,\
+         boundedness,bottleneck_shift\n",
+    );
+    // Per-device rows in that device's own profile order: columns 2–7 are
+    // formatted exactly like the backend's /v1/roofline rows, so one
+    // device's slice of this table is byte-identical to asking it directly.
+    for leg in legs {
+        let total = leg.profile.total_time_s();
+        for k in leg.profile.kernels() {
+            out.push_str(&format!(
+                "{},{},{:.6},{:.6},{:.6},{},{},{}\n",
+                leg.id,
+                csv_escape(&k.name),
+                k.metrics.instruction_intensity,
+                k.metrics.gips,
+                k.time_share(total),
+                leg.roofline
+                    .intensity_class(k.metrics.instruction_intensity)
+                    .label(),
+                leg.roofline.boundedness_class(k.metrics.gips).label(),
+                shifted(legs, &k.name),
+            ));
+        }
+    }
+    out
+}
+
+fn render_json(scale: &str, workload: &str, legs: &[Leg]) -> String {
+    let Some(baseline) = legs.first() else {
+        return "{}".to_owned();
+    };
+    let baseline_total = baseline.profile.total_time_s();
+    let mut out = format!(
+        "{{\"scale\":{},\"workload\":{},\"baseline\":{},\"devices\":[",
+        json_str(scale),
+        json_str(workload),
+        json_str(baseline.id)
+    );
+    for (i, leg) in legs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let total = leg.profile.total_time_s();
+        out.push_str(&format!(
+            "{{\"device\":{},\"total_time_s\":{:e},\"speedup_vs_baseline\":{:.6},\
+             \"dominant_kernel\":{}}}",
+            json_str(leg.id),
+            total,
+            speedup(baseline_total, total),
+            dominant(leg).map_or_else(|| "null".to_owned(), |k| json_str(&k.name)),
+        ));
+    }
+    out.push_str("],\"kernels\":[");
+    for (ki, kernel) in kernel_order(legs).iter().enumerate() {
+        if ki > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"kernel\":{},\"bottleneck_shift\":{},\"per_device\":[",
+            json_str(kernel),
+            shifted(legs, kernel)
+        ));
+        let mut first = true;
+        for leg in legs {
+            let Some(k) = leg.profile.kernels().iter().find(|k| &k.name == kernel) else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let total = leg.profile.total_time_s();
+            out.push_str(&format!(
+                "{{\"device\":{},\"instruction_intensity\":{:.6},\"gips\":{:.6},\
+                 \"time_share\":{:.6},\"intensity_class\":{},\"boundedness\":{}}}",
+                json_str(leg.id),
+                k.metrics.instruction_intensity,
+                k.metrics.gips,
+                k.time_share(total),
+                json_str(
+                    leg.roofline
+                        .intensity_class(k.metrics.instruction_intensity)
+                        .label()
+                ),
+                json_str(leg.roofline.boundedness_class(k.metrics.gips).label()),
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Whole-workload speedup of `total` relative to `baseline` (>1 = faster
+/// than the baseline device).
+fn speedup(baseline: f64, total: f64) -> f64 {
+    if total > 0.0 {
+        baseline / total
+    } else {
+        0.0
+    }
+}
+
+/// Same quoting rule as the backends' CSV renderers.
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Minimal JSON string rendering (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn envelope(status: u16, message: &str) -> Forwarded {
+    Forwarded {
+        status,
+        content_type: "application/json".to_owned(),
+        body: ApiError::new(status, message).to_json(),
+        backend: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leg(id: &'static str, workload: &str) -> Leg {
+        let entry = by_id(id).expect("catalog id");
+        Leg {
+            id,
+            roofline: Roofline::for_device(&entry.device()),
+            profile: cactus_core::run(workload, cactus_core::SuiteScale::Tiny),
+        }
+    }
+
+    #[test]
+    fn csv_rows_mirror_the_roofline_format() {
+        let legs = [leg("rtx-3080", "GMS"), leg("uhd-630", "GMS")];
+        let body = render_csv("tiny", "GMS", &legs);
+        assert!(body.starts_with("# compare: tiny/GMS\n"));
+        assert!(body.contains("# baseline: rtx-3080\n"));
+        assert!(body.contains("# speedup_vs_baseline rtx-3080 1.000000\n"));
+        let header = body
+            .lines()
+            .find(|l| !l.starts_with('#'))
+            .expect("header line");
+        assert_eq!(
+            header,
+            "device,kernel,instruction_intensity,gips,time_share,intensity_class,\
+             boundedness,bottleneck_shift"
+        );
+        // Every kernel of every device appears exactly once.
+        let rows: Vec<&str> = body
+            .lines()
+            .filter(|l| !l.starts_with('#') && *l != header)
+            .collect();
+        let kernels = legs[0].profile.kernels().len() + legs[1].profile.kernels().len();
+        assert_eq!(rows.len(), kernels);
+        for row in rows {
+            assert_eq!(row.split(',').count(), 8, "8 columns in {row:?}");
+        }
+    }
+
+    #[test]
+    fn json_carries_speedups_and_shifts() {
+        let legs = [leg("rtx-3080", "GMS"), leg("uhd-630", "GMS")];
+        let body = render_json("tiny", "GMS", &legs);
+        assert!(body.starts_with("{\"scale\":\"tiny\",\"workload\":\"GMS\""));
+        assert!(body.contains("\"baseline\":\"rtx-3080\""));
+        assert!(body.contains("\"speedup_vs_baseline\":1.000000"));
+        assert!(body.contains("\"bottleneck_shift\":"));
+        assert!(body.ends_with("]}"));
+    }
+
+    #[test]
+    fn identical_legs_never_shift() {
+        let legs = [leg("rtx-3080", "GMS"), leg("rtx-3080", "GMS")];
+        for k in legs[0].profile.kernels() {
+            assert!(
+                !shifted(&legs, &k.name),
+                "{} shifted against itself",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -23,6 +23,18 @@
 //!   p50.
 //! * **Connection pooling** ([`connpool`]) — keep-alive connections to each
 //!   backend are reused across requests.
+//! * **Device-aware routing** ([`capability`]) — backends advertise which
+//!   catalog devices they model on `/v1/healthz`; the gateway learns the
+//!   map at startup and on every probe, and routing, failover, hedging,
+//!   and replication all restrict themselves to capable backends. A device
+//!   nobody models answers `404` at the edge instead of being simulated by
+//!   an unwitting shard.
+//! * **Cross-device comparison** ([`compare`]) — `GET
+//!   /v1/compare/<scale>/<workload>?devices=a,b` fans out to the owning
+//!   backends in parallel and synthesizes one table: per-kernel roofline
+//!   placement on every device, speedup ratios against the first device,
+//!   and bottleneck shifts (kernels whose boundedness class changes between
+//!   devices), rendered as JSON or CSV.
 //! * **Fleet supervision** ([`supervisor`]) — in-process spawn / kill /
 //!   restart of `cactus-serve` backends with pinned ports, powering both
 //!   the `--fleet` flag of the `cactus-gateway` binary and the failover
@@ -37,6 +49,8 @@
 //! that roots a `gateway.route` span, follows the request to the chosen
 //! backend, and is queryable at `/v1/tracez` on both tiers.
 
+pub mod capability;
+pub mod compare;
 pub mod connpool;
 pub mod health;
 pub mod metrics;
@@ -46,6 +60,7 @@ pub mod server;
 pub mod supervisor;
 pub mod sync;
 
+pub use capability::CapabilityMap;
 pub use health::{HealthState, HealthTracker};
 pub use proxy::{RoutePolicy, Router};
 pub use ring::HashRing;

@@ -137,6 +137,12 @@ pub struct GatewayMetrics {
     pub store_syncs: Counter,
     /// Records copied to re-admitted backends by anti-entropy.
     pub store_sync_records: Counter,
+    /// `/v1/compare` requests answered (any status).
+    pub compare_requests: Counter,
+    /// Per-device profile fetches fanned out by `/v1/compare`.
+    pub compare_fanout: Counter,
+    /// `/v1/compare` requests that failed (bad input or a failed leg).
+    pub compare_failures: Counter,
     /// End-to-end gateway latency (request read to response written), µs.
     pub latency: Histogram,
     /// Per-backend accounting, indexed by ring position.
@@ -245,6 +251,18 @@ impl GatewayMetrics {
             store_sync_records: registry.counter(
                 "cactus_gateway_store_sync_records_total",
                 "records copied by anti-entropy",
+            )?,
+            compare_requests: registry.counter(
+                "cactus_gateway_compare_requests_total",
+                "cross-device compare requests answered",
+            )?,
+            compare_fanout: registry.counter(
+                "cactus_gateway_compare_fanout_total",
+                "per-device profile fetches fanned out by compare",
+            )?,
+            compare_failures: registry.counter(
+                "cactus_gateway_compare_failures_total",
+                "compare requests that failed",
             )?,
             latency: registry.histogram(
                 "cactus_gateway_latency",

@@ -35,6 +35,7 @@ use cactus_obs::lock::{rank, RankedMutex};
 use cactus_obs::{ApiError, SpanCtx, TraceId};
 use cactus_serve::client::{ClientError, HttpReply};
 
+use crate::capability::{device_for_target, CapabilityMap};
 use crate::connpool::ConnPool;
 use crate::health::HealthTracker;
 use crate::metrics::GatewayMetrics;
@@ -91,6 +92,9 @@ pub struct Router {
     pub health: Arc<HealthTracker>,
     pub pool: Arc<ConnPool>,
     pub metrics: Arc<GatewayMetrics>,
+    /// Which catalog devices each backend models; consulted before the
+    /// ring's failover order so requests never reach an incapable backend.
+    pub capabilities: CapabilityMap,
     policy: RoutePolicy,
     /// Routing keys whose profile record has already been pushed to its
     /// follower replica this process lifetime — replication is idempotent,
@@ -116,11 +120,13 @@ impl Router {
         metrics: Arc<GatewayMetrics>,
         policy: RoutePolicy,
     ) -> Self {
+        let n = metrics.backends.len();
         Self {
             ring,
             health,
             pool,
             metrics,
+            capabilities: CapabilityMap::new(n),
             policy,
             replicated: RankedMutex::new(
                 rank::REPLICATED_KEYS,
@@ -130,13 +136,33 @@ impl Router {
         }
     }
 
-    /// The replica set for `key`: the first two backends in *raw* ring
-    /// order, independent of current health. Health-independence is the
-    /// point — the set names where a record *should* live, so anti-entropy
-    /// can repair a backend that was down when the record was written.
+    /// The replica set for `key`: the first two *capable* backends in raw
+    /// ring order, independent of current health. Health-independence is
+    /// the point — the set names where a record *should* live, so
+    /// anti-entropy can repair a backend that was down when the record was
+    /// written. Capability-dependence is equally the point: a backend that
+    /// does not model the key's device could never serve (or re-derive) the
+    /// record, so it is not a legitimate replica home.
     #[must_use]
     pub fn replica_set(&self, key: &str) -> Vec<usize> {
-        self.ring.candidates(key).into_iter().take(2).collect()
+        // Replication keys are `profile/<device>/<scale>/<workload>`.
+        let device = {
+            let segs: Vec<&str> = key.split('/').collect();
+            match segs.as_slice() {
+                ["profile", device, _, _] => Some((*device).to_owned()),
+                _ => None,
+            }
+        };
+        self.ring
+            .candidates(key)
+            .into_iter()
+            .filter(|&i| {
+                device
+                    .as_deref()
+                    .is_none_or(|d| self.capabilities.capable(i, d))
+            })
+            .take(2)
+            .collect()
     }
 
     /// True when `key`'s record was already pushed to its follower this
@@ -194,9 +220,22 @@ impl Router {
     /// moved to the back (kept as last resorts rather than dropped).
     #[must_use]
     pub fn candidates(&self, key: &str) -> Vec<usize> {
+        self.candidates_for(key, None)
+    }
+
+    /// [`candidates`](Self::candidates) restricted to backends that model
+    /// `device`. Incapable backends are *dropped*, not demoted: a backend
+    /// without the device's model answers a guaranteed 404, so routing to
+    /// it is never better than failing over — and "last resort" semantics
+    /// would let a capable-but-slow shard's traffic leak onto a shard that
+    /// cannot answer it at all.
+    #[must_use]
+    pub fn candidates_for(&self, key: &str, device: Option<&str>) -> Vec<usize> {
         let order = self.ring.candidates(key);
-        let (up, down): (Vec<usize>, Vec<usize>) =
-            order.into_iter().partition(|&i| self.health.available(i));
+        let (up, down): (Vec<usize>, Vec<usize>) = order
+            .into_iter()
+            .filter(|&i| device.is_none_or(|d| self.capabilities.capable(i, d)))
+            .partition(|&i| self.health.available(i));
         let mut all = up;
         all.extend(down);
         all
@@ -209,9 +248,16 @@ impl Router {
     /// span per attempt and supplies the trace id forwarded to backends.
     pub fn forward(self: &Arc<Self>, path: &str, key: &str, ctx: Option<SpanCtx<'_>>) -> Forwarded {
         let trace = ctx.map(|c| c.trace());
-        let candidates = self.candidates(key);
+        let device = device_for_target(path);
+        let candidates = self.candidates_for(key, device.as_deref());
         if candidates.is_empty() {
-            return synth(502, "no backends configured");
+            return match device {
+                Some(d) if !self.ring.is_empty() => synth(
+                    404,
+                    &format!("no backend in the fleet models device {d:?} (see /v1/devices)"),
+                ),
+                _ => synth(502, "no backends configured"),
+            };
         }
         let mut rng = hash_str(key) | 1;
         let mut last_saturated: Option<HttpReply> = None;
@@ -489,6 +535,54 @@ mod tests {
             "ejected primary demoted to last resort"
         );
         assert_eq!(reordered.len(), 3, "no candidate dropped");
+    }
+
+    #[test]
+    fn incapable_backends_are_dropped_not_demoted() {
+        let r = router(dead_addrs(3), RoutePolicy::default());
+        r.capabilities.record(0, vec!["uhd-630".into()]);
+        r.capabilities.record(1, vec!["rtx-3080".into()]);
+        r.capabilities.record(2, vec!["rtx-3080".into()]);
+        let key = "profile/rtx-3080/tiny/GMS";
+        let order = r.candidates_for(key, Some("rtx-3080"));
+        assert!(!order.contains(&0), "incapable backend 0 in {order:?}");
+        assert_eq!(order.len(), 2);
+        // Ejection still only demotes *capable* candidates.
+        r.health.report_failure(order[0]);
+        r.health.report_failure(order[0]);
+        let reordered = r.candidates_for(key, Some("rtx-3080"));
+        assert_eq!(
+            reordered.len(),
+            2,
+            "ejected capable backend kept as last resort"
+        );
+        assert!(!reordered.contains(&0));
+        // The replica set parses the device out of the key itself.
+        let replicas = r.replica_set(key);
+        assert_eq!(replicas.len(), 2);
+        assert!(!replicas.contains(&0), "replica home must model the device");
+        assert_eq!(r.replica_set("profile/uhd-630/tiny/GMS"), vec![0]);
+    }
+
+    #[test]
+    fn fleet_without_the_device_synthesizes_404() {
+        let r = router(
+            dead_addrs(2),
+            RoutePolicy {
+                hedge: false,
+                ..RoutePolicy::default()
+            },
+        );
+        r.capabilities.record(0, vec!["rtx-3080".into()]);
+        r.capabilities.record(1, vec!["rtx-3080".into()]);
+        let out = r.forward("/v1/profile/a100/tiny/GMS", "profile/a100/tiny/GMS", None);
+        assert_eq!(out.status, 404);
+        assert!(
+            out.body.contains("models device") && out.body.contains("a100"),
+            "got {:?}",
+            out.body
+        );
+        assert_eq!(r.metrics.retries.get(), 0, "nothing was attempted");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! ```text
 //!                    ┌────────────── health thread ───────────────┐
 //!                    │ tick(): Ejected → HalfOpen after cooldown  │
-//!                    │ active probes: GET /healthz per backend    │
+//!                    │ active probes: GET /v1/healthz per backend │
+//!                    │ (each probe refreshes the capability map)  │
 //!                    └───────────────────┬────────────────────────┘
 //!                                        ▼
 //! accept ──try_send──► bounded queue ──► workers ──► Router::forward
@@ -16,8 +17,11 @@
 //! server (same backpressure and graceful-drain semantics); what differs is
 //! the work each request does — a proxied exchange instead of a local
 //! simulation. The gateway serves its own `/v1/healthz`, `/v1/metricsz`,
-//! and `/v1/tracez` locally (legacy unversioned spellings stay as aliases);
-//! every other `GET` is forwarded.
+//! `/v1/tracez`, a fleet-wide `/v1/devices` catalog view, and the
+//! cross-device `/v1/compare` synthesis locally (legacy unversioned
+//! spellings stay as aliases); every other `GET` is forwarded — after an
+//! edge catalog check, so a request for a device the catalog has never
+//! heard of is answered `404` here instead of burning a backend attempt.
 //!
 //! Each request gets one trace id: propagated from the client's
 //! `x-cactus-trace` header when present, minted here otherwise. The id is
@@ -39,8 +43,10 @@ use cactus_obs::{ApiError, TraceId, Tracer, TRACE_HEADER};
 use cactus_serve::http::{self, HttpError, Request};
 use cactus_serve::net;
 use cactus_serve::server::KEEP_ALIVE_MAX;
-use cactus_serve::Client;
+use cactus_serve::{parse_health_devices, Client};
 
+use crate::capability::device_for_target;
+use crate::compare;
 use crate::connpool::ConnPool;
 use crate::health::{HealthState, HealthTracker};
 use crate::metrics::{render_metrics, GatewayMetrics};
@@ -50,6 +56,10 @@ use crate::sync;
 
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
 const HEALTH_TICK: Duration = Duration::from_millis(50);
+
+/// The cross-device comparison route (`cactus-lint` checks served routes
+/// against client-consumed paths, so the pattern lives here as a literal).
+pub const COMPARE_ROUTE: &str = "/v1/compare/{scale}/{workload}";
 
 /// Gateway tuning knobs.
 #[derive(Debug, Clone)]
@@ -160,6 +170,24 @@ impl Gateway {
             metrics,
             config.policy.clone(),
         ));
+
+        // One synchronous capability-discovery pass before traffic flows:
+        // each backend that answers `/v1/healthz` tells us which catalog
+        // devices it models. Backends that don't answer stay "unknown"
+        // (optimistically routable); active probes refresh the map later,
+        // so a backend restarted with a different device set is re-learned.
+        for (i, &backend) in backends.iter().enumerate() {
+            let probe = Client::new(backend)
+                .with_timeout(config.probe_timeout)
+                .get("/v1/healthz");
+            if let Ok(reply) = probe {
+                if reply.status == 200 {
+                    if let Some(devices) = parse_health_devices(&reply.body) {
+                        router.capabilities.record(i, devices);
+                    }
+                }
+            }
+        }
 
         let mut tracer = Tracer::new(config.trace_capacity);
         if let Some(path) = &config.span_log {
@@ -445,6 +473,13 @@ fn respond(
             body: sync::fleet_manifest(router, backend_addrs),
             backend: None,
         },
+        "/v1/devices" => Forwarded {
+            status: 200,
+            content_type: "text/csv; charset=utf-8".to_owned(),
+            body: fleet_devices(router, backend_addrs),
+            backend: None,
+        },
+        path if path.starts_with("/v1/compare/") => compare::compare(router, request, ctx),
         _ => {
             // Re-assemble the full target so query strings survive the
             // trip to the backend.
@@ -452,6 +487,24 @@ fn respond(
                 Some(q) => format!("{}?{q}", request.path),
                 None => request.path.clone(),
             };
+            // Edge catalog check: a device id the catalog has never heard
+            // of can't be answered by any backend — reject here with the
+            // envelope instead of spending fleet attempts on it.
+            if let Some(device) = device_for_target(&target) {
+                if cactus_gpu::by_id(&device).is_none() {
+                    let known = cactus_gpu::catalog::device_ids().join(", ");
+                    return Forwarded {
+                        status: 404,
+                        content_type: "application/json".to_owned(),
+                        body: ApiError::new(
+                            404,
+                            format!("unknown device {device:?}; the catalog has: {known}"),
+                        )
+                        .to_json(),
+                        backend: None,
+                    };
+                }
+            }
             let response = router.forward(&target, &routing_key(&target), Some(ctx));
             // A 200 profile answer means the winning backend durably holds
             // the record; copy it to the key's follower replica while the
@@ -495,6 +548,48 @@ fn tracez(ctx: cactus_obs::SpanCtx<'_>, query: Option<&str>) -> Forwarded {
         body: ctx.tracer().render(filter),
         backend: None,
     }
+}
+
+/// The fleet-wide device catalog: the same 10-column CSV shape a single
+/// backend's `/v1/devices` serves (so the typed client parses both), with
+/// `modeled` meaning "at least one backend models it", prefixed by one
+/// comment line per backend naming its observed device set.
+fn fleet_devices(router: &Router, backend_addrs: &[SocketAddr]) -> String {
+    let mut out = String::new();
+    for (i, addr) in backend_addrs.iter().enumerate() {
+        let set = router
+            .capabilities
+            .devices(i)
+            .map_or_else(|| "unknown".to_owned(), |d| d.join(" "));
+        out.push_str(&format!("# backend {i} = {addr}: {set}\n"));
+    }
+    // `None` = no backend observed yet: report the whole catalog as modeled,
+    // matching the router's optimistic treatment of unknown backends.
+    let fleet = router.capabilities.fleet_devices();
+    out.push_str(
+        "device,modeled,name,store_version,sm_count,peak_gips,peak_gtxn_per_s,\
+         elbow_intensity,dram_bandwidth_gbps,l2_bytes\n",
+    );
+    for entry in cactus_gpu::CATALOG {
+        let device = entry.device();
+        let modeled = fleet
+            .as_ref()
+            .is_none_or(|ids| ids.iter().any(|id| id == entry.id));
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{}\n",
+            entry.id,
+            modeled,
+            device.name,
+            entry.store_version(),
+            device.sm_count,
+            device.peak_gips(),
+            device.peak_gtxn_per_s(),
+            device.elbow_intensity(),
+            device.dram_bandwidth_gbps,
+            device.l2.size_bytes,
+        ));
+    }
+    out
 }
 
 /// The shard key for a request path. Profile endpoints
@@ -587,9 +682,18 @@ fn health_loop(
                     }
                     let probe = Client::new(addr)
                         .with_timeout(probe_timeout)
-                        .get("/healthz");
+                        .get("/v1/healthz");
                     match probe {
-                        Ok(reply) if reply.status == 200 => health.report_success(i),
+                        Ok(reply) if reply.status == 200 => {
+                            health.report_success(i);
+                            // The body advertises the backend's modeled
+                            // devices; refreshing on every probe keeps the
+                            // capability map right across restarts that
+                            // change a backend's device set.
+                            if let Some(devices) = parse_health_devices(&reply.body) {
+                                router.capabilities.record(i, devices);
+                            }
+                        }
                         _ => health.report_failure(i),
                     }
                 }

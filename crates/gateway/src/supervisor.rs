@@ -54,10 +54,29 @@ impl Supervisor {
     /// Propagates the first bind failure; already-started backends are shut
     /// down before returning.
     pub fn spawn_fleet(n: usize, base: &ServeConfig) -> io::Result<Self> {
-        let mut slots = Vec::with_capacity(n);
-        for i in 0..n {
+        let device_sets = vec![base.devices.clone(); n];
+        Self::spawn_heterogeneous(&device_sets, base)
+    }
+
+    /// [`spawn_fleet`](Self::spawn_fleet) with one modeled-device set per
+    /// slot: slot `i` models `device_sets[i]` (empty = the full catalog).
+    /// This is how a heterogeneous fleet — different slots modeling
+    /// different hardware — is stood up for the device-aware routing and
+    /// `/v1/compare` paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first bind or device-validation failure;
+    /// already-started backends are shut down before returning.
+    pub fn spawn_heterogeneous(
+        device_sets: &[Vec<String>],
+        base: &ServeConfig,
+    ) -> io::Result<Self> {
+        let mut slots = Vec::with_capacity(device_sets.len());
+        for (i, devices) in device_sets.iter().enumerate() {
             let mut config = base.clone();
             config.addr = "127.0.0.1:0".to_owned();
+            config.devices = devices.clone();
             config.store_dir = base
                 .store_dir
                 .as_ref()
@@ -193,12 +212,40 @@ mod tests {
         for &addr in &addrs {
             let reply = Client::new(addr)
                 .with_timeout(Duration::from_secs(5))
-                .get("/healthz")
+                .get("/v1/healthz")
                 .expect("healthz");
             assert_eq!(reply.status, 200);
         }
         fleet.shutdown_all();
         assert!(!fleet.running(0) && !fleet.running(1));
+    }
+
+    #[test]
+    fn heterogeneous_slots_advertise_their_own_devices() {
+        let fleet = Supervisor::spawn_heterogeneous(
+            &[
+                vec!["rtx-3080".to_owned()],
+                vec!["uhd-630".to_owned(), "rtx-3060".to_owned()],
+            ],
+            &base(),
+        )
+        .expect("spawn");
+        let addrs = fleet.addrs();
+        let devices_of = |addr| {
+            let reply = Client::new(addr)
+                .with_timeout(Duration::from_secs(5))
+                .get("/v1/healthz")
+                .expect("healthz");
+            assert_eq!(reply.status, 200);
+            cactus_serve::parse_health_devices(&reply.body).expect("devices line")
+        };
+        assert_eq!(devices_of(addrs[0]), vec!["rtx-3080".to_owned()]);
+        assert_eq!(
+            devices_of(addrs[1]),
+            vec!["uhd-630".to_owned(), "rtx-3060".to_owned()],
+            "slot 1 advertises exactly its configured device set"
+        );
+        fleet.shutdown_all();
     }
 
     #[test]
@@ -210,7 +257,7 @@ mod tests {
         assert!(
             Client::new(addr)
                 .with_timeout(Duration::from_millis(500))
-                .get("/healthz")
+                .get("/v1/healthz")
                 .is_err(),
             "killed backend must stop answering"
         );
@@ -218,7 +265,7 @@ mod tests {
         assert_eq!(fleet.addrs()[0], addr, "address pinned across restart");
         let reply = Client::new(addr)
             .with_timeout(Duration::from_secs(5))
-            .get("/healthz")
+            .get("/v1/healthz")
             .expect("healthz after restart");
         assert_eq!(reply.status, 200);
         fleet.shutdown_all();

@@ -10,7 +10,12 @@ use cactus_bench::ProfiledWorkload;
 use cactus_core::SuiteScale;
 use cactus_gateway::{Gateway, GatewayConfig, RoutePolicy};
 use cactus_obs::{expo, SpanRecord, TraceId, TRACE_HEADER};
-use cactus_serve::{Client, ServeConfig, Server};
+use cactus_serve::{Client, DeviceId, ServeConfig, Server};
+
+/// Resolve a catalog id for query literals.
+fn dev(slug: &str) -> DeviceId {
+    DeviceId::resolve(slug).expect("catalog id")
+}
 
 /// One in-process serve backend (store-seeded so requests are cheap) behind
 /// one gateway. In-process rather than supervised, so the test can read the
@@ -199,7 +204,7 @@ fn gateway_maps_unroutable_requests_onto_the_envelope() {
     let client = Client::new(gateway.addr()).with_timeout(Duration::from_secs(30));
     let err = client
         .profile(cactus_serve::ProfileQuery {
-            device: "rtx-3080",
+            device: dev("rtx-3080"),
             scale: "profile",
             workload: "GMS",
         })

@@ -244,6 +244,69 @@ impl Device {
         }
     }
 
+    /// A mainstream Ampere card: Nvidia RTX 3060 (28 SMs at 1.777 GHz, 12 GB
+    /// GDDR6 at 360 GB/s, 3 MB L2). The discrete half of the
+    /// discrete-vs-integrated contrast pair.
+    #[must_use]
+    pub fn rtx3060() -> Self {
+        Self {
+            name: "RTX 3060".to_owned(),
+            sm_count: 28,
+            clock_ghz: 1.777,
+            l2: CacheGeometry {
+                size_bytes: 3 * 1024 * 1024,
+                line_bytes: 128,
+                sector_bytes: 32,
+                associativity: 16,
+            },
+            dram_bandwidth_gbps: 360.0,
+            l2_bandwidth_gbps: 1100.0,
+            ..Self::rtx3080()
+        }
+    }
+
+    /// An integrated part: Intel UHD Graphics 630 (Gen9.5 GT2). Modeled as
+    /// 3 subslices of 8 EUs at 1.15 GHz sharing system DDR4 at 41.6 GB/s,
+    /// with a small 512 KB last-level cache — the "tiny L2, a fraction of
+    /// the DRAM bandwidth" end of the heterogeneity spectrum.
+    #[must_use]
+    pub fn uhd630() -> Self {
+        Self {
+            name: "UHD 630".to_owned(),
+            sm_count: 3,
+            schedulers_per_sm: 8,
+            issue_per_scheduler: 1.0,
+            clock_ghz: 1.15,
+            max_warps_per_sm: 56,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 256,
+            registers_per_sm: 28_672,
+            shared_mem_per_sm: 64 * 1024,
+            fp32_lanes_per_sm: 64,
+            ldst_lanes_per_sm: 16,
+            l1: CacheGeometry {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                sector_bytes: 32,
+                associativity: 4,
+            },
+            l2: CacheGeometry {
+                size_bytes: 512 * 1024,
+                line_bytes: 64,
+                sector_bytes: 32,
+                associativity: 16,
+            },
+            dram_bandwidth_gbps: 41.6,
+            dram_transaction_bytes: 32,
+            l2_bandwidth_gbps: 120.0,
+            latencies: Latencies {
+                dram: 600.0,
+                ..Latencies::ampere()
+            },
+            launch_overhead_cycles: 3000.0,
+        }
+    }
+
     /// Core clock in Hz.
     #[must_use]
     pub fn clock_hz(&self) -> f64 {
@@ -345,6 +408,27 @@ mod tests {
         for d in [g1080, t2080, a3080, a100] {
             assert!(d.elbow_intensity() > 0.0 && d.elbow_intensity().is_finite());
         }
+    }
+
+    #[test]
+    fn integrated_part_sits_below_every_discrete_card() {
+        let uhd = Device::uhd630();
+        let g1080 = Device::gtx1080();
+        let r3060 = Device::rtx3060();
+        assert!(uhd.peak_gips() < g1080.peak_gips());
+        assert!(uhd.dram_bandwidth_gbps < g1080.dram_bandwidth_gbps / 4.0);
+        assert!(uhd.l2.size_bytes < r3060.l2.size_bytes / 4, "tiny L2");
+        assert!(uhd.elbow_intensity() > 0.0 && uhd.elbow_intensity().is_finite());
+    }
+
+    #[test]
+    fn rtx3060_is_a_scaled_down_3080() {
+        let r3060 = Device::rtx3060();
+        let r3080 = Device::rtx3080();
+        assert!(r3060.peak_gips() < r3080.peak_gips());
+        assert!(r3060.dram_bandwidth_gbps < r3080.dram_bandwidth_gbps);
+        assert_eq!(r3060.fp32_lanes_per_sm, r3080.fp32_lanes_per_sm);
+        assert!((r3060.peak_gips() - 199.024).abs() < 1e-9);
     }
 
     #[test]

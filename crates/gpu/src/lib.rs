@@ -18,6 +18,8 @@
 //! * [`device`] — physical device descriptors (SM count, schedulers, clock,
 //!   cache geometry, DRAM bandwidth). [`device::Device::rtx3080`] matches the
 //!   paper's Table II platform.
+//! * [`catalog`] — the named device catalog: stable string ids for every
+//!   modeled device, the key space for profile stores and fleet routing.
 //! * [`launch`] — kernel launch configuration and the occupancy calculator.
 //! * [`instmix`] — warp-instruction mixes by class.
 //! * [`access`] — declarative memory access streams (pattern + coalescing).
@@ -55,6 +57,7 @@
 
 pub mod access;
 pub mod cache;
+pub mod catalog;
 pub mod device;
 pub mod engine;
 pub mod instmix;
@@ -88,5 +91,6 @@ pub mod prelude {
     pub use crate::metrics::KernelMetrics;
 }
 
+pub use crate::catalog::{by_id, CatalogEntry, CATALOG};
 pub use crate::device::Device;
 pub use crate::engine::Gpu;

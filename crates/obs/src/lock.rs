@@ -50,6 +50,7 @@ pub const CHECK_ENABLED: bool = cfg!(any(debug_assertions, feature = "lock-check
 /// |   50 | `ENGINE_POOL_IDLE`  | `gpu::pool` idle-engine list               |
 /// |   55 | `ENGINE_POOL_STATS` | `gpu::pool` checkout counters              |
 /// |   60 | `CONN_POOL`         | `gateway::connpool` per-backend idle list  |
+/// |   62 | `CAPABILITY`        | `gateway::capability` modeled-device map   |
 /// |   65 | `REPLICATED_KEYS`   | `gateway::proxy` already-replicated key set|
 /// |   70 | `HEALTH`            | `gateway::health` backend states           |
 /// |   80 | `LATENCY_WINDOW`    | `gateway::metrics` sliding latency ring    |
@@ -68,6 +69,7 @@ pub mod rank {
     pub const ENGINE_POOL_IDLE: u32 = 50;
     pub const ENGINE_POOL_STATS: u32 = 55;
     pub const CONN_POOL: u32 = 60;
+    pub const CAPABILITY: u32 = 62;
     pub const REPLICATED_KEYS: u32 = 65;
     pub const HEALTH: u32 = 70;
     pub const LATENCY_WINDOW: u32 = 80;

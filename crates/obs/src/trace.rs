@@ -48,6 +48,7 @@ use crate::lock::{rank, RankedMutex};
 /// | `store.sync`    | gateway, replication or anti-entropy record push   |
 pub const SPAN_NAMES: &[&str] = &[
     "gateway.route",
+    "gateway.compare",
     "proxy.attempt",
     "serve.request",
     "serve.cache",

@@ -3,7 +3,7 @@
 //! ```text
 //! cactus-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!              [--retry-after SECS] [--store-dir PATH] [--port-file PATH]
-//!              [--span-log PATH]
+//!              [--span-log PATH] [--devices ID,ID,...]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port), optionally writes the bound port
@@ -42,6 +42,8 @@ usage: cactus-serve [options]
   --store-dir PATH     profile-store directory (default: workspace results/)
   --port-file PATH     write the bound port here once listening
   --span-log PATH      append every finished span as a JSON line here
+  --devices ID,ID,...  catalog device ids this backend models and advertises
+                       (default: the full catalog)
   --help               show this help
 ";
 
@@ -73,6 +75,13 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
             "--retry-after" => config.retry_after_s = parse_num(&flag, &value()?)?,
             "--store-dir" => config.store_dir = Some(value()?.into()),
             "--span-log" => config.span_log = Some(value()?.into()),
+            "--devices" => {
+                config.devices = value()?
+                    .split(',')
+                    .map(|id| id.trim().to_owned())
+                    .filter(|id| !id.is_empty())
+                    .collect();
+            }
             "--port-file" => port_file = Some(value()?),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -97,7 +106,9 @@ fn run(config: ServeConfig, port_file: Option<String>) -> ExitCode {
         }
     };
     let addr = server.addr();
-    eprintln!("cactus-serve: listening on http://{addr}/ (try /healthz, /v1/workloads)");
+    eprintln!(
+        "cactus-serve: listening on http://{addr}/ (try /v1/healthz, /v1/devices, /v1/workloads)"
+    );
     if let Some(path) = port_file {
         if let Err(e) = std::fs::write(&path, format!("{}\n", addr.port())) {
             eprintln!("cactus-serve: cannot write port file {path}: {e}");

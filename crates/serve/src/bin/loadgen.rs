@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use cactus_serve::client::ClientError;
 use cactus_serve::metrics::quantile;
-use cactus_serve::Connection;
+use cactus_serve::{Connection, DeviceId};
 
 const USAGE: &str = "\
 usage: loadgen --target HOST:PORT [--target HOST:PORT ...] [options]
@@ -93,6 +93,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
                         "--similar: expected DEVICE/SCALE/WORKLOAD, got {value:?}"
                     ));
                 };
+                // Typo-check the device against the catalog before any
+                // traffic is generated for it.
+                let device = DeviceId::resolve(device).map_err(|e| format!("--similar: {e}"))?;
                 similar_path = Some(format!(
                     "/v1/similar?device={device}&scale={scale}&workload={workload}"
                 ));

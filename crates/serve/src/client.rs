@@ -124,11 +124,60 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// A device id validated against the [`cactus_gpu::catalog`]: holds the
+/// canonical catalog spelling, so a `DeviceId` in a query can only name a
+/// device the fleet could model. Raw strings stop at [`DeviceId::resolve`]
+/// — typos surface there as a structured 404, not as a wasted round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(&'static str);
+
+impl DeviceId {
+    /// Resolve a raw slug (case-insensitive) to its canonical catalog id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with a 404 envelope naming the catalog when
+    /// the slug is not a catalog id — the same shape the server would
+    /// answer, so callers handle local and remote rejection identically.
+    pub fn resolve(slug: &str) -> Result<Self, ClientError> {
+        match cactus_gpu::by_id(slug) {
+            Some(entry) => Ok(Self(entry.id)),
+            None => Err(ClientError::Api(ApiError::new(
+                404,
+                format!(
+                    "unknown device {slug:?}; the catalog has: {}",
+                    cactus_gpu::catalog::device_ids().join(", ")
+                ),
+            ))),
+        }
+    }
+
+    /// The canonical catalog spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::str::FromStr for DeviceId {
+    type Err = ClientError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::resolve(s)
+    }
+}
+
 /// One profile request on the `/v1` surface, by URL slugs.
 #[derive(Debug, Clone, Copy)]
 pub struct ProfileQuery<'a> {
-    /// Device preset slug, e.g. `rtx-3080`.
-    pub device: &'a str,
+    /// Catalog-validated device id, e.g. `rtx-3080`.
+    pub device: DeviceId,
     /// Scale slug: `tiny`, `small`, or `profile`.
     pub scale: &'a str,
     /// Workload name, e.g. `GMS`.
@@ -138,8 +187,8 @@ pub struct ProfileQuery<'a> {
 /// One reference similarity query on `/v1/similar`, by URL slugs.
 #[derive(Debug, Clone, Copy)]
 pub struct SimilarQuery<'a> {
-    /// Device preset slug, e.g. `rtx-3080`.
-    pub device: &'a str,
+    /// Catalog-validated device id, e.g. `rtx-3080`.
+    pub device: DeviceId,
     /// Scale slug: `tiny`, `small`, or `profile`.
     pub scale: &'a str,
     /// Workload name, e.g. `GMS`.
@@ -148,6 +197,124 @@ pub struct SimilarQuery<'a> {
     pub kernel: Option<&'a str>,
     /// Neighbors to return (`None` = the server default).
     pub k: Option<usize>,
+}
+
+/// One `/v1/devices` catalog row: a device's identity, roofline ceilings,
+/// and whether the answering backend models it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceEntry {
+    /// Canonical catalog id.
+    pub id: DeviceId,
+    /// Whether the answering backend models this device.
+    pub modeled: bool,
+    /// Marketing name (`RTX 3080`).
+    pub name: String,
+    /// Store version tag (`<model-version>.<device-rev>`).
+    pub store_version: String,
+    /// Streaming multiprocessors.
+    pub sm_count: u32,
+    /// Peak instruction throughput ceiling (GIPS).
+    pub peak_gips: f64,
+    /// Peak DRAM transaction throughput ceiling (Gtxn/s).
+    pub peak_gtxn_per_s: f64,
+    /// Roofline elbow (instructions per transaction).
+    pub elbow_intensity: f64,
+    /// DRAM bandwidth (GB/s).
+    pub dram_bandwidth_gbps: f64,
+    /// Last-level cache capacity (bytes).
+    pub l2_bytes: u64,
+}
+
+/// One `/v1/compare` kernel row: one kernel's roofline placement on one
+/// device. Columns 2–7 are byte-identical to that device's
+/// `/v1/roofline` row for the same kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Device this row was simulated on.
+    pub device: DeviceId,
+    /// Kernel name.
+    pub kernel: String,
+    /// Instructions per DRAM transaction.
+    pub instruction_intensity: f64,
+    /// Achieved instruction throughput (GIPS).
+    pub gips: f64,
+    /// Share of the workload's total GPU time.
+    pub time_share: f64,
+    /// Roofline elbow side on this device (`memory` / `compute`).
+    pub intensity_class: String,
+    /// Ceiling classification on this device (`bandwidth` / `latency`).
+    pub boundedness: String,
+    /// True when this kernel's boundedness differs across the compared
+    /// devices (the bottleneck shifts with the hardware).
+    pub bottleneck_shift: bool,
+}
+
+/// Parse the `/v1/devices` CSV body.
+fn parse_devices(body: &str) -> Result<Vec<DeviceEntry>, ClientError> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("device,") {
+            continue;
+        }
+        let bad = || ClientError::Parse(format!("bad devices row {line:?}"));
+        let cols: Vec<&str> = line.split(',').collect();
+        let [id, modeled, name, version, sm_count, gips, gtxn, elbow, dram, l2] = cols.as_slice()
+        else {
+            return Err(bad());
+        };
+        out.push(DeviceEntry {
+            id: DeviceId::resolve(id)?,
+            modeled: modeled.parse().map_err(|_| bad())?,
+            name: (*name).to_owned(),
+            store_version: (*version).to_owned(),
+            sm_count: sm_count.parse().map_err(|_| bad())?,
+            peak_gips: gips.parse().map_err(|_| bad())?,
+            peak_gtxn_per_s: gtxn.parse().map_err(|_| bad())?,
+            elbow_intensity: elbow.parse().map_err(|_| bad())?,
+            dram_bandwidth_gbps: dram.parse().map_err(|_| bad())?,
+            l2_bytes: l2.parse().map_err(|_| bad())?,
+        });
+    }
+    Ok(out)
+}
+
+/// Parse the `/v1/compare?format=csv` body (`#` comments, header, then
+/// one row per `(device, kernel)` pair).
+fn parse_compare(body: &str) -> Result<Vec<CompareRow>, ClientError> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("device,") {
+            continue;
+        }
+        let bad = || ClientError::Parse(format!("bad compare row {line:?}"));
+        let cols: Vec<&str> = line.split(',').collect();
+        let [device, kernel, intensity, gips, share, class, bound, shift] = cols.as_slice() else {
+            return Err(bad());
+        };
+        out.push(CompareRow {
+            device: DeviceId::resolve(device)?,
+            kernel: (*kernel).to_owned(),
+            instruction_intensity: intensity.parse().map_err(|_| bad())?,
+            gips: gips.parse().map_err(|_| bad())?,
+            time_share: share.parse().map_err(|_| bad())?,
+            intensity_class: (*class).to_owned(),
+            boundedness: (*bound).to_owned(),
+            bottleneck_shift: shift.parse().map_err(|_| bad())?,
+        });
+    }
+    Ok(out)
+}
+
+/// Parse the `devices <id> <id>...` advertisement line from a
+/// `/v1/healthz` body; `None` when the body carries no such line (an old
+/// server, or a gateway's own health page).
+#[must_use]
+pub fn parse_health_devices(body: &str) -> Option<Vec<String>> {
+    body.lines()
+        .find_map(|line| line.strip_prefix("devices "))
+        .map(|ids| ids.split_whitespace().map(str::to_owned).collect())
 }
 
 /// One row of a `/v1/similar` reply.
@@ -345,7 +512,47 @@ impl Client {
     ///
     /// Propagates transport errors; a non-200 yields `Ok(false)`.
     pub fn healthz(&self) -> Result<bool, ClientError> {
-        Ok(self.get("/healthz")?.status == 200)
+        Ok(self.get("/v1/healthz")?.status == 200)
+    }
+
+    /// `GET /v1/devices` as typed catalog rows, each flagged with whether
+    /// the answering backend models it.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, non-200 statuses (as [`ClientError::Api`] when the
+    /// server sent the envelope), and unparseable bodies.
+    pub fn devices(&self) -> Result<Vec<DeviceEntry>, ClientError> {
+        let reply = self.get("/v1/devices")?;
+        if reply.status != 200 {
+            return Err(reply.into_error());
+        }
+        parse_devices(&reply.body)
+    }
+
+    /// `GET /v1/compare/<scale>/<workload>?devices=...&format=csv` as
+    /// typed per-`(device, kernel)` roofline rows. Served by the gateway,
+    /// which fans the triple out to one owning backend per device.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, non-200 statuses (as [`ClientError::Api`] when the
+    /// server sent the envelope), and unparseable bodies.
+    pub fn compare(
+        &self,
+        scale: &str,
+        workload: &str,
+        devices: &[DeviceId],
+    ) -> Result<Vec<CompareRow>, ClientError> {
+        let ids: Vec<&str> = devices.iter().map(|d| d.as_str()).collect();
+        let reply = self.get(&format!(
+            "/v1/compare/{scale}/{workload}?devices={}&format=csv",
+            ids.join(",")
+        ))?;
+        if reply.status != 200 {
+            return Err(reply.into_error());
+        }
+        parse_compare(&reply.body)
     }
 
     /// `GET /v1/metricsz` strictly parsed through the shared exposition

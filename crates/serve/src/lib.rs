@@ -46,5 +46,8 @@ pub mod signal;
 pub mod similar;
 pub mod singleflight;
 
-pub use client::{Client, ClientBuilder, Connection, ProfileQuery, SimilarHit, SimilarQuery};
+pub use client::{
+    parse_health_devices, Client, ClientBuilder, CompareRow, Connection, DeviceEntry, DeviceId,
+    ProfileQuery, SimilarHit, SimilarQuery,
+};
 pub use server::{ServeConfig, Server};

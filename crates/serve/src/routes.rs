@@ -1,7 +1,10 @@
 //! URL routing and response rendering for the versioned `/v1` surface.
 //!
 //! Every endpoint lives under `/v1/...`; the pre-versioning spellings
-//! (`/healthz`, `/metricsz`) stay as aliases so old probes keep working.
+//! (`/healthz`, `/metricsz`) stay as deprecated aliases — they answer with
+//! a `Deprecation: true` header, a `Link` to the `/v1` successor, and a
+//! tick of `cactus_serve_legacy_requests_total` so operators can watch the
+//! alias traffic drain before removal (policy in DESIGN.md §5k).
 //! Errors are the shared JSON envelope (`{code, message, retryable}`) from
 //! [`cactus_obs::ApiError`]. Each profile endpoint resolves its
 //! `(device, scale, workload)` triple, consults the response cache under a
@@ -19,7 +22,7 @@ use cactus_profiler::{csv, store as profile_store};
 use crate::cache::CachedResponse;
 use crate::http::{Request, Response};
 use crate::server::ServerState;
-use crate::service::{Triple, DEVICE_SLUGS, SCALE_SLUGS};
+use crate::service::{Triple, SCALE_SLUGS};
 
 /// The endpoint family served under
 /// `/v1/<endpoint>/<device>/<scale>/<workload>`. `cactus-lint`'s surface
@@ -61,10 +64,21 @@ pub fn respond(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Response
         return store_record(state, req, key, ctx);
     }
     match req.path.as_str() {
-        "/healthz" | "/v1/healthz" => Response::ok("ok\n", TEXT),
-        "/metricsz" | "/v1/metricsz" => Response::ok(state.render_metrics(), TEXT),
+        "/v1/healthz" => Response::ok(healthz_body(state), TEXT),
+        "/v1/metricsz" => Response::ok(state.render_metrics(), TEXT),
+        "/healthz" => legacy(
+            state,
+            "/v1/healthz",
+            Response::ok(healthz_body(state), TEXT),
+        ),
+        "/metricsz" => legacy(
+            state,
+            "/v1/metricsz",
+            Response::ok(state.render_metrics(), TEXT),
+        ),
         "/v1/tracez" => tracez(state, req),
-        "/v1/workloads" => cached(state, "workloads", CSV, workloads_catalog),
+        "/v1/devices" => cached(state, "devices", CSV, || devices_catalog(state)),
+        "/v1/workloads" => cached(state, "workloads", CSV, || workloads_catalog(state)),
         // Similarity responses are stateful (each query may grow the
         // index), so they bypass the response cache.
         "/v1/similar" => crate::similar::similar(state, req, ctx),
@@ -185,9 +199,9 @@ fn route_triple(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Respons
         _ => {
             return Response::error(
                 404,
-                "unknown route; try /v1/healthz, /v1/metricsz, /v1/tracez, /v1/workloads, \
-                 /v1/similar, /v1/similar/stats, /v1/store/manifest, /v1/store/statz, \
-                 /v1/store/record/<device>/<scale>/<workload>, or \
+                "unknown route; try /v1/healthz, /v1/metricsz, /v1/tracez, /v1/devices, \
+                 /v1/workloads, /v1/similar, /v1/similar/stats, /v1/store/manifest, \
+                 /v1/store/statz, /v1/store/record/<device>/<scale>/<workload>, or \
                  /v1/{profile|kernels|roofline|dominant}/<device>/<scale>/<workload>",
             )
         }
@@ -204,6 +218,17 @@ fn route_triple(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Respons
         Ok(t) => t,
         Err(msg) => return Response::error(404, msg),
     };
+    if !state.service.models(&triple.device_slug) {
+        return Response::error(
+            404,
+            format!(
+                "device {:?} is in the catalog but not modeled by this backend; modeled \
+                 devices: {} (see /v1/devices)",
+                triple.device_slug,
+                state.service.modeled().join(", "),
+            ),
+        );
+    }
 
     // The dominance threshold is the one endpoint parameter; normalize it
     // into the cache key so distinct thresholds cache separately.
@@ -289,10 +314,57 @@ fn threshold_from_query(query: Option<&str>) -> Result<f64, String> {
     Ok(0.7)
 }
 
+/// `/v1/healthz` (and the deprecated `/healthz` alias): liveness plus the
+/// backend's modeled-device advertisement. Line one stays exactly `ok` so
+/// pre-catalog probes that match the first line keep working; line two is
+/// `devices <id> <id>...`, which the gateway parses to build its
+/// capability map.
+fn healthz_body(state: &ServerState) -> String {
+    format!("ok\ndevices {}\n", state.service.modeled().join(" "))
+}
+
+/// Answer a deprecated pre-`/v1` alias: tick the legacy counter and stamp
+/// the response with `Deprecation: true` plus a `Link` to the successor.
+fn legacy(state: &ServerState, successor: &'static str, response: Response) -> Response {
+    state.metrics.legacy_requests.inc();
+    response
+        .with_header("Deprecation", "true")
+        .with_header("Link", format!("<{successor}>; rel=\"successor-version\""))
+}
+
+/// `/v1/devices`: the full device catalog with per-device roofline
+/// ceilings, flagged with whether *this* backend models each entry.
+fn devices_catalog(state: &ServerState) -> String {
+    let mut out = String::from(
+        "device,modeled,name,store_version,sm_count,peak_gips,peak_gtxn_per_s,\
+         elbow_intensity,dram_bandwidth_gbps,l2_bytes\n",
+    );
+    for entry in cactus_gpu::CATALOG {
+        let device = entry.device();
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{}\n",
+            entry.id,
+            state.service.models(entry.id),
+            csv_escape(&device.name),
+            entry.store_version(),
+            device.sm_count,
+            device.peak_gips(),
+            device.peak_gtxn_per_s(),
+            device.elbow_intensity(),
+            device.dram_bandwidth_gbps,
+            device.l2.size_bytes,
+        ));
+    }
+    out
+}
+
 /// The catalog: every servable workload plus the device and scale slugs.
-fn workloads_catalog() -> String {
+fn workloads_catalog(state: &ServerState) -> String {
     let mut out = String::new();
-    out.push_str(&format!("# devices: {}\n", DEVICE_SLUGS.join(" ")));
+    out.push_str(&format!(
+        "# devices: {}\n",
+        state.service.modeled().join(" ")
+    ));
     out.push_str(&format!("# scales: {}\n", SCALE_SLUGS.join(" ")));
     out.push_str("suite,workload\n");
     for w in cactus_core::suite() {

@@ -71,6 +71,9 @@ pub struct ServeConfig {
     /// Profile-store directory override (`None` = the workspace default,
     /// honouring `CACTUS_PROFILE_STORE`).
     pub store_dir: Option<PathBuf>,
+    /// Catalog ids this backend models (one engine pool each, advertised on
+    /// `/v1/healthz` and `/v1/devices`); empty = the full catalog.
+    pub devices: Vec<String>,
     /// Spans retained in the in-memory ring served by `/v1/tracez`.
     pub trace_capacity: usize,
     /// Append every finished span as one JSON line to this file (`None`
@@ -88,6 +91,7 @@ impl Default for ServeConfig {
             retry_after_s: 1,
             read_timeout: Duration::from_secs(5),
             store_dir: None,
+            devices: Vec::new(),
             trace_capacity: 2048,
             span_log: None,
         }
@@ -290,8 +294,9 @@ impl Server {
         let registered = || io::Error::other("fresh registry collided");
         let metrics = ServerMetrics::register(&registry).map_err(|_| registered())?;
         let scraped = ScrapedGauges::register(&registry).map_err(|_| registered())?;
-        let service = ProfileService::with_registry(config.store_dir.clone(), &registry)
-            .map_err(io::Error::other)?;
+        let service =
+            ProfileService::with_registry(config.store_dir.clone(), &config.devices, &registry)
+                .map_err(io::Error::other)?;
         let mut tracer = Tracer::new(config.trace_capacity);
         if let Some(path) = &config.span_log {
             tracer = tracer.with_span_log(path)?;
@@ -404,6 +409,12 @@ fn warm_cache(state: &ServerState, capacity: usize) {
             break;
         }
         if entry.version != MODEL_VERSION {
+            continue;
+        }
+        // Replicated records for devices this backend does not model are
+        // unreachable through the routes; do not spend cache slots on them.
+        let device = entry.key.split('/').next().unwrap_or_default();
+        if !state.service.models(device) {
             continue;
         }
         let Ok(Some(record)) = store.get(&entry.key) else {

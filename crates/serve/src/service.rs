@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use cactus_bench::store;
 use cactus_core::{workloads, SuiteScale, Workload};
+use cactus_gpu::catalog;
 use cactus_gpu::engine::MemoStats;
 use cactus_gpu::pool::{GpuPool, PoolInstruments};
 use cactus_gpu::{Device, MODEL_VERSION};
@@ -22,22 +23,20 @@ use cactus_suites::Benchmark;
 
 use crate::singleflight::SingleFlight;
 
-/// The device presets the service exposes, as URL slugs.
-pub const DEVICE_SLUGS: [&str; 4] = ["rtx-3080", "rtx-2080-ti", "a100", "gtx-1080"];
+/// The device ids the catalog exposes, as URL slugs (catalog order).
+#[must_use]
+pub fn device_slugs() -> Vec<&'static str> {
+    catalog::device_ids()
+}
 
 /// The scale presets the service exposes, as URL slugs.
 pub const SCALE_SLUGS: [&str; 3] = ["tiny", "small", "profile"];
 
-/// Look up a device preset by its URL slug (case-insensitive).
+/// Look up a device preset by its URL slug (case-insensitive), against
+/// the full device catalog.
 #[must_use]
 pub fn device_by_slug(slug: &str) -> Option<Device> {
-    match slug.to_ascii_lowercase().as_str() {
-        "rtx-3080" => Some(Device::rtx3080()),
-        "rtx-2080-ti" => Some(Device::rtx2080ti()),
-        "a100" => Some(Device::a100()),
-        "gtx-1080" => Some(Device::gtx1080()),
-        _ => None,
-    }
+    catalog::by_id(slug).map(catalog::CatalogEntry::device)
 }
 
 /// Look up a suite scale by its URL slug (case-insensitive).
@@ -113,7 +112,7 @@ impl Triple {
         let resolved_device = device_by_slug(&device_slug).ok_or_else(|| {
             format!(
                 "unknown device {device:?}; expected one of {}",
-                DEVICE_SLUGS.join(", ")
+                device_slugs().join(", ")
             )
         })?;
         let resolved_scale = scale_by_slug(scale).ok_or_else(|| {
@@ -169,12 +168,13 @@ pub struct ProfileService {
 }
 
 impl ProfileService {
-    /// A service backed by a store rooted at `store_dir` (defaults to
-    /// [`store::store_dir`] when `None`), counting into a private registry.
+    /// A service modeling the full device catalog, backed by a store rooted
+    /// at `store_dir` (defaults to [`store::store_dir`] when `None`),
+    /// counting into a private registry.
     #[must_use]
     pub fn new(store_dir: Option<PathBuf>) -> Self {
         // lint:allow(no_panic, fresh private registry cannot collide and the caller picked the dir)
-        Self::with_registry(store_dir, &MetricsRegistry::new())
+        Self::with_registry(store_dir, &[], &MetricsRegistry::new())
             .expect("fresh registry has no collisions")
     }
 
@@ -185,12 +185,18 @@ impl ProfileService {
     /// needed) the durable store under `store_dir`, importing any legacy
     /// filesystem profile tree found there on first open.
     ///
+    /// `devices` names the catalog ids this backend models — one engine
+    /// pool per id; an empty slice models the full catalog. Requests for
+    /// other catalog devices are refused, which is what lets a gateway
+    /// route them to a capable peer instead.
+    ///
     /// # Errors
     ///
-    /// Fails if any metric name is already registered or the store cannot
-    /// be opened/recovered.
+    /// Fails if a device id is not in the catalog, a metric name is
+    /// already registered, or the store cannot be opened/recovered.
     pub fn with_registry(
         store_dir: Option<PathBuf>,
+        devices: &[String],
         registry: &MetricsRegistry,
     ) -> Result<Self, String> {
         let reg = |e: cactus_obs::RegistryError| e.to_string();
@@ -214,14 +220,27 @@ impl ProfileService {
                 )
                 .map_err(reg)?,
         };
-        let pools = DEVICE_SLUGS
+        let modeled: Vec<&'static catalog::CatalogEntry> = if devices.is_empty() {
+            catalog::CATALOG.iter().collect()
+        } else {
+            devices
+                .iter()
+                .map(|id| {
+                    catalog::by_id(id).ok_or_else(|| {
+                        format!(
+                            "unknown device id {id:?}; the catalog has {}",
+                            device_slugs().join(", ")
+                        )
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?
+        };
+        let pools = modeled
             .iter()
-            .map(|&slug| {
+            .map(|entry| {
                 (
-                    slug,
-                    // lint:allow(no_panic, DEVICE_SLUGS entries resolve by construction)
-                    GpuPool::new(device_by_slug(slug).expect("preset slug"))
-                        .instrument(instruments.clone()),
+                    entry.id,
+                    GpuPool::new(entry.device()).instrument(instruments.clone()),
                 )
             })
             .collect();
@@ -254,6 +273,20 @@ impl ProfileService {
         &self.store
     }
 
+    /// The catalog ids this backend models, in construction order.
+    #[must_use]
+    pub fn modeled(&self) -> Vec<&'static str> {
+        self.pools.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Whether this backend models the given catalog id.
+    #[must_use]
+    pub fn models(&self, device_slug: &str) -> bool {
+        self.pools
+            .iter()
+            .any(|(id, _)| id.eq_ignore_ascii_case(device_slug))
+    }
+
     /// Resolve one triple to a profile: profile store first, then live
     /// simulation. Concurrent calls for the same triple coalesce into one
     /// lookup/simulation via single-flight. When `ctx` is given, the leader
@@ -270,6 +303,13 @@ impl ProfileService {
         triple: &Triple,
         ctx: Option<SpanCtx<'_>>,
     ) -> Result<(Arc<Profile>, ProfileSource), String> {
+        if !self.models(&triple.device_slug) {
+            return Err(format!(
+                "device {:?} is not modeled by this backend; modeled: {}",
+                triple.device_slug,
+                self.modeled().join(", ")
+            ));
+        }
         let key = triple.key();
         let (result, leader) = self.flight.run(&key, || {
             let store_hit = {
@@ -399,8 +439,8 @@ impl ProfileService {
             .pools
             .iter()
             .find(|(slug, _)| *slug == device_slug)
-            // lint:allow(no_panic, Triple::resolve only yields slugs from DEVICE_SLUGS)
-            .expect("triple resolved against DEVICE_SLUGS")
+            // lint:allow(no_panic, profile() refuses unmodeled devices before simulate runs)
+            .expect("modeled device has a pool")
             .1
     }
 
@@ -450,7 +490,7 @@ mod tests {
 
     #[test]
     fn slug_resolution_round_trips() {
-        for slug in DEVICE_SLUGS {
+        for slug in device_slugs() {
             assert!(device_by_slug(slug).is_some(), "{slug}");
         }
         for slug in SCALE_SLUGS {
@@ -459,6 +499,9 @@ mod tests {
         assert!(device_by_slug("RTX-3080").is_some(), "case-insensitive");
         assert!(device_by_slug("h100").is_none());
         assert!(scale_by_slug("huge").is_none());
+        // The new catalog parts resolve like the founding four.
+        assert!(device_by_slug("rtx-3060").is_some());
+        assert!(device_by_slug("uhd-630").is_some());
     }
 
     #[test]
@@ -560,6 +603,49 @@ mod tests {
             .tags
             .iter()
             .any(|(k, _)| *k == "memo_misses"));
+    }
+
+    #[test]
+    fn device_subset_gates_the_service() {
+        let dir = fresh_store_dir("subset");
+        let svc = ProfileService::with_registry(
+            Some(dir.clone()),
+            &["rtx-3060".to_owned(), "uhd-630".to_owned()],
+            &MetricsRegistry::new(),
+        )
+        .expect("subset service");
+        assert_eq!(svc.modeled(), ["rtx-3060", "uhd-630"]);
+        assert!(svc.models("rtx-3060"));
+        assert!(svc.models("UHD-630"), "case-insensitive");
+        assert!(!svc.models("rtx-3080"));
+
+        // A triple for an unmodeled (but valid) device resolves, then the
+        // service refuses it — it must never simulate as if it owned it.
+        let t = Triple::resolve("rtx-3080", "tiny", "GMS").expect("catalog-valid");
+        let err = svc.profile(&t, None).expect_err("not modeled here");
+        assert!(err.contains("not modeled"), "{err}");
+        assert_eq!(svc.simulations(), 0);
+
+        // A modeled device simulates normally.
+        let t = Triple::resolve("rtx-3060", "tiny", "GMS").expect("resolve");
+        let (_, source) = svc.profile(&t, None).expect("modeled device");
+        assert_eq!(source, ProfileSource::Simulated);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_config_device_fails_construction() {
+        let dir = fresh_store_dir("bad-config");
+        let err = match ProfileService::with_registry(
+            Some(dir.clone()),
+            &["rtx-9090".to_owned()],
+            &MetricsRegistry::new(),
+        ) {
+            Ok(_) => panic!("unknown id must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.contains("rtx-9090"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

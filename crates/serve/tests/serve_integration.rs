@@ -10,7 +10,12 @@ use cactus_bench::store::save_set_in;
 use cactus_bench::ProfiledWorkload;
 use cactus_core::SuiteScale;
 use cactus_serve::client::ClientError;
-use cactus_serve::{Client, ProfileQuery, ServeConfig, Server, SimilarQuery};
+use cactus_serve::{Client, DeviceId, ProfileQuery, ServeConfig, Server, SimilarQuery};
+
+/// Resolve a catalog id for query literals.
+fn dev(slug: &str) -> DeviceId {
+    DeviceId::resolve(slug).expect("catalog id")
+}
 
 /// A server on an ephemeral port with a unique empty store directory.
 fn start(workers: usize, queue: usize) -> (Server, Client, std::path::PathBuf) {
@@ -90,7 +95,7 @@ fn profile_round_trip_matches_local_simulation() {
 
     let served = client
         .profile(ProfileQuery {
-            device: "rtx-3080",
+            device: dev("rtx-3080"),
             scale: "tiny",
             workload: "GMS",
         })
@@ -327,7 +332,7 @@ fn store_backed_profiles_skip_simulation() {
 
     let served = client
         .profile(ProfileQuery {
-            device: "rtx-3080",
+            device: dev("rtx-3080"),
             scale: "profile",
             workload: "GMS",
         })
@@ -355,7 +360,7 @@ fn store_endpoints_round_trip() {
     // Simulate once so the store holds a record.
     let profile = client
         .profile(ProfileQuery {
-            device: "rtx-3080",
+            device: dev("rtx-3080"),
             scale: "tiny",
             workload: "GMS",
         })
@@ -392,7 +397,7 @@ fn store_endpoints_round_trip() {
     assert_eq!(posted.status, 200, "got {}", posted.body);
     let replicated = client
         .profile(ProfileQuery {
-            device: "rtx-3080",
+            device: dev("rtx-3080"),
             scale: "small",
             workload: "GMS",
         })
@@ -461,7 +466,7 @@ fn similar_queries_ingest_search_and_trace_end_to_end() {
 
     let hits = client
         .similar(SimilarQuery {
-            device: "rtx-3080",
+            device: dev("rtx-3080"),
             scale: "tiny",
             workload: "GMS",
             kernel: None,
@@ -487,7 +492,7 @@ fn similar_queries_ingest_search_and_trace_end_to_end() {
     let first = &local.kernels()[0];
     let named = client
         .similar(SimilarQuery {
-            device: "rtx-3080",
+            device: dev("rtx-3080"),
             scale: "tiny",
             workload: "GMS",
             kernel: Some(&first.name),
@@ -502,7 +507,7 @@ fn similar_queries_ingest_search_and_trace_end_to_end() {
     );
     let err = client
         .similar(SimilarQuery {
-            device: "rtx-3080",
+            device: dev("rtx-3080"),
             scale: "tiny",
             workload: "GMS",
             kernel: Some("no-such-kernel"),
@@ -551,6 +556,133 @@ fn similar_queries_ingest_search_and_trace_end_to_end() {
             tracez.body
         );
     }
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The heterogeneous surface: a backend started with a device subset
+/// advertises exactly that subset, serves only those devices, and answers
+/// catalog triples outside its subset with the 404 envelope.
+#[test]
+fn device_subset_is_advertised_and_gated() {
+    let dir = std::env::temp_dir().join(format!("cactus-serve-it-devices-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue: 16,
+        store_dir: Some(dir.clone()),
+        devices: vec!["rtx-3060".to_owned(), "uhd-630".to_owned()],
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(120));
+
+    // /v1/healthz advertises the modeled subset after the `ok` line.
+    let health = client.get("/v1/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\ndevices rtx-3060 uhd-630\n");
+    assert_eq!(
+        cactus_serve::parse_health_devices(&health.body),
+        Some(vec!["rtx-3060".to_owned(), "uhd-630".to_owned()])
+    );
+
+    // /v1/devices lists the whole catalog, flagging the modeled subset.
+    let devices = client.devices().expect("devices page");
+    assert_eq!(devices.len(), cactus_gpu::CATALOG.len());
+    let modeled: Vec<&str> = devices
+        .iter()
+        .filter(|d| d.modeled)
+        .map(|d| d.id.as_str())
+        .collect();
+    assert_eq!(modeled, ["rtx-3060", "uhd-630"]);
+    for d in &devices {
+        assert!(d.peak_gips > 0.0, "{}: ceilings must be positive", d.id);
+        assert!(d.peak_gtxn_per_s > 0.0);
+        assert!(d.store_version.starts_with("2."), "{}", d.store_version);
+    }
+
+    // A catalog device outside the subset: 404 envelope, not a simulation.
+    let err = client
+        .profile(ProfileQuery {
+            device: dev("rtx-3080"),
+            scale: "tiny",
+            workload: "GMS",
+        })
+        .expect_err("unmodeled device");
+    match err {
+        ClientError::Api(e) => {
+            assert_eq!(e.code, 404);
+            assert!(e.message.contains("not modeled"), "{}", e.message);
+            assert!(e.message.contains("rtx-3060"), "{}", e.message);
+        }
+        other => panic!("expected the JSON envelope, got {other:?}"),
+    }
+    assert_eq!(metric(&client, "cactus_serve_simulations_total"), 0.0);
+
+    // A modeled device simulates as usual.
+    let profile = client
+        .profile(ProfileQuery {
+            device: dev("uhd-630"),
+            scale: "tiny",
+            workload: "GMS",
+        })
+        .expect("modeled device");
+    assert!(!profile.kernels().is_empty());
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A slug that is not in the catalog at all never leaves the client: the
+/// typed `DeviceId` constructor answers the same 404 envelope locally.
+#[test]
+fn unknown_device_ids_fail_at_the_client() {
+    let err = DeviceId::resolve("rtx-9090").expect_err("not a catalog id");
+    match err {
+        ClientError::Api(e) => {
+            assert_eq!(e.code, 404);
+            assert!(e.message.contains("rtx-9090"), "{}", e.message);
+            assert!(e.message.contains("rtx-3080"), "{}", e.message);
+        }
+        other => panic!("expected the JSON envelope, got {other:?}"),
+    }
+    assert_eq!(
+        dev("RTX-3080").as_str(),
+        "rtx-3080",
+        "ids are canonicalized"
+    );
+}
+
+/// The pre-`/v1` aliases still answer, but carry deprecation headers and
+/// tick the legacy counter; the `/v1` spellings carry neither.
+#[test]
+fn legacy_aliases_carry_deprecation_headers() {
+    let (server, client, dir) = start(2, 16);
+
+    let legacy = client.get("/healthz").expect("legacy alias");
+    assert_eq!(legacy.status, 200);
+    assert_eq!(legacy.body.lines().next(), Some("ok"));
+    assert_eq!(legacy.header("deprecation"), Some("true"));
+    assert_eq!(
+        legacy.header("link"),
+        Some("</v1/healthz>; rel=\"successor-version\"")
+    );
+
+    let legacy_metrics = client.get("/metricsz").expect("legacy metrics alias");
+    assert_eq!(legacy_metrics.status, 200);
+    assert_eq!(legacy_metrics.header("deprecation"), Some("true"));
+    assert_eq!(
+        legacy_metrics.header("link"),
+        Some("</v1/metricsz>; rel=\"successor-version\"")
+    );
+
+    let current = client.get("/v1/healthz").expect("v1 healthz");
+    assert_eq!(current.status, 200);
+    assert_eq!(current.header("deprecation"), None);
+    assert_eq!(current.header("link"), None);
+
+    assert_eq!(metric(&client, "cactus_serve_legacy_requests_total"), 2.0);
 
     server.join();
     let _ = std::fs::remove_dir_all(&dir);

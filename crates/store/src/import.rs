@@ -5,10 +5,12 @@
 //!
 //! ```text
 //! <root>/<device-slug>/<scale>-v<MODEL_VERSION>/<set>.profiles
+//! <root>/<device-id>/<scale>-v<MODEL_VERSION>.<device-rev>/<set>.profiles
 //! ```
 //!
 //! where each `.profiles` file is a `cactus-profile-set v1` document:
-//! header, `model_version N`, `device <name>`, `scale <slug>`,
+//! header, `model_version N`, `device <name>`, optional `device_id` /
+//! `device_rev` lines (catalog-keyed sets), `scale <slug>`,
 //! `entries K`, then per entry an `e <suite>\t<workload>` tag followed by
 //! an embedded `cactus-profile v1` block. The import parses that shape
 //! with plain string operations (no `cactus-profiler` dependency — the
@@ -86,10 +88,21 @@ pub fn import_legacy_tree(store: &Store, root: &Path) -> io::Result<u64> {
     Ok(imported)
 }
 
-/// `"profile-v2"` → `("profile", 2)`.
+/// `"profile-v2"` → `("profile", 2)`; catalog-keyed dirs carry a
+/// per-device revision after a dot (`"profile-v2.1"` → `("profile", 2)`).
 fn split_scale_dir(name: &str) -> Option<(&str, u32)> {
     let (scale, v) = name.rsplit_once("-v")?;
-    let version: u32 = v.parse().ok()?;
+    let major = v.split_once('.').map_or(
+        v,
+        |(major, rev)| {
+            if rev.parse::<u32>().is_ok() {
+                major
+            } else {
+                v
+            }
+        },
+    );
+    let version: u32 = major.parse().ok()?;
     if scale.is_empty() {
         return None;
     }
@@ -134,7 +147,24 @@ fn import_set(
     if !device_line.starts_with("device ") {
         return Err(malformed(format!("bad device line {device_line:?}")));
     }
-    let scale_line = lines.next().ok_or_else(|| malformed("missing scale"))?;
+    // Catalog-keyed sets follow the device name with `device_id` and
+    // `device_rev` lines; the id, when present, is authoritative for the
+    // serving key (and must match the directory it was found under).
+    let mut device_key = device_slug.to_owned();
+    let mut scale_line = lines.next().ok_or_else(|| malformed("missing scale"))?;
+    loop {
+        if let Some(id) = scale_line.strip_prefix("device_id ") {
+            if id != device_slug {
+                return Err(malformed(format!(
+                    "embedded device_id {id:?} does not match directory {device_slug:?}"
+                )));
+            }
+            device_key = id.to_owned();
+        } else if scale_line.strip_prefix("device_rev ").is_none() {
+            break;
+        }
+        scale_line = lines.next().ok_or_else(|| malformed("missing scale"))?;
+    }
     if scale_line.strip_prefix("scale ") != Some(scale) {
         return Err(malformed(format!(
             "scale line {scale_line:?} does not match directory scale {scale:?}"
@@ -179,7 +209,7 @@ fn import_set(
             block.push_str(k);
             block.push('\n');
         }
-        let key = format!("{device_slug}/{scale}/{name}");
+        let key = format!("{device_key}/{scale}/{name}");
         store.append(&key, version, block.as_bytes())?;
         imported += 1;
     }
@@ -259,6 +289,60 @@ mod tests {
         .expect("reopen");
         assert_eq!(store.stats().imported, 0);
         assert_eq!(store.stats().live_records, 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    fn write_catalog_keyed_set(root: &Path, dir_id: &str, embedded_id: &str) {
+        let dir = root.join(dir_id).join("profile-v2.1");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let mut text = String::new();
+        text.push_str("cactus-profile-set v1\n");
+        text.push_str("model_version 2\n");
+        text.push_str("device RTX 3080\n");
+        text.push_str(&format!("device_id {embedded_id}\n"));
+        text.push_str("device_rev 1\n");
+        text.push_str("scale profile\n");
+        text.push_str("entries 1\n");
+        text.push_str("e md\tlennard-jones\n");
+        text.push_str(&fake_profile_block());
+        fs::write(dir.join("cactus.profiles"), text).expect("write set");
+    }
+
+    #[test]
+    fn catalog_keyed_sets_import_under_their_id() {
+        let root = temp_dir("catalog-keyed");
+        write_catalog_keyed_set(&root, "rtx-3080", "rtx-3080");
+        let store = Store::open_with(
+            &root,
+            StoreOptions {
+                import_legacy: true,
+                ..StoreOptions::default()
+            },
+        )
+        .expect("open");
+        assert_eq!(store.stats().imported, 1);
+        assert!(store
+            .get("rtx-3080/profile/lennard-jones")
+            .expect("get")
+            .is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn embedded_id_mismatch_is_skipped() {
+        let root = temp_dir("id-mismatch");
+        // A set embedded with one id sitting under another id's directory
+        // (a hand-moved store) must not import under either key.
+        write_catalog_keyed_set(&root, "rtx-3060", "rtx-3080");
+        let store = Store::open_with(
+            &root,
+            StoreOptions {
+                import_legacy: true,
+                ..StoreOptions::default()
+            },
+        )
+        .expect("open");
+        assert_eq!(store.stats().imported, 0);
         let _ = fs::remove_dir_all(&root);
     }
 
