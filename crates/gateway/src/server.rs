@@ -445,11 +445,15 @@ fn respond(
     request: &Request,
     ctx: cactus_obs::SpanCtx<'_>,
 ) -> Forwarded {
+    if request.method == "POST" && request.path == "/v1/workloads" {
+        return broadcast_workload(backend_addrs, request, ctx);
+    }
     if request.method != "GET" {
         return Forwarded {
             status: 405,
             content_type: "application/json".to_owned(),
-            body: ApiError::new(405, "only GET is supported").to_json(),
+            body: ApiError::new(405, "only GET is supported (POST only on /v1/workloads)")
+                .to_json(),
             backend: None,
         };
     }
@@ -517,6 +521,50 @@ fn respond(
             response
         }
     }
+}
+
+/// `POST /v1/workloads`: broadcast one submitted IR definition to every
+/// backend, so the workload becomes routable wherever the hash ring may
+/// land its profile requests. Every backend runs the same deterministic
+/// validator over the same bytes, so a non-200 verdict (a rejection) from
+/// any backend is authoritative and returned immediately; otherwise the
+/// first 200 answers. Only transport errors on *every* backend yield 502.
+fn broadcast_workload(
+    backend_addrs: &[SocketAddr],
+    request: &Request,
+    ctx: cactus_obs::SpanCtx<'_>,
+) -> Forwarded {
+    let mut accepted: Option<Forwarded> = None;
+    for (index, addr) in backend_addrs.iter().enumerate() {
+        let mut span = ctx.child("proxy.attempt");
+        span.tag("backend", addr.to_string());
+        match Client::new(*addr).post_traced("/v1/workloads", &request.body, Some(ctx.trace())) {
+            Ok(reply) => {
+                span.tag("status", reply.status.to_string());
+                let content_type = reply
+                    .header("content-type")
+                    .unwrap_or("text/plain; charset=utf-8")
+                    .to_owned();
+                let forwarded = Forwarded {
+                    status: reply.status,
+                    content_type,
+                    body: reply.body,
+                    backend: Some(index),
+                };
+                if reply.status != 200 {
+                    return forwarded;
+                }
+                accepted.get_or_insert(forwarded);
+            }
+            Err(e) => span.tag("error", e.to_string()),
+        }
+    }
+    accepted.unwrap_or_else(|| Forwarded {
+        status: 502,
+        content_type: "application/json".to_owned(),
+        body: ApiError::new(502, "no backend accepted the workload submission").to_json(),
+        backend: None,
+    })
 }
 
 /// `/v1/tracez[?trace=ID]`: the gateway's span ring as JSON lines. The

@@ -198,6 +198,7 @@ pub struct Gpu {
     memo_hits: u64,
     memo_misses: u64,
     scratch: LaunchScratch,
+    desc_log: Option<Vec<KernelDesc>>,
 }
 
 impl Gpu {
@@ -213,6 +214,7 @@ impl Gpu {
             memo_hits: 0,
             memo_misses: 0,
             scratch: LaunchScratch::default(),
+            desc_log: None,
         }
     }
 
@@ -229,6 +231,9 @@ impl Gpu {
     /// fraction) was simulated before on this device, the cached result is
     /// replayed instead of re-running the memory and timing models.
     pub fn launch(&mut self, kernel: &KernelDesc) -> &LaunchRecord {
+        if let Some(log) = self.desc_log.as_mut() {
+            log.push(kernel.clone());
+        }
         let (timing, metrics) = if self.memo_enabled {
             // Stage the fingerprint in the scratch arena and look it up by
             // slice; a heap-allocated key is built only when a miss has to
@@ -279,6 +284,19 @@ impl Gpu {
     /// cached entries in place (re-enable to use them again).
     pub fn set_memoization(&mut self, enabled: bool) {
         self.memo_enabled = enabled;
+    }
+
+    /// Start logging every launched descriptor (cleared of prior entries).
+    /// Workload capture uses this to lift hardcoded runners into the IR;
+    /// it is off by default because descriptors are heap-heavy.
+    pub fn enable_desc_log(&mut self) {
+        self.desc_log = Some(Vec::new());
+    }
+
+    /// Take the logged descriptors and stop logging.
+    #[must_use]
+    pub fn take_desc_log(&mut self) -> Vec<KernelDesc> {
+        self.desc_log.take().unwrap_or_default()
     }
 
     /// Launches answered from the memo cache.

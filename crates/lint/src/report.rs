@@ -125,6 +125,30 @@ mod tests {
         assert!(json.contains("\"count\":1"));
     }
 
+    /// Pin the full JSON document for a hostile message byte for byte.
+    /// `json_str` already escaped correctly when this was written; this
+    /// exact-output regression exists so any future change to the escape
+    /// table (or a switch to a shared helper) that breaks `--format json`
+    /// for quotes, backslashes, or control characters fails loudly here
+    /// instead of producing unparseable CI output.
+    #[test]
+    fn json_document_with_hostile_message_is_exactly_escaped() {
+        let f = vec![Finding::new(
+            "surface",
+            "crates/a b/src/x.rs",
+            3,
+            "quote \" backslash \\ newline \n tab \t cr \r esc \u{1b} done".into(),
+        )];
+        assert_eq!(
+            render_json(&f),
+            "{\"findings\":[{\"rule\":\"surface\",\"file\":\"crates/a b/src/x.rs\",\
+             \"line\":3,\"message\":\"quote \\\" backslash \\\\ newline \\n tab \\t \
+             cr \\r esc \\u001b done\"}],\"count\":1}\n"
+        );
+        // And the empty document stays a constant.
+        assert_eq!(render_json(&[]), "{\"findings\":[],\"count\":0}\n");
+    }
+
     #[test]
     fn sort_is_stable_by_file_then_line() {
         let mut f = vec![

@@ -22,7 +22,7 @@ use crate::scan::{SourceFile, Workspace};
 const RULE: &str = "no_panic";
 
 /// Crates whose whole `src/` tree is a daemon path.
-const DAEMON_CRATES: &[&str] = &["serve", "gateway", "obs", "simindex", "store"];
+const DAEMON_CRATES: &[&str] = &["serve", "gateway", "obs", "simindex", "store", "wir"];
 
 /// Individual `gpu` files on the daemon's cold-simulate path: the engine
 /// pool, the launch engine it hands out, and the batched cache

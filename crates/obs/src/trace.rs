@@ -38,6 +38,10 @@ use crate::lock::{rank, RankedMutex};
 /// | `serve.store`   | serve, profile-store lookup                        |
 /// | `serve.simulate`| serve, single-flight simulation of a store miss    |
 /// | `serve.similar` | serve, one `/v1/similar` query end to end          |
+/// | `serve.workload`| serve, one `POST /v1/workloads` submission         |
+/// | `wir.parse`     | serve, parsing a submitted IR definition           |
+/// | `wir.check`     | serve, static validation of a submitted definition |
+/// | `wir.exec`      | serve, IR interpretation against a pooled engine   |
 /// | `engine.launch` | engine pool, one simulated kernel launch           |
 /// | `simindex.encode` | simindex, FAMD projection of a kernel profile    |
 /// | `simindex.search` | simindex, pruned k-NN probe of the vector index  |
@@ -56,6 +60,10 @@ pub const SPAN_NAMES: &[&str] = &[
     "serve.store",
     "serve.simulate",
     "serve.similar",
+    "serve.workload",
+    "wir.parse",
+    "wir.check",
+    "wir.exec",
     "engine.launch",
     "simindex.encode",
     "simindex.search",

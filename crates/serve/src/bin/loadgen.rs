@@ -40,6 +40,9 @@ usage: loadgen --target HOST:PORT [--target HOST:PORT ...] [options]
   --path PATH        request path (default /v1/profile/rtx-3080/tiny/GMS)
   --similar TRIPLE   DEVICE/SCALE/WORKLOAD; every 4th request becomes a
                      /v1/similar reference query for that triple
+  --workload-file F  POST the cactus-wir definition in file F to the first
+                     target before the run; unless --path is given, the run
+                     then loads /v1/profile/rtx-3080/tiny/<its name>
   --help             show this help
 ";
 
@@ -51,7 +54,11 @@ struct Args {
     clients: usize,
     requests: u64,
     path: String,
+    /// Whether `--path` was given explicitly (suppresses the derived
+    /// profile path of `--workload-file`).
+    path_explicit: bool,
     similar_path: Option<String>,
+    workload_file: Option<String>,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
@@ -59,7 +66,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
     let mut clients = 4usize;
     let mut requests = 200u64;
     let mut path = "/v1/profile/rtx-3080/tiny/GMS".to_owned();
+    let mut path_explicit = false;
     let mut similar_path = None;
+    let mut workload_file = None;
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" {
             return Ok(None);
@@ -85,7 +94,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
                     .parse()
                     .map_err(|_| format!("--requests: invalid number {value:?}"))?;
             }
-            "--path" => path = value,
+            "--path" => {
+                path = value;
+                path_explicit = true;
+            }
+            "--workload-file" => workload_file = Some(value),
             "--similar" => {
                 let parts: Vec<&str> = value.split('/').collect();
                 let [device, scale, workload] = parts.as_slice() else {
@@ -111,8 +124,41 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, St
         clients: clients.max(1),
         requests,
         path,
+        path_explicit,
         similar_path,
+        workload_file,
     }))
+}
+
+/// Submit the `--workload-file` definition to the first target and return
+/// the profile path the run should load (the explicit `--path` wins).
+fn submit_workload(args: &Args, file: &str) -> Result<Option<String>, String> {
+    let source =
+        std::fs::read_to_string(file).map_err(|e| format!("--workload-file {file}: {e}"))?;
+    let target = *args
+        .targets
+        .first()
+        .ok_or_else(|| "no targets configured".to_owned())?;
+    let mut conn = Connection::new(target, Duration::from_secs(60));
+    let reply = conn
+        .post_traced("/v1/workloads", &source, None)
+        .map_err(|e| format!("POST /v1/workloads: {e}"))?;
+    if !(200..300).contains(&reply.status) {
+        return Err(format!(
+            "POST /v1/workloads answered {}: {}",
+            reply.status,
+            reply.body.trim_end()
+        ));
+    }
+    println!("loadgen: {}", reply.body.trim_end());
+    if args.path_explicit {
+        return Ok(None);
+    }
+    // Derive the default request path from the definition's own name. The
+    // submission already validated it server-side, so a parse failure here
+    // is unreachable; surface it instead of unwrapping anyway.
+    let def = cactus_wir::parse(&source).map_err(|f| format!("--workload-file {file}: {f}"))?;
+    Ok(Some(format!("/v1/profile/rtx-3080/tiny/{}", def.name)))
 }
 
 #[derive(Default, Clone)]
@@ -136,6 +182,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    let mut args = args;
+    if let Some(file) = args.workload_file.take() {
+        match submit_workload(&args, &file) {
+            Ok(Some(derived)) => args.path = derived,
+            Ok(None) => {}
+            Err(msg) => {
+                eprintln!("loadgen: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let issued = Arc::new(AtomicU64::new(0));
     let tally = Arc::new(Mutex::new(Tally {

@@ -145,6 +145,12 @@ impl ResponseCache {
     pub fn clear(&self) {
         self.inner.lock().map.clear();
     }
+
+    /// Drop one cached response (used to invalidate derived listings when
+    /// a submission changes what they would contain).
+    pub fn remove(&self, key: &str) {
+        self.inner.lock().map.remove(key);
+    }
 }
 
 #[cfg(test)]

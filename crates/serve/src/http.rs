@@ -378,6 +378,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        422 => "Unprocessable Content",
         500 => "Internal Server Error",
         502 => "Bad Gateway",
         503 => "Service Unavailable",

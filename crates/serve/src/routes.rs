@@ -16,13 +16,14 @@
 //! with `read_profile`), the rest serve CSV.
 
 use cactus_analysis::roofline::Roofline;
+use cactus_obs::api::json_escape;
 use cactus_obs::{SpanCtx, TraceId};
 use cactus_profiler::{csv, store as profile_store};
 
 use crate::cache::CachedResponse;
 use crate::http::{Request, Response};
 use crate::server::ServerState;
-use crate::service::{Triple, SCALE_SLUGS};
+use crate::service::{Triple, WorkloadRejection, SCALE_SLUGS};
 
 /// The endpoint family served under
 /// `/v1/<endpoint>/<device>/<scale>/<workload>`. `cactus-lint`'s surface
@@ -51,17 +52,22 @@ pub(crate) const TEXT: &str = "text/plain; charset=utf-8";
 #[must_use]
 pub fn respond(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Response {
     let record_key = req.path.strip_prefix("/v1/store/record/");
-    if req.method != "GET" && !(req.method == "POST" && record_key.is_some()) {
+    let workloads_post = req.method == "POST" && req.path == "/v1/workloads";
+    if req.method != "GET" && !(req.method == "POST" && record_key.is_some()) && !workloads_post {
         return Response::error(
             405,
             format!(
-                "method {} not allowed; use GET (POST is accepted only on {STORE_RECORD_ROUTE})",
+                "method {} not allowed; use GET (POST is accepted only on /v1/workloads and \
+                 {STORE_RECORD_ROUTE})",
                 req.method
             ),
         );
     }
     if let Some(key) = record_key {
         return store_record(state, req, key, ctx);
+    }
+    if workloads_post {
+        return submit_workload(state, req, ctx);
     }
     match req.path.as_str() {
         "/v1/healthz" => Response::ok(healthz_body(state), TEXT),
@@ -136,6 +142,68 @@ fn store_record(state: &ServerState, req: &Request, key: &str, ctx: SpanCtx<'_>)
     }
 }
 
+/// `POST /v1/workloads`: submit one `cactus-wir` definition. The body is
+/// the definition source; it runs the full static validator before
+/// anything durable happens. Rejections answer `422` with the findings as
+/// JSON (the shared error envelope extended with a `findings` array whose
+/// entries mirror `cactus-wir-check --format json`); acceptance persists
+/// the source, admits the workload into the triple routes, and invalidates
+/// the cached `/v1/workloads` listing.
+fn submit_workload(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Response {
+    let mut span = ctx.child("serve.workload");
+    span.tag("bytes", req.body.len().to_string());
+    match state.service.register_wir(&req.body, Some(span.ctx())) {
+        Ok((name, replaced)) => {
+            span.tag("workload", &name);
+            span.tag("replaced", if replaced { "true" } else { "false" });
+            state.cache.remove("workloads");
+            Response::ok(
+                format!(
+                    "{} workload {name:?}; profiles at /v1/profile/<device>/<scale>/{name}\n",
+                    if replaced { "replaced" } else { "registered" },
+                ),
+                TEXT,
+            )
+        }
+        Err(WorkloadRejection::Invalid(findings)) => {
+            span.tag("findings", findings.len().to_string());
+            let mut body = format!(
+                "{{\"code\":422,\"message\":\"workload definition rejected: {} finding(s)\",\
+                 \"retryable\":false,\"findings\":[",
+                findings.len()
+            );
+            for (i, f) in findings.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!(
+                    "{{\"pass\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                    json_escape(f.pass),
+                    f.line,
+                    json_escape(&f.message)
+                ));
+            }
+            body.push_str("]}");
+            Response {
+                status: 422,
+                content_type: "application/json",
+                body,
+                retry_after: None,
+                trace: None,
+                extra_headers: Vec::new(),
+            }
+        }
+        Err(WorkloadRejection::Conflict(msg)) => {
+            span.tag("error", msg.clone());
+            Response::error(400, msg)
+        }
+        Err(WorkloadRejection::Store(msg)) => {
+            span.tag("error", msg.clone());
+            Response::error(500, msg)
+        }
+    }
+}
+
 /// `/v1/store/statz`: one plain-text page of storage-engine state.
 fn store_statz(state: &ServerState) -> String {
     let store = state.service.store();
@@ -200,8 +268,9 @@ fn route_triple(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Respons
             return Response::error(
                 404,
                 "unknown route; try /v1/healthz, /v1/metricsz, /v1/tracez, /v1/devices, \
-                 /v1/workloads, /v1/similar, /v1/similar/stats, /v1/store/manifest, \
-                 /v1/store/statz, /v1/store/record/<device>/<scale>/<workload>, or \
+                 /v1/workloads (GET catalog, POST a cactus-wir definition), /v1/similar, \
+                 /v1/similar/stats, /v1/store/manifest, /v1/store/statz, \
+                 /v1/store/record/<device>/<scale>/<workload>, or \
                  /v1/{profile|kernels|roofline|dominant}/<device>/<scale>/<workload>",
             )
         }
@@ -214,7 +283,7 @@ fn route_triple(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Respons
             ),
         );
     }
-    let triple = match Triple::resolve(device, scale, workload) {
+    let triple = match state.service.resolve_triple(device, scale, workload) {
         Ok(t) => t,
         Err(msg) => return Response::error(404, msg),
     };
@@ -372,6 +441,9 @@ fn workloads_catalog(state: &ServerState) -> String {
     }
     for b in cactus_suites::all() {
         out.push_str(&format!("{},{}\n", b.suite.name(), b.name));
+    }
+    for name in state.service.wir_names() {
+        out.push_str(&format!("WIR,{}\n", csv_escape(&name)));
     }
     out
 }

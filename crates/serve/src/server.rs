@@ -126,6 +126,7 @@ struct ScrapedGauges {
     cache_misses: Gauge,
     cache_entries: Gauge,
     memo_hit_rate: Gauge,
+    wir_definitions: Gauge,
     simindex_size: Gauge,
     simindex_cells: Gauge,
     simindex_clusters: Gauge,
@@ -159,6 +160,10 @@ impl ScrapedGauges {
             memo_hit_rate: registry.gauge(
                 "cactus_serve_engine_memo_hit_rate",
                 "fraction of launches replayed from memo caches",
+            )?,
+            wir_definitions: registry.gauge(
+                "cactus_wir_definitions",
+                "IR workload definitions in the routing registry",
             )?,
             simindex_size: registry
                 .gauge("cactus_simindex_size", "vectors in the similarity index")?,
@@ -238,6 +243,9 @@ impl ServerState {
         self.scraped.cache_entries.set(self.cache.len() as f64);
         let memo = self.service.engine_memo_stats();
         self.scraped.memo_hit_rate.set(memo.hit_rate());
+        self.scraped
+            .wir_definitions
+            .set(self.service.wir_count() as f64);
         let sim = self.sim.snapshot();
         self.scraped.simindex_size.set(sim.index.size as f64);
         self.scraped.simindex_cells.set(sim.index.cells as f64);

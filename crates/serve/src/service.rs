@@ -6,6 +6,7 @@
 //! admits them), so a restart serves yesterday's corpus instead of
 //! starting cold.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -15,11 +16,13 @@ use cactus_gpu::catalog;
 use cactus_gpu::engine::MemoStats;
 use cactus_gpu::pool::{GpuPool, PoolInstruments};
 use cactus_gpu::{Device, MODEL_VERSION};
+use cactus_obs::lock::{rank, RankedMutex};
 use cactus_obs::{Counter, MetricsRegistry, SpanCtx};
 use cactus_profiler::store as profile_store;
 use cactus_profiler::Profile;
 use cactus_store::Store;
 use cactus_suites::Benchmark;
+use cactus_wir::Finding;
 
 use crate::singleflight::SingleFlight;
 
@@ -58,22 +61,38 @@ fn scale_slug(scale: SuiteScale) -> &'static str {
     }
 }
 
-/// A servable workload: a Cactus suite member or a PRT comparison
-/// benchmark.
+/// A workload submitted through `POST /v1/workloads` as a `cactus-wir`
+/// definition: the validated AST plus the canonical source it was parsed
+/// from (the source is what the store persists and `/v1/workloads` echoes).
+pub struct WirWorkload {
+    /// The definition's `workload "<name>"` header, used as the URL slug.
+    pub name: String,
+    /// Source text as submitted (the durable store holds these bytes).
+    pub source: String,
+    /// The validated definition the interpreter executes.
+    pub def: cactus_wir::WorkloadDef,
+}
+
+/// A servable workload: a Cactus suite member, a PRT comparison benchmark,
+/// or a submitted IR definition.
 pub enum ServableWorkload {
     /// One of the ten Cactus workloads (keyed by abbreviation).
     Cactus(Workload),
     /// One Parboil/Rodinia/Tango benchmark (keyed by name).
     Prt(Benchmark),
+    /// A validated `cactus-wir` definition (keyed by its workload name).
+    Wir(Arc<WirWorkload>),
 }
 
 impl ServableWorkload {
-    /// Canonical name: the Cactus abbreviation or the PRT benchmark name.
+    /// Canonical name: the Cactus abbreviation, the PRT benchmark name, or
+    /// the IR definition's workload name.
     #[must_use]
-    pub fn name(&self) -> &'static str {
+    pub fn name(&self) -> &str {
         match self {
             ServableWorkload::Cactus(w) => w.abbr,
             ServableWorkload::Prt(b) => b.name,
+            ServableWorkload::Wir(w) => &w.name,
         }
     }
 }
@@ -86,6 +105,112 @@ pub fn workload_by_name(name: &str) -> Option<ServableWorkload> {
         return Some(ServableWorkload::Cactus(w));
     }
     cactus_suites::by_name(name).map(ServableWorkload::Prt)
+}
+
+/// Store-key prefix for submitted IR definitions. Lives in the same
+/// durable store as profiles but in a disjoint key namespace — profile
+/// keys always start with a catalog device slug, never `wir/`.
+const WIR_KEY_PREFIX: &str = "wir/";
+
+/// Why `POST /v1/workloads` refused a submission.
+pub enum WorkloadRejection {
+    /// The static validator found defects; maps to `422` with the findings.
+    Invalid(Vec<Finding>),
+    /// The name collides with a built-in catalog entry; maps to `400`.
+    Conflict(String),
+    /// The durable store could not persist the definition; maps to `500`.
+    Store(String),
+}
+
+/// Serve-side submission policy, layered on top of the language-level
+/// validator: the name must be usable as a URL path segment, and a
+/// definition that declares scales must declare every scale the routes can
+/// ask for (otherwise `/v1/profile/<dev>/small/<name>` would fail at
+/// interpretation time — after validation claimed the definition clean).
+fn submission_policy(def: &cactus_wir::WorkloadDef) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let name_ok = !def.name.is_empty()
+        && def.name.len() <= 64
+        && def
+            .name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-');
+    if !name_ok {
+        findings.push(Finding {
+            pass: "serve",
+            line: def.line,
+            message: format!(
+                "workload name {:?} is not routable; use 1-64 chars from [a-z0-9_-]",
+                def.name
+            ),
+        });
+    }
+    if !def.scales.is_empty() {
+        for slug in SCALE_SLUGS {
+            if !def.scales.iter().any(|s| s.name == slug) {
+                findings.push(Finding {
+                    pass: "serve",
+                    line: def.line,
+                    message: format!(
+                        "definition declares scales but omits {slug:?}; declare all of {} (or none)",
+                        SCALE_SLUGS.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Rebuild the submitted-workload registry from the durable store at
+/// startup. Records that no longer parse or validate under the current
+/// binary are skipped with a warning — they stay in the store untouched,
+/// so an upgraded validator quarantines rather than destroys them.
+fn reload_wir(store: &Store) -> BTreeMap<String, Arc<WirWorkload>> {
+    let mut map = BTreeMap::new();
+    for entry in store.entries() {
+        let Some(name) = entry.key.strip_prefix(WIR_KEY_PREFIX) else {
+            continue;
+        };
+        if entry.version != cactus_wir::FORMAT_VERSION {
+            eprintln!(
+                "cactus-serve: skipping stored definition {} at format v{} (binary speaks v{})",
+                entry.key,
+                entry.version,
+                cactus_wir::FORMAT_VERSION
+            );
+            continue;
+        }
+        let Ok(Some(record)) = store.get(&entry.key) else {
+            continue;
+        };
+        let Ok(source) = String::from_utf8(record.value) else {
+            eprintln!("cactus-serve: stored definition {} is not UTF-8", entry.key);
+            continue;
+        };
+        match cactus_wir::analyze(&source, &cactus_wir::CostCeilings::default()) {
+            Ok(def) if def.name == name => {
+                map.insert(
+                    name.to_owned(),
+                    Arc::new(WirWorkload {
+                        name: name.to_owned(),
+                        source,
+                        def,
+                    }),
+                );
+            }
+            Ok(def) => eprintln!(
+                "cactus-serve: stored definition {} names workload {:?}; skipping",
+                entry.key, def.name
+            ),
+            Err(findings) => eprintln!(
+                "cactus-serve: stored definition {} no longer validates ({} finding(s)); skipping",
+                entry.key,
+                findings.len()
+            ),
+        }
+    }
+    map
 }
 
 /// A fully resolved, canonicalized request triple.
@@ -108,6 +233,22 @@ impl Triple {
     /// Returns a human-readable message naming the unknown segment and the
     /// valid options.
     pub fn resolve(device: &str, scale: &str, workload: &str) -> Result<Self, String> {
+        Self::resolve_with(device, scale, workload, |_| None)
+    }
+
+    /// [`Triple::resolve`] with a fallback lookup for workloads outside the
+    /// built-in catalogs (the service passes its submitted-IR registry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the unknown segment and the
+    /// valid options.
+    pub fn resolve_with(
+        device: &str,
+        scale: &str,
+        workload: &str,
+        extra: impl FnOnce(&str) -> Option<ServableWorkload>,
+    ) -> Result<Self, String> {
         let device_slug = device.to_ascii_lowercase();
         let resolved_device = device_by_slug(&device_slug).ok_or_else(|| {
             format!(
@@ -121,9 +262,11 @@ impl Triple {
                 SCALE_SLUGS.join(", ")
             )
         })?;
-        let resolved_workload = workload_by_name(workload).ok_or_else(|| {
-            format!("unknown workload {workload:?}; see /v1/workloads for the catalog")
-        })?;
+        let resolved_workload = workload_by_name(workload)
+            .or_else(|| extra(workload))
+            .ok_or_else(|| {
+                format!("unknown workload {workload:?}; see /v1/workloads for the catalog")
+            })?;
         Ok(Self {
             device_slug,
             device: resolved_device,
@@ -163,8 +306,14 @@ pub struct ProfileService {
     /// In-flight lookups; the value carries whether the store satisfied it.
     flight: SingleFlight<(Arc<Profile>, bool)>,
     store: Arc<Store>,
+    /// Workloads submitted through `POST /v1/workloads`, keyed by name.
+    /// Held only for point lookups and inserts — never across a simulation.
+    wir: RankedMutex<BTreeMap<String, Arc<WirWorkload>>>,
     store_hits: Counter,
     simulations: Counter,
+    workloads_submitted: Counter,
+    workloads_rejected: Counter,
+    wir_exec_kernels: Counter,
 }
 
 impl ProfileService {
@@ -247,10 +396,12 @@ impl ProfileService {
         let dir = store_dir.unwrap_or_else(store::store_dir);
         let durable = Store::open(&dir)
             .map_err(|e| format!("cannot open profile store at {}: {e}", dir.display()))?;
+        let wir = reload_wir(&durable);
         Ok(Self {
             pools,
             flight: SingleFlight::new(),
             store: Arc::new(durable),
+            wir: RankedMutex::new(rank::WIR_REGISTRY, "serve.wir_registry", wir),
             store_hits: registry
                 .counter(
                     "cactus_serve_store_hits_total",
@@ -261,6 +412,24 @@ impl ProfileService {
                 .counter(
                     "cactus_serve_simulations_total",
                     "profiles computed by live simulation",
+                )
+                .map_err(reg)?,
+            workloads_submitted: registry
+                .counter(
+                    "cactus_serve_workloads_submitted_total",
+                    "IR definitions accepted through POST /v1/workloads",
+                )
+                .map_err(reg)?,
+            workloads_rejected: registry
+                .counter(
+                    "cactus_serve_workloads_rejected_total",
+                    "IR submissions refused by the static validator",
+                )
+                .map_err(reg)?,
+            wir_exec_kernels: registry
+                .counter(
+                    "cactus_wir_exec_kernels_total",
+                    "kernel launches interpreted from IR definitions",
                 )
                 .map_err(reg)?,
         })
@@ -332,7 +501,7 @@ impl ProfileService {
                     span.tag("key", &key);
                 }
                 self.simulate(triple, span.as_ref().map(cactus_obs::SpanGuard::ctx))
-            };
+            }?;
             self.append_to_store(&key, &profile, ctx);
             Ok((Arc::new(profile), false))
         });
@@ -409,7 +578,130 @@ impl ProfileService {
             .map_err(|e| format!("store append failed: {e}"))
     }
 
-    fn simulate(&self, triple: &Triple, ctx: Option<SpanCtx<'_>>) -> Profile {
+    /// Validate and register one submitted IR definition: parse, run the
+    /// full static validator, apply the serve submission policy, persist
+    /// the source durably, and admit the workload into the routing
+    /// registry. Returns the workload name and whether it replaced an
+    /// earlier submission of the same name.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadRejection::Invalid`] carries validator findings (nothing
+    /// was persisted); [`WorkloadRejection::Conflict`] a built-in name
+    /// collision; [`WorkloadRejection::Store`] a persistence failure.
+    pub fn register_wir(
+        &self,
+        source: &str,
+        ctx: Option<SpanCtx<'_>>,
+    ) -> Result<(String, bool), WorkloadRejection> {
+        let reject = |findings: Vec<Finding>| {
+            self.workloads_rejected.inc();
+            WorkloadRejection::Invalid(findings)
+        };
+        let def = {
+            let mut span = ctx.map(|c| c.child("wir.parse"));
+            match cactus_wir::parse(source) {
+                Ok(def) => def,
+                Err(f) => {
+                    if let Some(span) = &mut span {
+                        span.tag("error", f.to_string());
+                    }
+                    return Err(reject(vec![f]));
+                }
+            }
+        };
+        {
+            let mut span = ctx.map(|c| c.child("wir.check"));
+            let mut findings = cactus_wir::check_with(&def, &cactus_wir::CostCeilings::default());
+            if findings.is_empty() {
+                findings = submission_policy(&def);
+            }
+            if let Some(span) = &mut span {
+                span.tag("workload", &def.name);
+                span.tag("findings", findings.len().to_string());
+            }
+            if !findings.is_empty() {
+                return Err(reject(findings));
+            }
+        }
+        if workload_by_name(&def.name).is_some() {
+            self.workloads_rejected.inc();
+            return Err(WorkloadRejection::Conflict(format!(
+                "workload name {:?} is taken by a built-in catalog entry",
+                def.name
+            )));
+        }
+        let key = format!("{WIR_KEY_PREFIX}{}", def.name);
+        {
+            let mut span = ctx.map(|c| c.child("store.append"));
+            if let Some(span) = &mut span {
+                span.tag("bytes", source.len().to_string());
+            }
+            if let Err(e) = self
+                .store
+                .append(&key, cactus_wir::FORMAT_VERSION, source.as_bytes())
+            {
+                self.workloads_rejected.inc();
+                if let Some(span) = &mut span {
+                    span.tag("error", e.to_string());
+                }
+                return Err(WorkloadRejection::Store(format!(
+                    "store append failed: {e}"
+                )));
+            }
+        }
+        let name = def.name.clone();
+        let workload = Arc::new(WirWorkload {
+            name: name.clone(),
+            source: source.to_owned(),
+            def,
+        });
+        let replaced = self.wir.lock().insert(name.clone(), workload).is_some();
+        self.workloads_submitted.inc();
+        Ok((name, replaced))
+    }
+
+    /// Resolve raw path segments against the built-in catalogs *and* the
+    /// submitted-IR registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the unknown segment.
+    pub fn resolve_triple(
+        &self,
+        device: &str,
+        scale: &str,
+        workload: &str,
+    ) -> Result<Triple, String> {
+        Triple::resolve_with(device, scale, workload, |name| {
+            self.wir_workload(name).map(ServableWorkload::Wir)
+        })
+    }
+
+    /// Look up one submitted definition by name.
+    #[must_use]
+    pub fn wir_workload(&self, name: &str) -> Option<Arc<WirWorkload>> {
+        self.wir.lock().get(name).cloned()
+    }
+
+    /// Names of every registered submitted definition, sorted.
+    #[must_use]
+    pub fn wir_names(&self) -> Vec<String> {
+        self.wir.lock().keys().cloned().collect()
+    }
+
+    /// Registered submitted definitions.
+    #[must_use]
+    pub fn wir_count(&self) -> usize {
+        self.wir.lock().len()
+    }
+
+    /// Run the triple's workload on a pooled engine. Built-in workloads are
+    /// infallible; IR definitions are interpreted under a `wir.exec` span
+    /// and surface interpreter failures (the static validator makes these
+    /// unreachable for registered definitions, but the error path stays —
+    /// the interpreter is the final authority).
+    fn simulate(&self, triple: &Triple, ctx: Option<SpanCtx<'_>>) -> Result<Profile, String> {
         let pool = self.pool(&triple.device_slug);
         let mut gpu = pool.checkout();
         let mut span = ctx.map(|c| c.child("engine.launch"));
@@ -424,6 +716,22 @@ impl ProfileService {
                 };
                 b.run(&mut gpu, scale);
             }
+            ServableWorkload::Wir(w) => {
+                let mut exec = span
+                    .as_ref()
+                    .map(|s| s.ctx().child("wir.exec"))
+                    .or_else(|| ctx.map(|c| c.child("wir.exec")));
+                if let Some(exec) = &mut exec {
+                    exec.tag("workload", &w.name);
+                    exec.tag("scale", scale_slug(triple.scale));
+                }
+                let launches = cactus_wir::run(&w.def, Some(scale_slug(triple.scale)), &mut gpu)
+                    .map_err(|e| format!("wir exec failed at line {}: {}", e.line, e.message))?;
+                self.wir_exec_kernels.add(launches);
+                if let Some(exec) = &mut exec {
+                    exec.tag("launches", launches.to_string());
+                }
+            }
         }
         if let Some(span) = &mut span {
             let delta = gpu.memo_delta();
@@ -431,7 +739,7 @@ impl ProfileService {
             span.tag("memo_hits", delta.hits.to_string());
             span.tag("memo_misses", delta.misses.to_string());
         }
-        Profile::from_records(gpu.records())
+        Ok(Profile::from_records(gpu.records()))
     }
 
     fn pool(&self, device_slug: &str) -> &GpuPool {

@@ -687,3 +687,109 @@ fn legacy_aliases_carry_deprecation_headers() {
     server.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `POST /v1/workloads` end to end: an invalid definition is refused with
+/// `422` and line-accurate findings, a valid one registers, lists, serves
+/// profiles through the ordinary triple routes, and survives a restart
+/// from the durable store — bit-identical to a direct interpretation.
+#[test]
+fn workload_submission_validates_persists_and_serves() {
+    let (server, client, dir) = start(2, 16);
+
+    // Seeded defect: unknown kernel on line 2 — the types pass refuses it.
+    let bad = "workload \"bad\" {\n  run { launch ghost; }\n}\n";
+    let reply = client
+        .post_traced("/v1/workloads", bad, None)
+        .expect("post invalid");
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    assert!(reply.body.contains("\"findings\":["), "{}", reply.body);
+    assert!(reply.body.contains("\"pass\":\"types\""), "{}", reply.body);
+    assert!(reply.body.contains("\"line\":2"), "{}", reply.body);
+    assert_eq!(
+        metric(&client, "cactus_serve_workloads_rejected_total"),
+        1.0
+    );
+    assert_eq!(metric(&client, "cactus_wir_definitions"), 0.0);
+
+    // A built-in name cannot be shadowed.
+    let clash = "workload \"gms\" {\n  kernel k { launch grid(1, 128); }\n  run { launch k; }\n}\n";
+    let reply = client
+        .post_traced("/v1/workloads", clash, None)
+        .expect("post clash");
+    assert_eq!(reply.status, 400, "{}", reply.body);
+
+    // The shipped GNN definition is accepted and immediately servable.
+    let gnn = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../wir/defs/gnn.wir"),
+    )
+    .expect("gnn def");
+    let reply = client
+        .post_traced("/v1/workloads", &gnn, None)
+        .expect("post gnn");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(
+        reply.body.contains("registered workload \"gnn\""),
+        "{}",
+        reply.body
+    );
+    assert_eq!(
+        metric(&client, "cactus_serve_workloads_submitted_total"),
+        1.0
+    );
+    assert_eq!(metric(&client, "cactus_wir_definitions"), 1.0);
+
+    // The cached catalog was invalidated and now lists the submission.
+    let catalog = client.get("/v1/workloads").expect("catalog");
+    assert!(catalog.body.contains("WIR,gnn"), "{}", catalog.body);
+
+    // Profiles route like built-ins and match a direct interpretation of
+    // the same definition byte for byte.
+    let served = client
+        .get("/v1/profile/rtx-3080/tiny/gnn")
+        .expect("gnn profile");
+    assert_eq!(served.status, 200, "{}", served.body);
+    let def =
+        cactus_wir::analyze(&gnn, &cactus_wir::CostCeilings::default()).expect("gnn validates");
+    let mut gpu = cactus_gpu::Gpu::new(cactus_gpu::Device::rtx3080());
+    cactus_wir::run(&def, Some("tiny"), &mut gpu).expect("interpret");
+    let local = cactus_profiler::Profile::from_records(gpu.records());
+    assert_eq!(
+        served.body,
+        cactus_profiler::store::write_profile(&local),
+        "served IR profile must equal a direct interpretation"
+    );
+
+    // Resubmission replaces, not duplicates.
+    let reply = client
+        .post_traced("/v1/workloads", &gnn, None)
+        .expect("post gnn again");
+    assert_eq!(reply.status, 200);
+    assert!(
+        reply.body.contains("replaced workload \"gnn\""),
+        "{}",
+        reply.body
+    );
+
+    server.join();
+
+    // Restart over the same store: the definition reloads and its profile
+    // is answered from the durable store without re-simulation.
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue: 16,
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("restart");
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(120));
+    assert_eq!(metric(&client, "cactus_wir_definitions"), 1.0);
+    let replayed = client
+        .get("/v1/profile/rtx-3080/tiny/gnn")
+        .expect("gnn profile after restart");
+    assert_eq!(replayed.status, 200, "{}", replayed.body);
+    assert_eq!(replayed.body, served.body, "restart must not change bytes");
+    assert_eq!(metric(&client, "cactus_serve_simulations_total"), 0.0);
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

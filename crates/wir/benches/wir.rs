@@ -1,0 +1,66 @@
+//! Workload-IR benchmarks.
+//!
+//! * `wir/parse+check` — full front-end cost on the GNN definition: lex,
+//!   parse, and all validator passes. This is the per-submission price
+//!   `POST /v1/workloads` pays before anything executes.
+//! * `wir/exec-vs-native` — interpreter replay of the captured GMS
+//!   definition on a fresh engine. After the timed group a one-shot
+//!   summary prints the hardcoded runner's wall time over the same trace
+//!   so interpreter overhead is visible in bench logs.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cactus_core::SuiteScale;
+use cactus_gpu::{Device, Gpu};
+use cactus_wir::{analyze, parse, CostCeilings};
+
+fn def_path(name: &str) -> String {
+    format!("{}/defs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read_def(name: &str) -> String {
+    std::fs::read_to_string(def_path(name)).expect("shipped definition")
+}
+
+fn bench_wir(c: &mut Criterion) {
+    let gnn = read_def("gnn.wir");
+    let gms = read_def("gms.wir");
+    let gms_def = parse(&gms).expect("gms parses");
+    let ceilings = CostCeilings::default();
+
+    let mut g = c.benchmark_group("wir");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    g.bench_function("parse+check", |b| {
+        b.iter(|| {
+            let def = analyze(&gnn, &ceilings).expect("gnn validates");
+            def.kernels.len()
+        });
+    });
+
+    g.bench_function("exec-vs-native", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(Device::rtx3080());
+            let launches = cactus_wir::run(&gms_def, Some("tiny"), &mut gpu).expect("exec");
+            assert!(launches > 0);
+            gpu.records().len()
+        });
+    });
+    g.finish();
+
+    // One-shot comparison: the hardcoded runner over the same trace.
+    let workload = cactus_core::workloads::by_abbr("GMS").expect("GMS workload");
+    let start = Instant::now();
+    let mut gpu = Gpu::new(Device::rtx3080());
+    workload.run(&mut gpu, SuiteScale::Tiny);
+    println!(
+        "wir/summary: native GMS tiny = {:.3} ms for {} launches",
+        start.elapsed().as_secs_f64() * 1e3,
+        gpu.records().len()
+    );
+}
+
+criterion_group!(wir, bench_wir);
+criterion_main!(wir);

@@ -1,0 +1,334 @@
+//! The IR interpreter: walks a validated definition's schedule and drives
+//! a `cactus_gpu::Gpu`, producing the same `LaunchRecord` trace a
+//! hardcoded workload runner would.
+//!
+//! Execution is meant to follow a clean [`crate::check`] run; it still
+//! defends itself (launch budget, recursion bound, evaluation errors
+//! surfaced as [`ExecError`]) so a library caller skipping validation
+//! cannot wedge or panic a daemon worker.
+
+use crate::ast::{GeomKind, KernelDef, PatternSpec, Stmt, WorkloadDef};
+use crate::eval::{build_env, eval, eval_cond, eval_u32, eval_u64, Env};
+use cactus_gpu::prelude::{
+    AccessPattern, AccessStream, Direction, Gpu, InstructionMix, KernelDesc, LaunchConfig,
+};
+use std::collections::HashMap;
+
+/// Hard backstop on launches per execution, independent of the (softer,
+/// configurable) cost-pass ceiling.
+pub const MAX_LAUNCHES: u64 = 10_000_000;
+
+/// Maximum phase-call nesting during execution.
+const MAX_DEPTH: u32 = 64;
+
+/// Execution failure: line-tagged so serve can report it like a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Execute `def` on `gpu` under the named scale (ignored when the
+/// definition declares no scales). Returns the number of kernel launches
+/// issued.
+pub fn run(def: &WorkloadDef, scale: Option<&str>, gpu: &mut Gpu) -> Result<u64, ExecError> {
+    run_with_budget(def, scale, gpu, MAX_LAUNCHES)
+}
+
+/// [`run`] with an explicit launch budget (tests and embedders that want a
+/// tighter backstop than [`MAX_LAUNCHES`]).
+pub fn run_with_budget(
+    def: &WorkloadDef,
+    scale: Option<&str>,
+    gpu: &mut Gpu,
+    budget: u64,
+) -> Result<u64, ExecError> {
+    let requested = if def.scales.is_empty() { None } else { scale };
+    let env = build_env(def, requested).map_err(|(line, message)| ExecError { line, message })?;
+
+    // Input-dependent kernel selection: the first class whose `when`
+    // condition holds wins; otherwise the declared `else` class.
+    let mut chosen: Option<&str> = None;
+    for c in &def.classes {
+        if let Some(cond) = &c.cond {
+            let hit = eval_cond(cond, &env).map_err(|message| ExecError {
+                line: c.line,
+                message: format!("class `{}`: {message}", c.name),
+            })?;
+            if hit {
+                chosen = Some(c.name.as_str());
+                break;
+            }
+        }
+    }
+    if chosen.is_none() {
+        chosen = def
+            .classes
+            .iter()
+            .find(|c| c.cond.is_none())
+            .map(|c| c.name.as_str());
+    }
+
+    // Build each kernel's descriptor once; the environment is fixed for
+    // the whole run.
+    let mut descs: HashMap<&str, KernelDesc> = HashMap::new();
+    for k in &def.kernels {
+        descs.insert(k.id.as_str(), build_desc(k, &env)?);
+    }
+
+    let mut budget = Budget {
+        launched: 0,
+        limit: budget,
+    };
+    exec_body(def, &def.run, &env, chosen, &descs, gpu, &mut budget, 0)?;
+    Ok(budget.launched)
+}
+
+struct Budget {
+    launched: u64,
+    limit: u64,
+}
+
+fn build_desc(k: &KernelDef, env: &Env) -> Result<KernelDesc, ExecError> {
+    let err = |line: u32, message: String| ExecError { line, message };
+    let name = k.name.clone().unwrap_or_else(|| k.id.clone());
+    let mut builder = KernelDesc::builder(name);
+    if let Some(l) = &k.launch {
+        let a = eval_u64(&l.a, env).map_err(|e| err(l.line, e))?;
+        let b = eval_u64(&l.b, env).map_err(|e| err(l.line, e))?;
+        let tpb = u32::try_from(b).unwrap_or(u32::MAX);
+        let mut launch = match l.kind {
+            GeomKind::Grid => LaunchConfig::new(a, tpb),
+            GeomKind::Linear => LaunchConfig::linear(a, tpb),
+        };
+        if let Some(r) = &l.regs {
+            launch = launch.with_registers(eval_u32(r, env).map_err(|e| err(l.line, e))?);
+        }
+        if let Some(s) = &l.smem {
+            launch = launch.with_shared_mem(eval_u32(s, env).map_err(|e| err(l.line, e))?);
+        }
+        builder = builder.launch(launch);
+    }
+    if !k.mix.is_empty() {
+        let mut mix = InstructionMix::default();
+        for (class, e, line) in &k.mix {
+            let v = eval_u64(e, env).map_err(|e| err(*line, e))?;
+            match class.as_str() {
+                "fp32" => mix.fp32 += v,
+                "special" => mix.special += v,
+                "int" => mix.int += v,
+                "branch" => mix.branch += v,
+                "load" => mix.load += v,
+                "store" => mix.store += v,
+                "shared" => mix.shared += v,
+                "sync" => mix.sync += v,
+                "misc" => mix.misc += v,
+                other => {
+                    return Err(err(*line, format!("unknown mix class `{other}`")));
+                }
+            }
+        }
+        builder = builder.mix(mix);
+    }
+    for s in &k.streams {
+        let accesses = eval_u64(&s.accesses, env).map_err(|e| err(s.line, e))?;
+        let pattern = match &s.pattern {
+            PatternSpec::Streaming => AccessPattern::Streaming,
+            PatternSpec::Random { working_set } => AccessPattern::RandomUniform {
+                working_set_bytes: eval_u64(working_set, env).map_err(|e| err(s.line, e))?,
+            },
+            PatternSpec::Sweep {
+                working_set,
+                sweeps,
+            } => AccessPattern::Sweep {
+                working_set_bytes: eval_u64(working_set, env).map_err(|e| err(s.line, e))?,
+                sweeps: eval_u32(sweeps, env).map_err(|e| err(s.line, e))?,
+            },
+            PatternSpec::HotCold {
+                hot_fraction,
+                hot,
+                cold,
+            } => AccessPattern::HotCold {
+                hot_fraction: *hot_fraction,
+                hot_bytes: eval_u64(hot, env).map_err(|e| err(s.line, e))?,
+                cold_bytes: eval_u64(cold, env).map_err(|e| err(s.line, e))?,
+            },
+            PatternSpec::Broadcast { bytes } => AccessPattern::Broadcast {
+                bytes: eval_u64(bytes, env).map_err(|e| err(s.line, e))?,
+            },
+        };
+        builder = builder.stream(AccessStream {
+            direction: if s.write {
+                Direction::Write
+            } else {
+                Direction::Read
+            },
+            warp_accesses: accesses,
+            transactions_per_access: s.tpa.clamp(1.0, 32.0),
+            pattern,
+        });
+    }
+    if let Some((d, _)) = k.depend {
+        builder = builder.dependency_fraction(d);
+    }
+    Ok(builder.build())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_body(
+    def: &WorkloadDef,
+    body: &[Stmt],
+    env: &Env,
+    class: Option<&str>,
+    descs: &HashMap<&str, KernelDesc>,
+    gpu: &mut Gpu,
+    budget: &mut Budget,
+    depth: u32,
+) -> Result<(), ExecError> {
+    if depth > MAX_DEPTH {
+        return Err(ExecError {
+            line: def.run_line,
+            message: "phase nesting too deep (cycle?)".to_owned(),
+        });
+    }
+    for s in body {
+        match s {
+            Stmt::Launch { kernel, line } => {
+                let Some(desc) = descs.get(kernel.as_str()) else {
+                    return Err(ExecError {
+                        line: *line,
+                        message: format!("unknown kernel `{kernel}`"),
+                    });
+                };
+                if budget.launched >= budget.limit {
+                    return Err(ExecError {
+                        line: *line,
+                        message: format!("launch budget of {} exhausted", budget.limit),
+                    });
+                }
+                gpu.launch(desc);
+                budget.launched += 1;
+            }
+            Stmt::Call { phase, line } => {
+                let Some(inner) = def.phase(phase) else {
+                    return Err(ExecError {
+                        line: *line,
+                        message: format!("unknown phase `{phase}`"),
+                    });
+                };
+                exec_body(def, inner, env, class, descs, gpu, budget, depth + 1)?;
+            }
+            Stmt::Repeat { count, body, line } => {
+                let n = eval(count, env).map_err(|message| ExecError {
+                    line: *line,
+                    message,
+                })?;
+                let n = u64::try_from(n).map_err(|_| ExecError {
+                    line: *line,
+                    message: format!("repeat count evaluates to {n} (must be non-negative)"),
+                })?;
+                for _ in 0..n {
+                    exec_body(def, body, env, class, descs, gpu, budget, depth + 1)?;
+                }
+            }
+            Stmt::Select { arms, line } => {
+                let Some(active) = class else {
+                    return Err(ExecError {
+                        line: *line,
+                        message: "select used but no input class is active".to_owned(),
+                    });
+                };
+                let Some((_, arm)) = arms.iter().find(|(name, _)| name == active) else {
+                    return Err(ExecError {
+                        line: *line,
+                        message: format!("select has no arm for class `{active}`"),
+                    });
+                };
+                exec_body(
+                    def,
+                    std::slice::from_ref(arm),
+                    env,
+                    class,
+                    descs,
+                    gpu,
+                    budget,
+                    depth + 1,
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use cactus_gpu::Device;
+
+    const SELECTING: &str = r#"
+workload "sel" {
+  param n = 4096;
+  scale lo { deg = 2; }
+  scale hi { deg = 64; }
+  class sparse when deg < 8;
+  class dense else;
+  kernel a { mix { int = 10; } }
+  kernel b { mix { fp32 = 10; } }
+  run {
+    repeat 2 {
+      select on class {
+        sparse -> launch a;
+        dense -> launch b;
+      }
+    }
+  }
+}
+"#;
+
+    #[test]
+    fn selection_dispatches_on_the_scale_environment() {
+        let def = parse(SELECTING).expect("parse");
+        let mut gpu = Gpu::new(Device::rtx3080());
+        let n = run(&def, Some("lo"), &mut gpu).expect("run lo");
+        assert_eq!(n, 2);
+        assert!(gpu.records().iter().all(|r| r.name == "a"));
+        gpu.reset_trace();
+        run(&def, Some("hi"), &mut gpu).expect("run hi");
+        assert!(gpu.records().iter().all(|r| r.name == "b"));
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let def = parse(SELECTING).expect("parse");
+        let mut g1 = Gpu::new(Device::rtx3080());
+        let mut g2 = Gpu::new(Device::rtx3080());
+        run(&def, Some("hi"), &mut g1).expect("run");
+        run(&def, Some("hi"), &mut g2).expect("run");
+        assert_eq!(g1.records(), g2.records());
+    }
+
+    #[test]
+    fn launch_budget_is_enforced() {
+        let src = "workload \"big\" { kernel k { } run { repeat 100 { launch k; } } }";
+        let def = parse(src).expect("parse");
+        let mut gpu = Gpu::new(Device::rtx3080());
+        let err = run_with_budget(&def, None, &mut gpu, 10).expect_err("budget");
+        assert!(err.message.contains("launch budget"), "{err}");
+        assert_eq!(gpu.records().len(), 10);
+    }
+
+    #[test]
+    fn scale_is_ignored_for_scaleless_definitions() {
+        let src = "workload \"flat\" { kernel k { mix { int = 1; } } run { launch k; } }";
+        let def = parse(src).expect("parse");
+        let mut gpu = Gpu::new(Device::rtx3080());
+        assert_eq!(run(&def, Some("profile"), &mut gpu), Ok(1));
+    }
+}

@@ -1,0 +1,269 @@
+//! Property tests for the parser/printer pair.
+//!
+//! Structural AST equality includes source-line numbers, so the round-trip
+//! law is stated on canonical printed forms: `print` is a normal form and
+//! `parse` must be its exact left inverse — `print(parse(print(d))) ==
+//! print(d)` for every generatable definition `d`. Two further properties
+//! pin totality: `parse` never panics on arbitrary input (it returns a
+//! line-accurate `parse` finding instead), and the lexer's string escaping
+//! round-trips.
+
+use proptest::prelude::*;
+use proptest::{option, sample};
+
+use cactus_wir::ast::{
+    ClassDef, CmpOp, Cond, Expr, GeomKind, KernelDef, LaunchSpec, Param, PatternSpec, ScaleBlock,
+    Stmt, StreamSpec, WorkloadDef, MIX_CLASSES, TAXONOMIES,
+};
+
+/// Identifier tails; the leading `x` dodges every grammar keyword.
+const IDENT_CHARS: [char; 12] = ['a', 'b', 'c', 'g', 'm', 'x', 'z', '0', '1', '7', '9', '_'];
+
+/// Workload / kernel display-name characters, including the ones that
+/// force the printer through the string-escape path.
+const NAME_CHARS: [char; 14] = [
+    'a', 'k', 'z', '0', '9', ' ', '_', '-', '"', '\\', '\n', '\t', '.', '/',
+];
+
+/// Raw-input characters for the totality property: structural punctuation,
+/// quotes, digits, keywords' letters, and some non-ASCII noise.
+const TEXT_CHARS: [char; 24] = [
+    '{', '}', '(', ')', ';', '"', '\\', '#', '\n', ' ', '-', '>', '<', '=', '*', '/', 'a', 'e',
+    'k', 'r', 'w', '0', '5', 'µ',
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    prop::collection::vec(sample::select(&IDENT_CHARS), 0..7).prop_map(|tail| {
+        let mut s = String::from("x");
+        s.extend(tail);
+        s
+    })
+}
+
+fn wname() -> impl Strategy<Value = String> {
+    prop::collection::vec(sample::select(&NAME_CHARS), 0..11).prop_map(String::from_iter)
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(sample::select(&TEXT_CHARS), 0..200).prop_map(String::from_iter)
+}
+
+/// Non-negative dyadic floats; `{:?}` formatting round-trips any f64.
+fn fnum() -> impl Strategy<Value = f64> {
+    (0u32..2_000_000).prop_map(|b| f64::from(b) / 65536.0)
+}
+
+fn coin() -> impl Strategy<Value = bool> {
+    (0u32..2).prop_map(|b| b == 1)
+}
+
+fn expr() -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0u64..1_000_000_000).prop_map(Expr::Int),
+        ident().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mod(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    sample::select(&[
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Eq,
+        CmpOp::Ne,
+    ])
+}
+
+fn pattern() -> impl Strategy<Value = PatternSpec> {
+    prop_oneof![
+        Just(PatternSpec::Streaming),
+        expr().prop_map(|working_set| PatternSpec::Random { working_set }),
+        (expr(), expr()).prop_map(|(working_set, sweeps)| PatternSpec::Sweep {
+            working_set,
+            sweeps
+        }),
+        (fnum(), expr(), expr()).prop_map(|(hot_fraction, hot, cold)| PatternSpec::HotCold {
+            hot_fraction,
+            hot,
+            cold
+        }),
+        expr().prop_map(|bytes| PatternSpec::Broadcast { bytes }),
+    ]
+}
+
+fn stream() -> impl Strategy<Value = StreamSpec> {
+    (coin(), expr(), fnum(), pattern()).prop_map(|(write, accesses, tpa, pattern)| StreamSpec {
+        write,
+        accesses,
+        tpa,
+        pattern,
+        line: 0,
+    })
+}
+
+fn launch() -> impl Strategy<Value = LaunchSpec> {
+    (
+        coin(),
+        expr(),
+        expr(),
+        option::of(expr()),
+        option::of(expr()),
+    )
+        .prop_map(|(grid, a, b, regs, smem)| LaunchSpec {
+            kind: if grid {
+                GeomKind::Grid
+            } else {
+                GeomKind::Linear
+            },
+            a,
+            b,
+            regs,
+            smem,
+            line: 0,
+        })
+}
+
+fn kernel() -> impl Strategy<Value = KernelDef> {
+    (
+        ident(),
+        option::of(wname()),
+        option::of(sample::select(&TAXONOMIES)),
+        option::of(launch()),
+        prop::collection::vec((sample::select(&MIX_CLASSES), expr()), 0..3),
+        prop::collection::vec(stream(), 0..3),
+        option::of(fnum()),
+    )
+        .prop_map(
+            |(id, name, taxonomy, launch, mix, streams, depend)| KernelDef {
+                id,
+                name,
+                taxonomy: taxonomy.map(|t| (t.to_owned(), 0)),
+                launch,
+                mix: mix.into_iter().map(|(c, e)| (c.to_owned(), e, 0)).collect(),
+                streams,
+                depend: depend.map(|d| (d, 0)),
+                line: 0,
+            },
+        )
+}
+
+fn stmt() -> BoxedStrategy<Stmt> {
+    let leaf = prop_oneof![
+        ident().prop_map(|kernel| Stmt::Launch { kernel, line: 0 }),
+        ident().prop_map(|phase| Stmt::Call { phase, line: 0 }),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (expr(), prop::collection::vec(inner.clone(), 1..3)).prop_map(|(count, body)| {
+                Stmt::Repeat {
+                    count,
+                    body,
+                    line: 0,
+                }
+            }),
+            prop::collection::vec((ident(), inner), 1..3)
+                .prop_map(|arms| Stmt::Select { arms, line: 0 }),
+        ]
+    })
+}
+
+fn workload() -> impl Strategy<Value = WorkloadDef> {
+    (
+        wname(),
+        option::of(0u64..u64::MAX),
+        prop::collection::vec((ident(), expr()), 0..3),
+        prop::collection::vec(
+            (ident(), prop::collection::vec((ident(), expr()), 1..3)),
+            0..2,
+        ),
+        prop::collection::vec((ident(), option::of((expr(), cmp_op(), expr()))), 0..3),
+        prop::collection::vec(kernel(), 0..3),
+        prop::collection::vec((ident(), prop::collection::vec(stmt(), 1..3)), 0..2),
+        prop::collection::vec(stmt(), 1..4),
+    )
+        .prop_map(
+            |(name, seed, params, scales, classes, kernels, phases, run)| WorkloadDef {
+                name,
+                line: 0,
+                seed: seed.map(|s| (s, 0)),
+                params: params
+                    .into_iter()
+                    .map(|(name, expr)| Param {
+                        name,
+                        expr,
+                        line: 0,
+                    })
+                    .collect(),
+                scales: scales
+                    .into_iter()
+                    .map(|(name, vars)| ScaleBlock {
+                        name,
+                        vars: vars
+                            .into_iter()
+                            .map(|(name, expr)| Param {
+                                name,
+                                expr,
+                                line: 0,
+                            })
+                            .collect(),
+                        line: 0,
+                    })
+                    .collect(),
+                classes: classes
+                    .into_iter()
+                    .map(|(name, cond)| ClassDef {
+                        name,
+                        cond: cond.map(|(lhs, op, rhs)| Cond { lhs, op, rhs }),
+                        line: 0,
+                    })
+                    .collect(),
+                kernels,
+                phases: phases
+                    .into_iter()
+                    .map(|(name, body)| (name, body, 0))
+                    .collect(),
+                run,
+                run_line: 0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `print` is a fixed point of `parse ∘ print`.
+    #[test]
+    fn print_parse_print_is_identity(def in workload()) {
+        let printed = cactus_wir::print(&def);
+        let reparsed = cactus_wir::parse(&printed)
+            .unwrap_or_else(|f| panic!("printed form must reparse: {f}\n---\n{printed}"));
+        prop_assert_eq!(cactus_wir::print(&reparsed), printed);
+    }
+
+    /// The parser is total: arbitrary input yields `Ok` or a line-accurate
+    /// `parse` finding — never a panic.
+    #[test]
+    fn parse_is_total_on_arbitrary_input(src in arb_text()) {
+        if let Err(f) = cactus_wir::parse(&src) {
+            prop_assert_eq!(f.pass, "parse");
+            prop_assert!(f.line >= 1, "finding line must be 1-based: {f}");
+        }
+    }
+
+    /// String escaping round-trips through the lexer.
+    #[test]
+    fn string_escape_roundtrip(s in wname()) {
+        let escaped = cactus_wir::lexer::escape(&s);
+        prop_assert_eq!(cactus_wir::lexer::unescape(&escaped), s);
+    }
+}

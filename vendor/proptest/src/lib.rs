@@ -2,10 +2,12 @@
 //!
 //! The workspace builds without registry access (see `vendor/README.md`),
 //! so this crate re-implements the slice of proptest's API that the Cactus
-//! property tests use: the [`Strategy`] trait with `prop_map`, range and
-//! tuple strategies, [`Just`], `prop::collection::vec`, `prop_oneof!`, the
-//! `proptest!` test macro with `#![proptest_config(..)]`, and the
-//! `prop_assert!`/`prop_assert_eq!` assertions.
+//! property tests use: the [`Strategy`] trait with `prop_map`, `boxed`,
+//! and `prop_recursive`, range and tuple strategies, [`Just`],
+//! `prop::collection::vec`, [`option::of`], [`sample::select`],
+//! `prop_oneof!`, the `proptest!` test macro with
+//! `#![proptest_config(..)]`, and the `prop_assert!`/`prop_assert_eq!`
+//! assertions.
 //!
 //! Differences from the real crate, deliberately accepted:
 //!
@@ -23,7 +25,8 @@ use std::ops::Range;
 /// Everything the property tests import.
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -62,6 +65,63 @@ pub trait Strategy {
         Self: Sized,
     {
         Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+
+    /// Bounded recursion: starting from `self` as the leaf, apply
+    /// `recurse` up to `depth` times; each level chooses uniformly between
+    /// staying at the shallower level and descending. `_desired_size` and
+    /// `_expected_branch_size` exist for signature compatibility with the
+    /// real crate and are ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            let shallower = strat.clone();
+            let deeper = recurse(strat);
+            strat = Union::new(vec![
+                Box::new(shallower) as Box<dyn Strategy<Value = Self::Value>>,
+                Box::new(deeper),
+            ])
+            .boxed();
+        }
+        strat
+    }
+}
+
+/// Reference-counted, clonable type-erased strategy — the shim's analog of
+/// proptest's `BoxedStrategy` (single-threaded, so `Rc` suffices).
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
     }
 }
 
@@ -160,6 +220,67 @@ pub mod prop {
                 element,
                 size: size.into(),
             }
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use super::Strategy;
+
+    /// Output of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Strategy yielding `None` half the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0..2u32) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Sampling from fixed collections.
+pub mod sample {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use super::Strategy;
+
+    /// Output of [`select`].
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// Uniform choice of one element of `items`, cloned per case.
+    /// Panics if `items` is empty.
+    pub fn select<T: Clone>(items: &[T]) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select needs at least one item");
+        Select {
+            items: items.to_vec(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.items.len());
+            self.items[i].clone()
         }
     }
 }
@@ -311,6 +432,59 @@ mod tests {
             let v = Strategy::generate(&ranged, &mut rng);
             assert!((2..7).contains(&v.len()));
             assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn option_of_yields_both_variants() {
+        let mut rng = rng();
+        let s = crate::option::of(0u32..5);
+        let (mut none, mut some) = (0, 0);
+        for _ in 0..100 {
+            match Strategy::generate(&s, &mut rng) {
+                None => none += 1,
+                Some(v) => {
+                    assert!(v < 5);
+                    some += 1;
+                }
+            }
+        }
+        assert!(none > 0 && some > 0);
+    }
+
+    #[test]
+    fn select_draws_only_listed_items() {
+        let mut rng = rng();
+        let items = ["alpha", "beta", "gamma"];
+        let s = crate::sample::select(&items);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(Strategy::generate(&s, &mut rng));
+        }
+        assert!(seen.iter().all(|v| items.contains(v)));
+        assert_eq!(seen.len(), items.len());
+    }
+
+    #[test]
+    fn prop_recursive_bounds_depth() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = rng();
+        let s = Just(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
+            crate::prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        for _ in 0..100 {
+            let t = Strategy::generate(&s, &mut rng);
+            assert!(depth(&t) <= 3, "{t:?}");
         }
     }
 
