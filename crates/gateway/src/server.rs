@@ -523,18 +523,58 @@ fn respond(
     }
 }
 
-/// `POST /v1/workloads`: broadcast one submitted IR definition to every
-/// backend, so the workload becomes routable wherever the hash ring may
-/// land its profile requests. Every backend runs the same deterministic
-/// validator over the same bytes, so a non-200 verdict (a rejection) from
-/// any backend is authoritative and returned immediately; otherwise the
-/// first 200 answers. Only transport errors on *every* backend yield 502.
+/// `POST /v1/workloads`: validate the submitted IR definition at the edge,
+/// then broadcast it to every backend so the workload becomes routable
+/// wherever the hash ring may land its profile requests.
+///
+/// Pre-validation runs the exact stack every backend runs
+/// ([`cactus_serve::service::validate_submission`]), so a deterministic
+/// rejection (`422` with the findings envelope, or a `400` name conflict)
+/// is answered here before any backend persists anything — the fleet never
+/// ends up half-registered over a verdict the gateway could have reached
+/// itself. During the fan-out, any backend that is unreachable or answers
+/// non-200 leaves the fleet divergent, and the client is told so: a `200`
+/// is returned only when *every* backend accepted; otherwise the gateway
+/// answers a retryable `502` naming the split (re-POSTing the same
+/// definition is idempotent and converges the stragglers, and anti-entropy
+/// replays `wir/` records into re-admitted backends as well).
 fn broadcast_workload(
     backend_addrs: &[SocketAddr],
     request: &Request,
     ctx: cactus_obs::SpanCtx<'_>,
 ) -> Forwarded {
+    use cactus_serve::service::{validate_submission, WorkloadRejection};
+    match validate_submission(&request.body) {
+        Ok(_) => {}
+        Err(WorkloadRejection::Invalid(findings)) => {
+            return Forwarded {
+                status: 422,
+                content_type: "application/json".to_owned(),
+                body: cactus_serve::routes::workload_rejection_body(&findings),
+                backend: None,
+            }
+        }
+        Err(WorkloadRejection::Conflict(msg)) => {
+            return Forwarded {
+                status: 400,
+                content_type: "application/json".to_owned(),
+                body: ApiError::new(400, msg).to_json(),
+                backend: None,
+            }
+        }
+        Err(WorkloadRejection::Store(msg)) => {
+            return Forwarded {
+                status: 500,
+                content_type: "application/json".to_owned(),
+                body: ApiError::new(500, msg).to_json(),
+                backend: None,
+            }
+        }
+    }
     let mut accepted: Option<Forwarded> = None;
+    let mut rejected: Option<Forwarded> = None;
+    let mut accepts = 0usize;
+    let mut failures = 0usize;
     for (index, addr) in backend_addrs.iter().enumerate() {
         let mut span = ctx.child("proxy.attempt");
         span.tag("backend", addr.to_string());
@@ -551,20 +591,46 @@ fn broadcast_workload(
                     body: reply.body,
                     backend: Some(index),
                 };
-                if reply.status != 200 {
-                    return forwarded;
+                if reply.status == 200 {
+                    accepts += 1;
+                    accepted.get_or_insert(forwarded);
+                } else {
+                    failures += 1;
+                    rejected.get_or_insert(forwarded);
                 }
-                accepted.get_or_insert(forwarded);
             }
-            Err(e) => span.tag("error", e.to_string()),
+            Err(e) => {
+                span.tag("error", e.to_string());
+                failures += 1;
+            }
         }
     }
-    accepted.unwrap_or_else(|| Forwarded {
-        status: 502,
-        content_type: "application/json".to_owned(),
-        body: ApiError::new(502, "no backend accepted the workload submission").to_json(),
-        backend: None,
-    })
+    match (accepted, failures) {
+        (Some(ok), 0) => ok,
+        (Some(_), _) => Forwarded {
+            status: 502,
+            content_type: "application/json".to_owned(),
+            body: ApiError::new(
+                502,
+                format!(
+                    "workload accepted by {accepts} of {} backend(s); the rest were \
+                     unreachable or refused it — resubmit to converge the fleet",
+                    backend_addrs.len()
+                ),
+            )
+            .to_json(),
+            backend: None,
+        },
+        // Nothing accepted: a deterministic backend verdict (unexpected
+        // after edge pre-validation, e.g. a version-skewed backend) beats
+        // a generic 502.
+        (None, _) => rejected.unwrap_or_else(|| Forwarded {
+            status: 502,
+            content_type: "application/json".to_owned(),
+            body: ApiError::new(502, "no backend accepted the workload submission").to_json(),
+            backend: None,
+        }),
+    }
 }
 
 /// `/v1/tracez[?trace=ID]`: the gateway's span ring as JSON lines. The

@@ -202,9 +202,22 @@ pub fn anti_entropy(router: &Arc<Router>, tracer: &Tracer, readmitted: usize) ->
 
     let mut pushed = 0u64;
     for (key, &(version, crc, holder)) in &fleet {
-        let ring_key = format!("profile/{key}");
-        if !router.replica_set(&ring_key).contains(&readmitted) {
+        // Version 0 marks a profile superseded by a workload
+        // re-submission; the next request re-simulates it, so there is
+        // nothing worth replicating (and the receiver would refuse the
+        // placeholder body anyway).
+        if version == 0 {
             continue;
+        }
+        // Workload definitions (`wir/<name>` keys) are broadcast to every
+        // backend at submission time, so they replicate unconditionally —
+        // this is the repair path for a backend that missed the broadcast.
+        // Profiles replicate only to the key's replica set.
+        if !key.starts_with("wir/") {
+            let ring_key = format!("profile/{key}");
+            if !router.replica_set(&ring_key).contains(&readmitted) {
+                continue;
+            }
         }
         match held.get(key) {
             Some(&(v, c)) if v > version || (v == version && c == crc) => continue,

@@ -71,6 +71,7 @@ pub const SPAN_NAMES: &[&str] = &[
     "store.append",
     "store.get",
     "store.compact",
+    "store.supersede",
     "store.sync",
 ];
 

@@ -151,6 +151,13 @@ impl ResponseCache {
     pub fn remove(&self, key: &str) {
         self.inner.lock().map.remove(key);
     }
+
+    /// Drop every cached response whose key satisfies `pred` (used to
+    /// invalidate all rendered views of a workload when a re-submission
+    /// replaces its definition).
+    pub fn remove_where(&self, pred: impl Fn(&str) -> bool) {
+        self.inner.lock().map.retain(|k, _| !pred(k));
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +212,22 @@ mod tests {
         cache.put("/a", resp("A"));
         assert!(cache.get("/a").is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn remove_where_drops_only_matching_keys() {
+        let cache = ResponseCache::new(8);
+        cache.put("profile/rtx-3080/tiny/gnn", resp("old"));
+        cache.put("dominant/rtx-3080/tiny/gnn?t=0.700", resp("old"));
+        cache.put("profile/rtx-3080/tiny/gms", resp("keep"));
+        cache.remove_where(|k| {
+            k.split('?')
+                .next()
+                .is_some_and(|path| path.ends_with("/gnn"))
+        });
+        assert!(cache.get("profile/rtx-3080/tiny/gnn").is_none());
+        assert!(cache.get("dominant/rtx-3080/tiny/gnn?t=0.700").is_none());
+        assert!(cache.get("profile/rtx-3080/tiny/gms").is_some());
     }
 
     #[test]

@@ -16,7 +16,6 @@
 //! with `read_profile`), the rest serve CSV.
 
 use cactus_analysis::roofline::Roofline;
-use cactus_obs::api::json_escape;
 use cactus_obs::{SpanCtx, TraceId};
 use cactus_profiler::{csv, store as profile_store};
 
@@ -142,13 +141,35 @@ fn store_record(state: &ServerState, req: &Request, key: &str, ctx: SpanCtx<'_>)
     }
 }
 
+/// Render the `422` body for a rejected submission: the shared error
+/// envelope extended with a `findings` array whose entries mirror
+/// `cactus-wir-check --format json`. Public so the gateway's edge
+/// pre-validation answers byte-identically to a backend's rejection.
+#[must_use]
+pub fn workload_rejection_body(findings: &[cactus_wir::Finding]) -> String {
+    let mut body = format!(
+        "{{\"code\":422,\"message\":\"workload definition rejected: {} finding(s)\",\
+         \"retryable\":false,\"findings\":[",
+        findings.len()
+    );
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&f.to_json());
+    }
+    body.push_str("]}");
+    body
+}
+
 /// `POST /v1/workloads`: submit one `cactus-wir` definition. The body is
 /// the definition source; it runs the full static validator before
 /// anything durable happens. Rejections answer `422` with the findings as
-/// JSON (the shared error envelope extended with a `findings` array whose
-/// entries mirror `cactus-wir-check --format json`); acceptance persists
-/// the source, admits the workload into the triple routes, and invalidates
-/// the cached `/v1/workloads` listing.
+/// JSON (see [`workload_rejection_body`]); acceptance persists the source,
+/// admits the workload into the triple routes, and invalidates the cached
+/// `/v1/workloads` listing. A re-submission under the same name replaces
+/// the definition, so every cached view of the workload's triples is
+/// dropped too (the service supersedes the stored profiles itself).
 fn submit_workload(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Response {
     let mut span = ctx.child("serve.workload");
     span.tag("bytes", req.body.len().to_string());
@@ -157,6 +178,17 @@ fn submit_workload(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Resp
             span.tag("workload", &name);
             span.tag("replaced", if replaced { "true" } else { "false" });
             state.cache.remove("workloads");
+            if replaced {
+                // Cached /v1/{profile,kernels,roofline,dominant} bodies for
+                // the old definition would otherwise outlive it; `dominant`
+                // keys carry a `?t=` suffix, hence the split.
+                let suffix = format!("/{name}");
+                state.cache.remove_where(|key| {
+                    key.split('?')
+                        .next()
+                        .is_some_and(|path| path.ends_with(suffix.as_str()))
+                });
+            }
             Response::ok(
                 format!(
                     "{} workload {name:?}; profiles at /v1/profile/<device>/<scale>/{name}\n",
@@ -167,27 +199,10 @@ fn submit_workload(state: &ServerState, req: &Request, ctx: SpanCtx<'_>) -> Resp
         }
         Err(WorkloadRejection::Invalid(findings)) => {
             span.tag("findings", findings.len().to_string());
-            let mut body = format!(
-                "{{\"code\":422,\"message\":\"workload definition rejected: {} finding(s)\",\
-                 \"retryable\":false,\"findings\":[",
-                findings.len()
-            );
-            for (i, f) in findings.iter().enumerate() {
-                if i > 0 {
-                    body.push(',');
-                }
-                body.push_str(&format!(
-                    "{{\"pass\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
-                    json_escape(f.pass),
-                    f.line,
-                    json_escape(&f.message)
-                ));
-            }
-            body.push_str("]}");
             Response {
                 status: 422,
                 content_type: "application/json",
-                body,
+                body: workload_rejection_body(&findings),
                 retry_after: None,
                 trace: None,
                 extra_headers: Vec::new(),

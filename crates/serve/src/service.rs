@@ -112,6 +112,11 @@ pub fn workload_by_name(name: &str) -> Option<ServableWorkload> {
 /// keys always start with a catalog device slug, never `wir/`.
 const WIR_KEY_PREFIX: &str = "wir/";
 
+/// Store version stamped on a profile record superseded by a workload
+/// re-submission. `cactus_gpu::MODEL_VERSION` starts at 1 and only grows,
+/// so 0 can never read as current and the record is always a store miss.
+const SUPERSEDED_VERSION: u32 = 0;
+
 /// Why `POST /v1/workloads` refused a submission.
 pub enum WorkloadRejection {
     /// The static validator found defects; maps to `422` with the findings.
@@ -160,6 +165,50 @@ fn submission_policy(def: &cactus_wir::WorkloadDef) -> Vec<Finding> {
         }
     }
     findings
+}
+
+/// The language-level validator plus the serve submission policy, exactly
+/// as `register_wir` applies them.
+fn submission_findings(def: &cactus_wir::WorkloadDef) -> Vec<Finding> {
+    let mut findings = cactus_wir::check_with(def, &cactus_wir::CostCeilings::default());
+    if findings.is_empty() {
+        findings = submission_policy(def);
+    }
+    findings
+}
+
+/// The built-in-name collision check, shared by `register_wir` and
+/// [`validate_submission`].
+fn builtin_conflict(def: &cactus_wir::WorkloadDef) -> Option<String> {
+    workload_by_name(&def.name).is_some().then(|| {
+        format!(
+            "workload name {:?} is taken by a built-in catalog entry",
+            def.name
+        )
+    })
+}
+
+/// Run the full submission validation stack — parse, the multi-pass
+/// validator under default ceilings, the serve submission policy, and the
+/// built-in-name conflict check — without touching any state. The gateway
+/// pre-validates with this exact function before broadcasting a
+/// `POST /v1/workloads`, so the edge's verdict always matches every
+/// backend's and a deterministic rejection never reaches the fleet.
+///
+/// # Errors
+///
+/// The same [`WorkloadRejection`] variants `register_wir` returns
+/// (`Store` is never produced here).
+pub fn validate_submission(source: &str) -> Result<cactus_wir::WorkloadDef, WorkloadRejection> {
+    let def = cactus_wir::parse(source).map_err(|f| WorkloadRejection::Invalid(vec![f]))?;
+    let findings = submission_findings(&def);
+    if !findings.is_empty() {
+        return Err(WorkloadRejection::Invalid(findings));
+    }
+    if let Some(msg) = builtin_conflict(&def) {
+        return Err(WorkloadRejection::Conflict(msg));
+    }
+    Ok(def)
 }
 
 /// Rebuild the submitted-workload registry from the durable store at
@@ -562,16 +611,42 @@ impl ProfileService {
         }
     }
 
-    /// Validate and durably ingest one externally supplied profile record
-    /// (the gateway's replication and anti-entropy pushes). The value must
-    /// parse as a `cactus-profile v1` document; it is stored verbatim at
-    /// the current [`MODEL_VERSION`].
+    /// Validate and durably ingest one externally supplied record (the
+    /// gateway's replication and anti-entropy pushes). Profile keys must
+    /// parse as a `cactus-profile v1` document and are stored verbatim at
+    /// the current [`MODEL_VERSION`]; `wir/<name>` keys run the full
+    /// submission stack and register the workload exactly as
+    /// `POST /v1/workloads` would — that is the repair path that lets a
+    /// backend which missed a workload broadcast converge.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message for unparseable bodies or store
-    /// failures.
+    /// Returns a human-readable message for unparseable bodies, rejected
+    /// definitions, or store failures.
     pub fn ingest_record(&self, key: &str, text: &str) -> Result<(), String> {
+        if let Some(name) = key.strip_prefix(WIR_KEY_PREFIX) {
+            let def = validate_submission(text).map_err(|r| match r {
+                WorkloadRejection::Invalid(findings) => format!(
+                    "definition rejected with {} finding(s); first: {}",
+                    findings.len(),
+                    findings.first().map(Finding::to_string).unwrap_or_default()
+                ),
+                WorkloadRejection::Conflict(msg) | WorkloadRejection::Store(msg) => msg,
+            })?;
+            if def.name != name {
+                return Err(format!(
+                    "definition names workload {:?} but the key says {name:?}",
+                    def.name
+                ));
+            }
+            return self
+                .register_wir(text, None)
+                .map(|_| ())
+                .map_err(|r| match r {
+                    WorkloadRejection::Invalid(_) => "definition failed re-validation".to_owned(),
+                    WorkloadRejection::Conflict(msg) | WorkloadRejection::Store(msg) => msg,
+                });
+        }
         profile_store::read_profile(text).map_err(|e| format!("body is not a profile: {e}"))?;
         self.store
             .append(key, MODEL_VERSION, text.as_bytes())
@@ -612,10 +687,7 @@ impl ProfileService {
         };
         {
             let mut span = ctx.map(|c| c.child("wir.check"));
-            let mut findings = cactus_wir::check_with(&def, &cactus_wir::CostCeilings::default());
-            if findings.is_empty() {
-                findings = submission_policy(&def);
-            }
+            let findings = submission_findings(&def);
             if let Some(span) = &mut span {
                 span.tag("workload", &def.name);
                 span.tag("findings", findings.len().to_string());
@@ -624,12 +696,9 @@ impl ProfileService {
                 return Err(reject(findings));
             }
         }
-        if workload_by_name(&def.name).is_some() {
+        if let Some(msg) = builtin_conflict(&def) {
             self.workloads_rejected.inc();
-            return Err(WorkloadRejection::Conflict(format!(
-                "workload name {:?} is taken by a built-in catalog entry",
-                def.name
-            )));
+            return Err(WorkloadRejection::Conflict(msg));
         }
         let key = format!("{WIR_KEY_PREFIX}{}", def.name);
         {
@@ -656,9 +725,47 @@ impl ProfileService {
             source: source.to_owned(),
             def,
         });
-        let replaced = self.wir.lock().insert(name.clone(), workload).is_some();
+        let prev = self.wir.lock().insert(name.clone(), workload);
+        let replaced = prev.is_some();
+        if prev.is_some_and(|p| p.source != source) {
+            // A *changed* definition's old profiles are stale the moment
+            // the registry swaps; supersede them so no triple keeps
+            // serving results computed from the replaced definition. A
+            // byte-identical resubmission would re-derive the same bytes,
+            // so its stored profiles stay valid.
+            self.supersede_profiles(&name, ctx);
+        }
         self.workloads_submitted.inc();
         Ok((name, replaced))
+    }
+
+    /// Mark every stored profile of `workload` stale by appending a
+    /// [`SUPERSEDED_VERSION`] placeholder over it. `load_from_store`
+    /// treats any version other than the current `MODEL_VERSION` as a
+    /// miss, so the next request re-simulates under the replacement
+    /// definition and its fresh append supersedes the placeholder in turn.
+    fn supersede_profiles(&self, workload: &str, ctx: Option<SpanCtx<'_>>) {
+        let mut span = ctx.map(|c| c.child("store.supersede"));
+        let mut superseded = 0u32;
+        for device in catalog::device_ids() {
+            for scale in SCALE_SLUGS {
+                let key = format!("{device}/{scale}/{workload}");
+                if !matches!(self.store.get(&key), Ok(Some(_))) {
+                    continue;
+                }
+                match self
+                    .store
+                    .append(&key, SUPERSEDED_VERSION, b"superseded by re-submission\n")
+                {
+                    Ok(()) => superseded += 1,
+                    Err(e) => eprintln!("cactus-serve: supersede {key} failed: {e}"),
+                }
+            }
+        }
+        if let Some(span) = &mut span {
+            span.tag("workload", workload);
+            span.tag("records", superseded.to_string());
+        }
     }
 
     /// Resolve raw path segments against the built-in catalogs *and* the

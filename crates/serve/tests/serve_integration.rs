@@ -793,3 +793,71 @@ fn workload_submission_validates_persists_and_serves() {
     server.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Replacing a definition by re-POSTing under the same name must not keep
+/// serving results computed from the old definition: cached responses are
+/// dropped and stored profiles superseded, so the next read re-simulates
+/// under the replacement. A byte-identical resubmission keeps the stored
+/// profiles (same bytes would be re-derived anyway).
+#[test]
+fn replacing_a_definition_invalidates_cached_and_stored_profiles() {
+    let (server, client, dir) = start(4, 16);
+
+    let v1 = "workload \"swap\" { kernel a { mix { int = 1000; } } \
+              run { repeat 4 { launch a; } } }";
+    let reply = client
+        .post_traced("/v1/workloads", v1, None)
+        .expect("post v1");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+
+    let first = client
+        .get("/v1/profile/rtx-3080/tiny/swap")
+        .expect("v1 profile");
+    assert_eq!(first.status, 200, "{}", first.body);
+    let dominant = client
+        .get("/v1/dominant/rtx-3080/tiny/swap")
+        .expect("v1 dominant");
+    assert_eq!(dominant.status, 200, "{}", dominant.body);
+    assert_eq!(metric(&client, "cactus_serve_simulations_total"), 1.0);
+
+    // Byte-identical resubmission replaces the registry entry but keeps
+    // the stored profile: the re-read is a store hit, not a simulation.
+    let reply = client
+        .post_traced("/v1/workloads", v1, None)
+        .expect("repost v1");
+    assert!(reply.body.contains("replaced"), "{}", reply.body);
+    let unchanged = client
+        .get("/v1/profile/rtx-3080/tiny/swap")
+        .expect("profile after identical repost");
+    assert_eq!(unchanged.body, first.body);
+    assert_eq!(metric(&client, "cactus_serve_simulations_total"), 1.0);
+
+    // A changed definition supersedes: the same routes now answer from a
+    // fresh simulation of the new definition, not the old cache or store.
+    let v2 = "workload \"swap\" { kernel a { mix { int = 1000; } } \
+              run { repeat 8 { launch a; } } }";
+    let reply = client
+        .post_traced("/v1/workloads", v2, None)
+        .expect("post v2");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.body.contains("replaced"), "{}", reply.body);
+    let second = client
+        .get("/v1/profile/rtx-3080/tiny/swap")
+        .expect("v2 profile");
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert_ne!(
+        second.body, first.body,
+        "replacement must not serve the old definition's profile"
+    );
+    let dominant2 = client
+        .get("/v1/dominant/rtx-3080/tiny/swap")
+        .expect("v2 dominant");
+    assert_ne!(
+        dominant2.body, dominant.body,
+        "derived views must be invalidated too"
+    );
+    assert_eq!(metric(&client, "cactus_serve_simulations_total"), 2.0);
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

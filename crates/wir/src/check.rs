@@ -773,6 +773,10 @@ impl Cost {
             bytes: self.bytes.max(other.bytes),
         }
     }
+
+    fn is_zero(self) -> bool {
+        self.launches == 0 && self.warp_instructions == 0 && self.bytes == 0
+    }
 }
 
 fn cost(def: &WorkloadDef, ceilings: &CostCeilings) -> Vec<Finding> {
@@ -934,7 +938,21 @@ fn body_cost<'a>(
                         0
                     }
                 };
-                body_cost(def, body, env, per_kernel, memo, out, label, depth + 1).scale(n)
+                let inner = body_cost(def, body, env, per_kernel, memo, out, label, depth + 1);
+                // A loop that does no modeled work is never legitimate: it
+                // scores 0 against every ceiling however large `n` is, yet
+                // the interpreter would still walk all n iterations.
+                if n > 0 && inner.is_zero() {
+                    out.push(finding(
+                        PASS,
+                        *line,
+                        format!(
+                            "{label}repeat of {n} iteration(s) has a zero-cost body: the loop \
+                             does no modeled work, so its count evades every cost ceiling"
+                        ),
+                    ));
+                }
+                inner.scale(n)
             }
             Stmt::Select { arms, .. } => {
                 // Static bound: the worst arm.
@@ -1074,6 +1092,22 @@ workload "clean" {
              run { launch k; } }",
         );
         assert_eq!(pass, "determinism");
+    }
+
+    #[test]
+    fn cost_rejects_repeats_with_zero_cost_bodies() {
+        // The `repeat 0` inner loop zeroes the outer body's estimate, so
+        // the outer count would sail under every ceiling while the
+        // interpreter still walks ~10^18 iterations.
+        let (pass, findings) = first_pass(
+            "workload \"z\" { kernel k { } \
+             run { repeat 9000000000000000000 { repeat 0 { launch k; } } } }",
+        );
+        assert_eq!(pass, "cost", "{findings:?}");
+        assert!(
+            findings.iter().any(|f| f.message.contains("zero-cost")),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! hardcoded workload runner would.
 //!
 //! Execution is meant to follow a clean [`crate::check`] run; it still
-//! defends itself (launch budget, recursion bound, evaluation errors
-//! surfaced as [`ExecError`]) so a library caller skipping validation
-//! cannot wedge or panic a daemon worker.
+//! defends itself (launch budget, step budget, recursion bound, evaluation
+//! errors surfaced as [`ExecError`]) so a library caller skipping
+//! validation cannot wedge or panic a daemon worker. The step budget is
+//! the backstop the launch budget can't be: a repeat whose body launches
+//! nothing (`repeat HUGE { repeat 0 { launch k; } }`) never decrements the
+//! launch budget, so iterations themselves are metered too.
 
 use crate::ast::{GeomKind, KernelDef, PatternSpec, Stmt, WorkloadDef};
 use crate::eval::{build_env, eval, eval_cond, eval_u32, eval_u64, Env};
@@ -17,6 +20,11 @@ use std::collections::HashMap;
 /// Hard backstop on launches per execution, independent of the (softer,
 /// configurable) cost-pass ceiling.
 pub const MAX_LAUNCHES: u64 = 10_000_000;
+
+/// Hard backstop on interpreter steps per execution: every statement
+/// executed and every repeat iteration entered charges one step, so loops
+/// whose bodies launch nothing still terminate in bounded time.
+pub const MAX_STEPS: u64 = 50_000_000;
 
 /// Maximum phase-call nesting during execution.
 const MAX_DEPTH: u32 = 64;
@@ -48,6 +56,17 @@ pub fn run_with_budget(
     scale: Option<&str>,
     gpu: &mut Gpu,
     budget: u64,
+) -> Result<u64, ExecError> {
+    run_with_limits(def, scale, gpu, budget, MAX_STEPS)
+}
+
+/// [`run`] with explicit launch *and* step budgets.
+pub fn run_with_limits(
+    def: &WorkloadDef,
+    scale: Option<&str>,
+    gpu: &mut Gpu,
+    launches: u64,
+    steps: u64,
 ) -> Result<u64, ExecError> {
     let requested = if def.scales.is_empty() { None } else { scale };
     let env = build_env(def, requested).map_err(|(line, message)| ExecError { line, message })?;
@@ -84,7 +103,9 @@ pub fn run_with_budget(
 
     let mut budget = Budget {
         launched: 0,
-        limit: budget,
+        limit: launches,
+        steps: 0,
+        step_limit: steps,
     };
     exec_body(def, &def.run, &env, chosen, &descs, gpu, &mut budget, 0)?;
     Ok(budget.launched)
@@ -93,6 +114,35 @@ pub fn run_with_budget(
 struct Budget {
     launched: u64,
     limit: u64,
+    steps: u64,
+    step_limit: u64,
+}
+
+impl Budget {
+    /// Charge one interpreter step (a statement executed or a repeat
+    /// iteration entered) against the step budget.
+    fn step(&mut self, line: u32) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            return Err(ExecError {
+                line,
+                message: format!(
+                    "execution step budget of {} exhausted (loop whose body launches nothing?)",
+                    self.step_limit
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn stmt_line(s: &Stmt) -> u32 {
+    match s {
+        Stmt::Launch { line, .. }
+        | Stmt::Call { line, .. }
+        | Stmt::Repeat { line, .. }
+        | Stmt::Select { line, .. } => *line,
+    }
 }
 
 fn build_desc(k: &KernelDef, env: &Env) -> Result<KernelDesc, ExecError> {
@@ -198,6 +248,7 @@ fn exec_body(
         });
     }
     for s in body {
+        budget.step(stmt_line(s))?;
         match s {
             Stmt::Launch { kernel, line } => {
                 let Some(desc) = descs.get(kernel.as_str()) else {
@@ -234,6 +285,9 @@ fn exec_body(
                     message: format!("repeat count evaluates to {n} (must be non-negative)"),
                 })?;
                 for _ in 0..n {
+                    // Each iteration is a step of its own: an empty (or
+                    // zero-cost) body must not let the loop spin for free.
+                    budget.step(*line)?;
                     exec_body(def, body, env, class, descs, gpu, budget, depth + 1)?;
                 }
             }
@@ -322,6 +376,20 @@ workload "sel" {
         let err = run_with_budget(&def, None, &mut gpu, 10).expect_err("budget");
         assert!(err.message.contains("launch budget"), "{err}");
         assert_eq!(gpu.records().len(), 10);
+    }
+
+    #[test]
+    fn step_budget_stops_loops_that_never_launch() {
+        // A zero-cost body scores 0 against every cost ceiling and never
+        // decrements the launch budget, so only the step budget stands
+        // between this repeat and ~10^18 iterations on a pooled engine.
+        let src = "workload \"spin\" { kernel k { } \
+                   run { repeat 9000000000000000000 { repeat 0 { launch k; } } } }";
+        let def = parse(src).expect("parse");
+        let mut gpu = Gpu::new(Device::rtx3080());
+        let err = run_with_limits(&def, None, &mut gpu, 10, 1_000).expect_err("step budget");
+        assert!(err.message.contains("step budget"), "{err}");
+        assert_eq!(gpu.records().len(), 0, "nothing may have launched");
     }
 
     #[test]

@@ -98,6 +98,12 @@ pub fn lex(src: &str) -> Vec<Token> {
             while i < bytes.len() {
                 let c = byte_at(bytes, i);
                 if c == b'\\' && i + 1 < bytes.len() {
+                    // The escaped byte may itself be a newline (a string
+                    // continued across lines); count it so every later
+                    // token still reports the right line.
+                    if byte_at(bytes, i + 1) == b'\n' {
+                        line += 1;
+                    }
                     i += 2;
                     continue;
                 }
@@ -243,6 +249,19 @@ mod tests {
         let toks = lex(src);
         let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn escaped_newline_inside_a_string_still_counts_the_line() {
+        // `"ab\` + newline + `cd"` lexes as one Str token; the skipped
+        // newline must still advance the line counter so the token after
+        // the string reports line 2, not 1.
+        let src = "\"ab\\\ncd\" after";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text(src), "after");
+        assert_eq!(toks[1].line, 2);
     }
 
     #[test]
